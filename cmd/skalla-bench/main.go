@@ -1,0 +1,101 @@
+// Command skalla-bench regenerates the paper's experimental evaluation
+// (Section 5): the speed-up experiments for group reduction (Fig. 2),
+// coalescing (Fig. 3), and synchronization reduction (Fig. 4); the
+// combined-reductions scale-up (Fig. 5, both group-growth variants); and
+// an extra per-optimization ablation.
+//
+//	skalla-bench -experiment all
+//	skalla-bench -experiment fig2 -rows 96000 -customers 8000
+//
+// Absolute numbers depend on the machine and the configured link model;
+// the shapes (who wins, quadratic vs linear growth, the (2c+2n+1)/(4n+1)
+// formula fit) are the reproduction targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/transport"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, ablation, tree, or all")
+	sites := flag.Int("sites", 8, "number of warehouse sites")
+	rows := flag.Int("rows", 48000, "total TPCR rows")
+	customers := flag.Int("customers", 4000, "high-cardinality group count (paper: 100000)")
+	lowcard := flag.Int("lowcard", 2000, "low-cardinality group count (paper: 2000-4000)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	repeat := flag.Int("repeat", 2, "repetitions per point (fastest kept)")
+	latency := flag.Duration("latency", 2*time.Millisecond, "modeled per-message link latency")
+	mbps := flag.Float64("mbps", 10, "modeled link bandwidth in Mbit/s")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Sites: *sites, Rows: *rows, Customers: *customers,
+		LowCardGroups: *lowcard, Seed: *seed, Repeat: *repeat,
+		Cost: transport.CostModel{LatencyPerMsg: *latency, BytesPerSec: *mbps * 1e6 / 8},
+	}
+	h, err := bench.NewHarness(cfg)
+	if err != nil {
+		log.Fatalf("skalla-bench: %v", err)
+	}
+	defer h.Close()
+
+	switch *experiment {
+	case "all":
+		report, err := h.RunAll()
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(report)
+	case "fig2":
+		r, err := h.Fig2()
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(r)
+	case "fig3":
+		high, low, err := h.Fig3()
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Println(high)
+		fmt.Print(low)
+	case "fig4":
+		high, low, err := h.Fig4()
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Println(high)
+		fmt.Print(low)
+	case "fig5":
+		grow, err := h.Fig5(false)
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Println(grow)
+		konst, err := h.Fig5(true)
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(konst)
+	case "ablation":
+		rowsA, err := h.Ablation()
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(bench.FormatAblation(rowsA))
+	case "tree":
+		r, err := bench.TreeExperiment(cfg)
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(r)
+	default:
+		log.Fatalf("skalla-bench: unknown experiment %q", *experiment)
+	}
+}

@@ -1,0 +1,263 @@
+// Command skalla-coord is the Skalla coordinator CLI: it connects to
+// running site servers (cmd/skalla-site), optionally has them generate
+// their TPC-R partitions, and evaluates GMDJ queries distributed across
+// them, printing the result, the plan, and the execution statistics.
+//
+// Query syntax: the base is a comma-separated column list; each -md flag
+// adds one GMDJ operator written as "aggs ; condition" where aggs is a
+// comma-separated list of aggregate specs:
+//
+//	skalla-coord -sites 127.0.0.1:7001,127.0.0.1:7002 \
+//	  -generate tpcr -rows 60000 \
+//	  -base CustName \
+//	  -md "count(*) AS cnt1, avg(F.Quantity) AS avg1 ; F.CustName = B.CustName" \
+//	  -md "count(*) AS cnt2 ; F.CustName = B.CustName AND F.Quantity >= B.avg1" \
+//	  -opt all
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/catalog"
+	"repro/internal/ipflow"
+	"repro/internal/tpcr"
+	"repro/skalla"
+)
+
+// mdFlags collects repeated -md flags.
+type mdFlags []string
+
+func (m *mdFlags) String() string { return strings.Join(*m, " | ") }
+
+func (m *mdFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	sites := flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+	detail := flag.String("detail", "tpcr", "detail relation name at the sites")
+	generate := flag.String("generate", "", "have sites generate data first: tpcr or ipflow")
+	rows := flag.Int("rows", 60000, "rows for -generate")
+	customers := flag.Int("customers", 1000, "distinct customers for -generate tpcr")
+	seed := flag.Int64("seed", 1, "generator seed")
+	base := flag.String("base", "", "base-values columns (comma separated)")
+	where := flag.String("where", "", "optional base filter over the detail relation")
+	var mds mdFlags
+	flag.Var(&mds, "md", "GMDJ operator: \"aggs ; condition\" (repeatable)")
+	sqlText := flag.String("sql", "", "run a SQL statement (SELECT ... FROM ... GROUP BY / CUBE BY ...) instead of -base/-md")
+	opt := flag.String("opt", "all", "optimizations: all, none, or comma list of coalesce,group-sites,group-coord,sync")
+	explain := flag.Bool("explain", false, "print the plan without executing")
+	repl := flag.Bool("repl", false, "interactive SQL shell over the connected sites")
+	status := flag.Bool("status", false, "print per-site reachability and row counts, then exit")
+	catalogFile := flag.String("catalog", "", "distribution-knowledge JSON: loaded if present; written after -generate")
+	maxRows := flag.Int("max-rows", 20, "result rows to print (-1 for all)")
+	flag.Parse()
+
+	opts, err := parseOpts(*opt)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+
+	cluster, err := skalla.Connect(strings.Split(*sites, ","), skalla.CostModel{})
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+	defer cluster.Close()
+
+	if *catalogFile != "" {
+		if _, statErr := os.Stat(*catalogFile); statErr == nil {
+			cat, err := catalog.LoadFile(*catalogFile)
+			if err != nil {
+				log.Fatalf("skalla-coord: %v", err)
+			}
+			cluster.UseCatalog(cat)
+			fmt.Fprintf(os.Stderr, "loaded catalog %s (%d sites, %d FDs)\n",
+				*catalogFile, len(cat.Sites), len(cat.FDs))
+		}
+	}
+
+	if *generate != "" {
+		if err := doGenerate(cluster, *generate, *detail, *rows, *customers, *seed); err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+		if *catalogFile != "" {
+			if err := cluster.Catalog().SaveFile(*catalogFile); err != nil {
+				log.Fatalf("skalla-coord: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote catalog %s\n", *catalogFile)
+		}
+	}
+
+	if *status {
+		for _, st := range cluster.Status(*detail) {
+			fmt.Println(st)
+		}
+		return
+	}
+
+	if *repl {
+		runREPL(cluster, opts, *maxRows)
+		return
+	}
+
+	if *sqlText != "" {
+		rel, err := cluster.SQL(*sqlText, opts)
+		if err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+		rel.SortBy(rel.Schema.Names()[0])
+		fmt.Print(rel.Format(*maxRows))
+		return
+	}
+
+	if *base == "" || len(mds) == 0 {
+		fmt.Println("skalla-coord: no query given (-base and at least one -md, or -sql); done")
+		return
+	}
+	q, err := buildQuery(*base, *where, mds)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+
+	if *explain {
+		plan, err := cluster.Explain(q, *detail, opts)
+		if err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+		fmt.Print(plan.Explain())
+		return
+	}
+
+	res, err := cluster.Query(q, *detail, opts)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+	fmt.Print(res.Plan.Explain())
+	fmt.Println()
+	res.Relation.SortBy(q.Keys()...)
+	fmt.Print(res.Relation.Format(*maxRows))
+	fmt.Println()
+	fmt.Print(res.Stats)
+}
+
+// runREPL reads SQL statements from stdin and executes them against the
+// cluster until EOF or \q.
+func runREPL(cluster *skalla.Cluster, opts skalla.Options, maxRows int) {
+	fmt.Println("skalla> interactive SQL shell — SELECT ... FROM ... {GROUP|CUBE|ROLLUP} BY ...; \\q quits")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("skalla> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == "\\q" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit"):
+			return
+		default:
+			start := time.Now()
+			rel, err := cluster.SQL(line, opts)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			rel.SortBy(rel.Schema.Names()[0])
+			fmt.Print(rel.Format(maxRows))
+			fmt.Printf("(%d rows, %s)\n", rel.Len(), time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Print("skalla> ")
+	}
+}
+
+func parseOpts(s string) (skalla.Options, error) {
+	switch s {
+	case "all":
+		return skalla.AllOptimizations, nil
+	case "none", "":
+		return skalla.NoOptimizations, nil
+	}
+	var o skalla.Options
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "coalesce":
+			o.Coalesce = true
+		case "group-sites":
+			o.GroupReduceSites = true
+		case "group-coord":
+			o.GroupReduceCoord = true
+		case "sync":
+			o.SyncReduce = true
+		default:
+			return o, fmt.Errorf("unknown optimization %q", part)
+		}
+	}
+	return o, nil
+}
+
+func doGenerate(cluster *skalla.Cluster, kind, rel string, rows, customers int, seed int64) error {
+	var params map[string]int64
+	switch kind {
+	case "tpcr":
+		cfg := tpcr.Config{Rows: rows, Customers: customers, Seed: seed}
+		params = tpcr.GenParams(cfg)
+		if err := tpcr.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+			return err
+		}
+	case "ipflow":
+		cfg := ipflow.Config{Flows: rows, Routers: cluster.NumSites(), ASPartitioned: true, Seed: seed}
+		params = ipflow.GenParams(cfg)
+		if err := ipflow.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown generator %q", kind)
+	}
+	counts, err := cluster.Generate(rel, kind, params)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	fmt.Fprintf(os.Stderr, "generated %d rows across %d sites\n", total, len(counts))
+	return nil
+}
+
+func buildQuery(base, where string, mds mdFlags) (skalla.Query, error) {
+	cols := strings.Split(base, ",")
+	for i := range cols {
+		cols[i] = strings.TrimSpace(cols[i])
+	}
+	b := skalla.NewQuery(cols...)
+	if where != "" {
+		b = b.Where(where)
+	}
+	for _, md := range mds {
+		parts := strings.SplitN(md, ";", 2)
+		if len(parts) != 2 {
+			return skalla.Query{}, fmt.Errorf("bad -md %q, want \"aggs ; condition\"", md)
+		}
+		var list skalla.AggList
+		for _, a := range strings.Split(parts[0], ",") {
+			s := strings.TrimSpace(a)
+			if s == "" {
+				continue
+			}
+			spec, err := agg.ParseSpec(s)
+			if err != nil {
+				return skalla.Query{}, err
+			}
+			list = append(list, spec)
+		}
+		b = b.MD(list, strings.TrimSpace(parts[1]))
+	}
+	return b.Build()
+}

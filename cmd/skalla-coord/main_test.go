@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/skalla"
+)
+
+func TestParseOpts(t *testing.T) {
+	tests := []struct {
+		in   string
+		want skalla.Options
+	}{
+		{"all", skalla.AllOptimizations},
+		{"none", skalla.NoOptimizations},
+		{"", skalla.NoOptimizations},
+		{"coalesce", skalla.Options{Coalesce: true}},
+		{"group-sites,sync", skalla.Options{GroupReduceSites: true, SyncReduce: true}},
+		{"coalesce, group-coord", skalla.Options{Coalesce: true, GroupReduceCoord: true}},
+	}
+	for _, tc := range tests {
+		got, err := parseOpts(tc.in)
+		if err != nil {
+			t.Errorf("parseOpts(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseOpts(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := parseOpts("bogus"); err == nil {
+		t.Error("unknown optimization accepted")
+	}
+}
+
+func TestBuildQuery(t *testing.T) {
+	q, err := buildQuery("CustName", "", mdFlags{
+		"count(*) AS n, avg(F.Quantity) AS aq ; F.CustName = B.CustName",
+		"count(*) AS big ; F.CustName = B.CustName AND F.Quantity >= B.aq",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MDs) != 2 || len(q.MDs[0].Specs()) != 2 {
+		t.Errorf("query: %+v", q)
+	}
+	if q.Keys()[0] != "CustName" {
+		t.Errorf("keys: %v", q.Keys())
+	}
+
+	q, err = buildQuery("a, b", "F.x > 1", mdFlags{"count(*) AS n ; TRUE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Base.Cols) != 2 || q.Base.Where == nil {
+		t.Errorf("base: %+v", q.Base)
+	}
+
+	bad := []mdFlags{
+		{"no-semicolon"},
+		{"nope(*) AS x ; TRUE"},
+		{"count(*) AS n ; (("},
+	}
+	for _, flags := range bad {
+		if _, err := buildQuery("a", "", flags); err == nil {
+			t.Errorf("buildQuery(%v) should fail", flags)
+		}
+	}
+}
+
+func TestMDFlags(t *testing.T) {
+	var m mdFlags
+	m.Set("one")
+	m.Set("two")
+	if len(m) != 2 || !strings.Contains(m.String(), "one") {
+		t.Errorf("mdFlags: %v", m)
+	}
+}

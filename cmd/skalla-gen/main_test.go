@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParsePartition(t *testing.T) {
+	i, n, err := parsePartition("")
+	if err != nil || i != 0 || n != 0 {
+		t.Errorf("empty: %d %d %v", i, n, err)
+	}
+	i, n, err = parsePartition("3/8")
+	if err != nil || i != 3 || n != 8 {
+		t.Errorf("3/8: %d %d %v", i, n, err)
+	}
+	for _, bad := range []string{"8/8", "-1/4", "x/y", "1", "1/0"} {
+		if _, _, err := parsePartition(bad); err == nil {
+			t.Errorf("parsePartition(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command skalla-load drives a concurrent OLAP query mix against a Skalla
+// warehouse and reports throughput and latency percentiles. By default it
+// spins up an in-process cluster with generated TPC-R data; point it at
+// running site servers with -sites to load-test a real deployment.
+//
+//	skalla-load -workers 8 -iterations 200
+//	skalla-load -sites 127.0.0.1:7001,127.0.0.1:7002 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/tpcr"
+	"repro/internal/workload"
+	"repro/skalla"
+)
+
+func main() {
+	sites := flag.String("sites", "", "comma-separated site addresses (empty: in-process cluster)")
+	numSites := flag.Int("num-sites", 8, "in-process site count")
+	rows := flag.Int("rows", 48000, "TPCR rows to generate")
+	customers := flag.Int("customers", 2000, "distinct customers")
+	seed := flag.Int64("seed", 1, "generator and workload seed")
+	workers := flag.Int("workers", 8, "concurrent query streams")
+	iterations := flag.Int("iterations", 200, "total queries")
+	opt := flag.String("opt", "all", "optimizations: all or none")
+	flag.Parse()
+
+	var cluster *skalla.Cluster
+	var err error
+	if *sites == "" {
+		cluster, err = skalla.NewLocalCluster(skalla.ClusterConfig{Sites: *numSites})
+	} else {
+		cluster, err = skalla.Connect(strings.Split(*sites, ","), skalla.CostModel{})
+	}
+	if err != nil {
+		log.Fatalf("skalla-load: %v", err)
+	}
+	defer cluster.Close()
+
+	cfg := tpcr.Config{Rows: *rows, Customers: *customers, Seed: *seed}
+	if _, err := cluster.Generate("tpcr", "tpcr", tpcr.GenParams(cfg)); err != nil {
+		log.Fatalf("skalla-load: %v", err)
+	}
+	if err := tpcr.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+		log.Fatalf("skalla-load: %v", err)
+	}
+
+	opts := skalla.AllOptimizations
+	if *opt == "none" {
+		opts = skalla.NoOptimizations
+	}
+	res, err := workload.Run(cluster, workload.TPCRMix(), workload.Config{
+		Detail: "tpcr", Workers: *workers, Iterations: *iterations,
+		Opts: opts, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatalf("skalla-load: %v", err)
+	}
+	fmt.Print(res)
+	if res.FirstErr != nil {
+		log.Fatalf("skalla-load: some queries failed: %v", res.FirstErr)
+	}
+}

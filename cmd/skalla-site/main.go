@@ -1,0 +1,106 @@
+// Command skalla-site runs one Skalla warehouse site: a local data
+// warehouse server that stores its partition of the detail relations and
+// evaluates GMDJ rounds shipped by a coordinator (see cmd/skalla-coord).
+//
+// Usage:
+//
+//	skalla-site -addr 127.0.0.1:7001 -id site0
+//
+// Data reaches the site in one of three ways: generated locally on
+// request by the coordinator (OpGenerate), shipped by the coordinator
+// (OpLoad), or preloaded from CSV with -load name=path (the schema is
+// inferred from a -schema flag of name:kind pairs, or use tpcr/ipflow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/ipflow"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/tpcr"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "address to listen on")
+	id := flag.String("id", "site", "site identifier (used in error messages)")
+	load := flag.String("load", "", "preload a relation: kind=name=path, kind is tpcr or ipflow (CSV with header)")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+	flag.Parse()
+
+	eng := site.NewEngine(*id)
+	site.RegisterGenerator("tpcr", tpcr.Generator)
+	site.RegisterGenerator("ipflow", ipflow.Generator)
+
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			if err := eng.Restore(*snapshot); err != nil {
+				log.Fatalf("skalla-site: %v", err)
+			}
+			fmt.Printf("skalla-site: restored relations %v from %s\n", eng.RelationNames(), *snapshot)
+		}
+	}
+	if *load != "" {
+		if err := preload(eng, *load); err != nil {
+			log.Fatalf("skalla-site: %v", err)
+		}
+	}
+
+	srv := transport.NewServer(eng)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("skalla-site: %v", err)
+	}
+	fmt.Printf("skalla-site %s listening on %s\n", *id, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("skalla-site: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("skalla-site: close: %v", err)
+	}
+	if *snapshot != "" {
+		if err := eng.Snapshot(*snapshot); err != nil {
+			log.Fatalf("skalla-site: %v", err)
+		}
+		fmt.Printf("skalla-site: wrote snapshot %s\n", *snapshot)
+	}
+}
+
+// preload reads kind=name=path and loads the CSV into the engine.
+func preload(eng *site.Engine, spec string) error {
+	parts := strings.SplitN(spec, "=", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -load %q, want kind=name=path", spec)
+	}
+	kind, name, path := parts[0], parts[1], parts[2]
+	var schema *relation.Schema
+	switch kind {
+	case "tpcr":
+		schema = tpcr.Schema()
+	case "ipflow":
+		schema = ipflow.Schema()
+	default:
+		return fmt.Errorf("unknown schema kind %q (want tpcr or ipflow)", kind)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := relation.ReadCSV(f, schema)
+	if err != nil {
+		return fmt.Errorf("read %s: %w", path, err)
+	}
+	eng.Load(name, rel)
+	fmt.Printf("skalla-site: loaded %d rows into %q\n", rel.Len(), name)
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Efficient OLAP
+// Query Processing in Distributed Data Warehouses" (Akinde, Böhlen,
+// Johnson, Lakshmanan, Srivastava, 2002) — the Skalla system.
+//
+// The public API lives in package repro/skalla; the per-figure benchmarks
+// reproducing the paper's evaluation live in bench_test.go next to this
+// file. See README.md for the tour and DESIGN.md for the system
+// inventory.
+package repro

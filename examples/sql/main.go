@@ -1,0 +1,69 @@
+// SQL front-end: the role the paper assigns to Skalla's query generator —
+// translating OLAP queries into GMDJ plans — exposed as a SELECT dialect.
+// Eight sites generate TPC-R partitions; the client runs GROUP BY with
+// WHERE/HAVING, a conditional aggregation, and a ROLLUP, all as SQL.
+//
+//	go run ./examples/sql
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/tpcr"
+	"repro/skalla"
+)
+
+func main() {
+	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	cfg := tpcr.Config{Rows: 40000, Customers: 300, Seed: 5}
+	if _, err := cluster.Generate("tpcr", "tpcr", tpcr.GenParams(cfg)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tpcr.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []struct {
+		title, sql string
+	}{
+		{
+			"Busiest market segments (WHERE + HAVING)",
+			`SELECT MktSegment, count(*) AS lines, avg(ExtendedPrice) AS avg_price
+			 FROM tpcr WHERE Discount > 0.05
+			 GROUP BY MktSegment HAVING lines > 1000`,
+		},
+		{
+			"Return-rate per region (conditional aggregation with CASE)",
+			`SELECT RegionKey,
+			        count(*) AS lines,
+			        sum(CASE WHEN ReturnFlag = 'R' THEN 1 ELSE 0 END) AS returns
+			 FROM tpcr GROUP BY RegionKey`,
+		},
+		{
+			"Quantity rollup by region and segment (ROLLUP BY)",
+			`SELECT RegionKey, MktSegment, sum(Quantity) AS qty
+			 FROM tpcr WHERE RegionKey < 2 ROLLUP BY RegionKey, MktSegment`,
+		},
+		{
+			"Customers named like a pattern (LIKE)",
+			`SELECT CustName, count(*) AS lines FROM tpcr
+			 WHERE CustName LIKE 'Customer#00000001%' GROUP BY CustName`,
+		},
+	}
+	for _, q := range queries {
+		fmt.Printf("== %s ==\n%s\n\n", q.title, q.sql)
+		rel, err := cluster.SQL(q.sql, skalla.AllOptimizations)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel.SortBy(rel.Schema.Names()[0])
+		fmt.Print(rel.Format(12))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,494 @@
+// Package agg implements the aggregate functions of the Skalla engine and
+// their decomposition into distributive primitives.
+//
+// Theorem 1 of the paper rests on every aggregate f splitting into a
+// sub-aggregate f' computed at the sites and a super-aggregate f”
+// computed at the coordinator. Here each aggregate decomposes into a small
+// vector of distributive primitives (count, sum, sum of squares, min, max,
+// HLL sketch); the sites ship primitive states as ordinary row values, the
+// coordinator merges states pointwise and finalizes. This uniformly covers
+// the paper's COUNT and AVG and extends to algebraic aggregates (VAR,
+// STDDEV) and a mergeable approximate COUNT DISTINCT that preserves the
+// Theorem 2 traffic bound.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Func identifies an aggregate function.
+type Func int
+
+// The supported aggregate functions.
+const (
+	Count Func = iota // COUNT(*) or COUNT(arg)
+	Sum
+	Avg
+	Min
+	Max
+	Var    // population variance
+	Stddev // population standard deviation
+	CountD // approximate COUNT(DISTINCT arg) via HyperLogLog
+	// CountDX is exact COUNT(DISTINCT arg): sites ship the distinct value
+	// set itself. Exactness costs the Theorem 2 bound — the shipped state
+	// grows with the number of distinct values — so it suits small
+	// domains; use CountD for unbounded ones. States larger than
+	// maxExactDistinct values are rejected.
+	CountDX
+)
+
+var funcNames = map[Func]string{
+	Count: "count", Sum: "sum", Avg: "avg", Min: "min", Max: "max",
+	Var: "var", Stddev: "stddev", CountD: "countd", CountDX: "countdx",
+}
+
+var funcByName = map[string]Func{
+	"count": Count, "cnt": Count, "sum": Sum, "avg": Avg, "mean": Avg,
+	"min": Min, "max": Max, "var": Var, "variance": Var,
+	"stddev": Stddev, "std": Stddev, "countd": CountD,
+	"approx_count_distinct": CountD,
+	"countdx":               CountDX,
+	"exact_count_distinct":  CountDX,
+}
+
+// String returns the canonical function name.
+func (f Func) String() string {
+	if n, ok := funcNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// Spec is one aggregate to compute: a function over an expression of the
+// detail relation, named As in the output. A nil Arg means COUNT(*).
+type Spec struct {
+	Func Func
+	Arg  expr.Expr // nil for COUNT(*)
+	As   string
+}
+
+// Star reports whether the spec is COUNT(*).
+func (s Spec) Star() bool { return s.Func == Count && s.Arg == nil }
+
+// String renders the spec in its wire form, e.g. "sum(F.NumBytes) AS sum1".
+func (s Spec) String() string {
+	arg := "*"
+	if s.Arg != nil {
+		arg = s.Arg.String()
+	}
+	return fmt.Sprintf("%s(%s) AS %s", s.Func, arg, s.As)
+}
+
+// ParseSpec parses the wire form produced by Spec.String. The paper's
+// arrow notation "cnt(*) -> cnt1" is accepted as well.
+func ParseSpec(in string) (Spec, error) {
+	src := strings.TrimSpace(in)
+	// Normalize "->" to " AS ".
+	if i := strings.LastIndex(src, "->"); i >= 0 {
+		src = src[:i] + " AS " + src[i+2:]
+	}
+	asIdx := lastIndexASCIIFold(src, " AS ")
+	if asIdx < 0 {
+		return Spec{}, fmt.Errorf("agg: %q: missing AS clause", in)
+	}
+	name := strings.TrimSpace(src[asIdx+4:])
+	if name == "" {
+		return Spec{}, fmt.Errorf("agg: %q: empty output name", in)
+	}
+	call := strings.TrimSpace(src[:asIdx])
+	open := strings.Index(call, "(")
+	if open < 0 || !strings.HasSuffix(call, ")") {
+		return Spec{}, fmt.Errorf("agg: %q: expected func(arg)", in)
+	}
+	fname := strings.ToLower(strings.TrimSpace(call[:open]))
+	f, ok := funcByName[fname]
+	if !ok {
+		return Spec{}, fmt.Errorf("agg: %q: unknown aggregate function %q", in, fname)
+	}
+	argStr := strings.TrimSpace(call[open+1 : len(call)-1])
+	if argStr == "*" || argStr == "" {
+		if f != Count {
+			return Spec{}, fmt.Errorf("agg: %q: only count may take *", in)
+		}
+		return Spec{Func: Count, As: name}, nil
+	}
+	arg, err := expr.Parse(argStr)
+	if err != nil {
+		return Spec{}, fmt.Errorf("agg: %q: %w", in, err)
+	}
+	return Spec{Func: f, Arg: arg, As: name}, nil
+}
+
+// lastIndexASCIIFold finds the last occurrence of pattern in s comparing
+// bytes ASCII-case-insensitively. Unlike searching strings.ToUpper(s),
+// byte positions stay valid for arbitrary (even non-UTF-8) input.
+func lastIndexASCIIFold(s, pattern string) int {
+	for i := len(s) - len(pattern); i >= 0; i-- {
+		match := true
+		for j := 0; j < len(pattern); j++ {
+			a, b := s[i+j], pattern[j]
+			if 'A' <= a && a <= 'Z' {
+				a += 'a' - 'A'
+			}
+			if 'A' <= b && b <= 'Z' {
+				b += 'a' - 'A'
+			}
+			if a != b {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustParseSpec is ParseSpec but panics on error; for tests and literals.
+func MustParseSpec(in string) Spec {
+	s, err := ParseSpec(in)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Prim identifies a distributive primitive aggregate.
+type Prim int
+
+// The distributive primitives aggregates decompose into.
+const (
+	PCount Prim = iota // count of (non-NULL, unless star) inputs
+	PSum               // sum of inputs
+	PSumSq             // sum of squared inputs
+	PMin
+	PMax
+	PHLL // HyperLogLog register set, carried as a string value
+	PSet // exact distinct-value set, carried as an encoded string value
+)
+
+// Prims returns the primitive vector the spec decomposes into. The order
+// is fixed; SubColumns and Finalize use the same order.
+func (s Spec) Prims() []Prim {
+	switch s.Func {
+	case Count:
+		return []Prim{PCount}
+	case Sum:
+		return []Prim{PSum}
+	case Avg:
+		return []Prim{PSum, PCount}
+	case Min:
+		return []Prim{PMin}
+	case Max:
+		return []Prim{PMax}
+	case Var, Stddev:
+		return []Prim{PCount, PSum, PSumSq}
+	case CountD:
+		return []Prim{PHLL}
+	case CountDX:
+		return []Prim{PSet}
+	default:
+		return nil
+	}
+}
+
+// SubColName names the i'th primitive column of the spec in shipped
+// sub-result rows.
+func (s Spec) SubColName(i int) string { return fmt.Sprintf("%s__p%d", s.As, i) }
+
+// SubColumns returns the schema columns holding the spec's primitive
+// states in shipped sub-results.
+func (s Spec) SubColumns() []relation.Column {
+	prims := s.Prims()
+	cols := make([]relation.Column, len(prims))
+	for i, p := range prims {
+		k := value.KindFloat
+		switch p {
+		case PCount:
+			k = value.KindInt
+		case PHLL, PSet:
+			k = value.KindString
+		}
+		cols[i] = relation.Column{Name: s.SubColName(i), Kind: k}
+	}
+	return cols
+}
+
+// OutColumn returns the schema column of the finalized aggregate.
+func (s Spec) OutColumn() relation.Column {
+	k := value.KindFloat
+	if s.Func == Count || s.Func == CountD || s.Func == CountDX {
+		k = value.KindInt
+	}
+	return relation.Column{Name: s.As, Kind: k}
+}
+
+// Finalize computes the aggregate's final value from its merged primitive
+// states, in Prims() order. Empty groups yield 0 for counts and NULL for
+// everything else, matching SQL.
+func (s Spec) Finalize(prims []value.V) (value.V, error) {
+	want := len(s.Prims())
+	if len(prims) != want {
+		return value.Null, fmt.Errorf("agg: %s: got %d primitive states, want %d", s, len(prims), want)
+	}
+	switch s.Func {
+	case Count:
+		if prims[0].IsNull() {
+			return value.NewInt(0), nil
+		}
+		return prims[0], nil
+	case Sum, Min, Max:
+		return prims[0], nil
+	case Avg:
+		sum, cnt := prims[0], prims[1]
+		if sum.IsNull() || cnt.IsNull() {
+			return value.Null, nil
+		}
+		return value.Div(sum, cnt)
+	case Var, Stddev:
+		cnt, sum, sumsq := prims[0], prims[1], prims[2]
+		if cnt.IsNull() || sum.IsNull() || sumsq.IsNull() {
+			return value.Null, nil
+		}
+		n, err := cnt.AsFloat()
+		if err != nil || n == 0 {
+			return value.Null, err
+		}
+		sf, err := sum.AsFloat()
+		if err != nil {
+			return value.Null, err
+		}
+		qf, err := sumsq.AsFloat()
+		if err != nil {
+			return value.Null, err
+		}
+		v := qf/n - (sf/n)*(sf/n)
+		if v < 0 {
+			v = 0 // guard rounding
+		}
+		if s.Func == Stddev {
+			v = math.Sqrt(v)
+		}
+		return value.NewFloat(v), nil
+	case CountD:
+		if prims[0].IsNull() {
+			return value.NewInt(0), nil
+		}
+		h, err := decodeHLL(prims[0])
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(int64(h.Estimate())), nil
+	case CountDX:
+		if prims[0].IsNull() {
+			return value.NewInt(0), nil
+		}
+		set, err := decodeSet(prims[0])
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(int64(len(set))), nil
+	default:
+		return value.Null, fmt.Errorf("agg: unknown function %v", s.Func)
+	}
+}
+
+// Acc accumulates one primitive state. The same type serves both roles of
+// Theorem 1: Add folds detail values at a site (sub-aggregation), Merge
+// folds shipped primitive states at the coordinator (super-aggregation).
+type Acc struct {
+	prim Prim
+	star bool // count rows, not non-NULL values
+
+	seen  bool
+	i     int64
+	f     float64
+	isInt bool
+	minv  value.V
+	hll   *hll
+	set   map[string]struct{}
+}
+
+// NewAcc returns an empty accumulator for the primitive. star selects
+// COUNT(*) row-counting semantics for PCount.
+func NewAcc(p Prim, star bool) *Acc {
+	a := &Acc{prim: p, star: star}
+	if p == PCount || p == PSum {
+		a.isInt = true
+	}
+	if p == PHLL {
+		a.hll = newHLL()
+	}
+	if p == PSet {
+		a.set = map[string]struct{}{}
+	}
+	return a
+}
+
+// NewAccs returns one accumulator per primitive of the spec.
+func NewAccs(s Spec) []*Acc {
+	prims := s.Prims()
+	accs := make([]*Acc, len(prims))
+	for i, p := range prims {
+		accs[i] = NewAcc(p, s.Star())
+	}
+	return accs
+}
+
+// Add folds one detail value into the state (sub-aggregation). NULLs are
+// ignored except by COUNT(*).
+func (a *Acc) Add(v value.V) error {
+	if v.IsNull() && !(a.prim == PCount && a.star) {
+		return nil
+	}
+	switch a.prim {
+	case PCount:
+		a.i++
+		a.seen = true
+		return nil
+	case PSum, PSumSq:
+		f, err := v.AsFloat()
+		if err != nil {
+			return fmt.Errorf("agg: sum over non-numeric value %s", v)
+		}
+		if a.prim == PSumSq {
+			f *= f
+			a.isInt = false
+		} else if v.K != value.KindInt && v.K != value.KindBool {
+			a.isInt = false
+		}
+		if a.isInt {
+			i, _ := v.AsInt()
+			a.i += i
+		}
+		a.f += f
+		a.seen = true
+		return nil
+	case PMin, PMax:
+		if !a.seen {
+			a.minv = v
+			a.seen = true
+			return nil
+		}
+		c, err := value.Compare(v, a.minv)
+		if err != nil {
+			return fmt.Errorf("agg: min/max over mixed types: %w", err)
+		}
+		if a.prim == PMin && c < 0 || a.prim == PMax && c > 0 {
+			a.minv = v
+		}
+		return nil
+	case PHLL:
+		a.hll.Add(v)
+		a.seen = true
+		return nil
+	case PSet:
+		a.set[v.Key()] = struct{}{}
+		a.seen = true
+		if len(a.set) > maxExactDistinct {
+			return fmt.Errorf("agg: exact distinct set exceeds %d values; use countd", maxExactDistinct)
+		}
+		return nil
+	default:
+		return fmt.Errorf("agg: unknown primitive %d", a.prim)
+	}
+}
+
+// Merge folds a shipped primitive state into this one (super-aggregation).
+// A NULL state represents an empty group at some site and is a no-op.
+func (a *Acc) Merge(v value.V) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch a.prim {
+	case PCount:
+		i, err := v.AsInt()
+		if err != nil {
+			return fmt.Errorf("agg: merge count: %w", err)
+		}
+		a.i += i
+		a.seen = true
+		return nil
+	case PSum, PSumSq:
+		f, err := v.AsFloat()
+		if err != nil {
+			return fmt.Errorf("agg: merge sum: %w", err)
+		}
+		if v.K != value.KindInt && v.K != value.KindBool {
+			a.isInt = false
+		}
+		if a.isInt {
+			i, _ := v.AsInt()
+			a.i += i
+		}
+		a.f += f
+		a.seen = true
+		return nil
+	case PMin, PMax:
+		return a.Add(v)
+	case PHLL:
+		other, err := decodeHLL(v)
+		if err != nil {
+			return fmt.Errorf("agg: merge hll: %w", err)
+		}
+		a.hll.Merge(other)
+		a.seen = true
+		return nil
+	case PSet:
+		other, err := decodeSet(v)
+		if err != nil {
+			return fmt.Errorf("agg: merge set: %w", err)
+		}
+		for k := range other {
+			a.set[k] = struct{}{}
+		}
+		if len(a.set) > maxExactDistinct {
+			return fmt.Errorf("agg: exact distinct set exceeds %d values; use countd", maxExactDistinct)
+		}
+		a.seen = true
+		return nil
+	default:
+		return fmt.Errorf("agg: unknown primitive %d", a.prim)
+	}
+}
+
+// Result returns the primitive state as a shippable value. Empty states
+// are NULL except PCount, which is 0.
+func (a *Acc) Result() value.V {
+	switch a.prim {
+	case PCount:
+		return value.NewInt(a.i)
+	case PSum, PSumSq:
+		if !a.seen {
+			return value.Null
+		}
+		if a.isInt {
+			return value.NewInt(a.i)
+		}
+		return value.NewFloat(a.f)
+	case PMin, PMax:
+		if !a.seen {
+			return value.Null
+		}
+		return a.minv
+	case PHLL:
+		if !a.seen {
+			return value.Null
+		}
+		return a.hll.Encode()
+	case PSet:
+		if !a.seen {
+			return value.Null
+		}
+		return encodeSet(a.set)
+	default:
+		return value.Null
+	}
+}

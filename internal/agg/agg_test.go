@@ -1,0 +1,377 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"count(*) AS cnt1", "count(*) AS cnt1"},
+		{"cnt(*) -> cnt1", "count(*) AS cnt1"},
+		{"sum(F.NumBytes) AS sum1", "sum(F.NumBytes) AS sum1"},
+		{"AVG(NumBytes) as avg_nb", "avg(NumBytes) AS avg_nb"},
+		{"min(x + 1) AS m", "min(x + 1) AS m"},
+		{"stddev(v) AS sd", "stddev(v) AS sd"},
+		{"countd(ip) AS uniq", "countd(ip) AS uniq"},
+		{"count(x) AS nx", "count(x) AS nx"},
+	}
+	for _, tc := range tests {
+		s, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if got := s.String(); got != tc.want {
+			t.Errorf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"count(*)",      // no AS
+		"sum(*) AS s",   // * only for count
+		"frob(x) AS f",  // unknown function
+		"sum(x AS s",    // malformed
+		"sum() AS s",    // empty arg for non-count
+		"count(*) AS ",  // empty name
+		"sum(1 +) AS s", // bad expression
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", in)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"count(*) AS c", "sum(F.x) AS s", "avg(F.x / 2) AS a",
+		"min(x) AS mn", "max(x) AS mx", "var(x) AS v", "countd(x) AS cd",
+	}
+	for _, in := range specs {
+		s := MustParseSpec(in)
+		again := MustParseSpec(s.String())
+		if again.String() != s.String() {
+			t.Errorf("round trip %q -> %q -> %q", in, s, again)
+		}
+	}
+}
+
+// runAgg aggregates vals through sub-accumulators split into nParts
+// partitions, merges at the "coordinator", and finalizes — exactly the
+// Theorem 1 pipeline.
+func runAgg(t *testing.T, spec Spec, vals []value.V, nParts int) value.V {
+	t.Helper()
+	prims := spec.Prims()
+	super := NewAccs(spec)
+	for p := 0; p < nParts; p++ {
+		sub := NewAccs(spec)
+		for i, v := range vals {
+			if i%nParts != p {
+				continue
+			}
+			for _, a := range sub {
+				if err := a.Add(v); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+		}
+		for i := range prims {
+			if err := super[i].Merge(sub[i].Result()); err != nil {
+				t.Fatalf("Merge: %v", err)
+			}
+		}
+	}
+	states := make([]value.V, len(prims))
+	for i, a := range super {
+		states[i] = a.Result()
+	}
+	out, err := spec.Finalize(states)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return out
+}
+
+func ints(vs ...int64) []value.V {
+	out := make([]value.V, len(vs))
+	for i, v := range vs {
+		out[i] = value.NewInt(v)
+	}
+	return out
+}
+
+func TestAggregatePipeline(t *testing.T) {
+	vals := ints(1, 2, 3, 4, 5, 6)
+	tests := []struct {
+		spec string
+		want value.V
+	}{
+		{"count(*) AS c", value.NewInt(6)},
+		{"count(x) AS c", value.NewInt(6)},
+		{"sum(x) AS s", value.NewInt(21)},
+		{"avg(x) AS a", value.NewFloat(3.5)},
+		{"min(x) AS m", value.NewInt(1)},
+		{"max(x) AS m", value.NewInt(6)},
+	}
+	for _, tc := range tests {
+		for _, parts := range []int{1, 2, 3, 6} {
+			got := runAgg(t, MustParseSpec(tc.spec), vals, parts)
+			if !value.Equal(got, tc.want) {
+				t.Errorf("%s over %d parts = %v, want %v", tc.spec, parts, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestAggregateNulls(t *testing.T) {
+	vals := []value.V{value.NewInt(10), value.Null, value.NewInt(20), value.Null}
+	if got := runAgg(t, MustParseSpec("count(*) AS c"), vals, 2); got.I != 4 {
+		t.Errorf("count(*) = %v, want 4", got)
+	}
+	if got := runAgg(t, MustParseSpec("count(x) AS c"), vals, 2); got.I != 2 {
+		t.Errorf("count(x) = %v, want 2", got)
+	}
+	if got := runAgg(t, MustParseSpec("avg(x) AS a"), vals, 2); got.F != 15 {
+		t.Errorf("avg = %v, want 15", got)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	var vals []value.V
+	if got := runAgg(t, MustParseSpec("count(*) AS c"), vals, 2); got.I != 0 || got.K != value.KindInt {
+		t.Errorf("count over empty = %v, want 0", got)
+	}
+	for _, spec := range []string{"sum(x) AS s", "avg(x) AS a", "min(x) AS m", "max(x) AS m", "var(x) AS v"} {
+		if got := runAgg(t, MustParseSpec(spec), vals, 2); !got.IsNull() {
+			t.Errorf("%s over empty = %v, want NULL", spec, got)
+		}
+	}
+	if got := runAgg(t, MustParseSpec("countd(x) AS c"), vals, 2); got.I != 0 {
+		t.Errorf("countd over empty = %v, want 0", got)
+	}
+}
+
+func TestVarAndStddev(t *testing.T) {
+	vals := ints(2, 4, 4, 4, 5, 5, 7, 9) // classic example: var=4, sd=2
+	v := runAgg(t, MustParseSpec("var(x) AS v"), vals, 3)
+	if math.Abs(v.F-4) > 1e-9 {
+		t.Errorf("var = %v, want 4", v)
+	}
+	sd := runAgg(t, MustParseSpec("stddev(x) AS s"), vals, 3)
+	if math.Abs(sd.F-2) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", sd)
+	}
+}
+
+func TestMinMaxStrings(t *testing.T) {
+	vals := []value.V{value.NewString("pear"), value.NewString("apple"), value.NewString("fig")}
+	if got := runAgg(t, MustParseSpec("min(x) AS m"), vals, 2); got.S != "apple" {
+		t.Errorf("min = %v", got)
+	}
+	if got := runAgg(t, MustParseSpec("max(x) AS m"), vals, 2); got.S != "pear" {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestSumMixedIntFloat(t *testing.T) {
+	vals := []value.V{value.NewInt(1), value.NewFloat(2.5)}
+	got := runAgg(t, MustParseSpec("sum(x) AS s"), vals, 1)
+	if got.K != value.KindFloat || got.F != 3.5 {
+		t.Errorf("sum mixed = %v", got)
+	}
+	// Float partial merged into int partial promotes.
+	got = runAgg(t, MustParseSpec("sum(x) AS s"), vals, 2)
+	f, err := got.AsFloat()
+	if err != nil || f != 3.5 {
+		t.Errorf("sum mixed split = %v", got)
+	}
+}
+
+// TestMergePartitionInvariance: the merged result must not depend on how
+// the input is partitioned — the heart of Theorem 1.
+func TestMergePartitionInvariance(t *testing.T) {
+	f := func(raw []int16, parts uint8) bool {
+		vals := make([]value.V, len(raw))
+		for i, r := range raw {
+			vals[i] = value.NewInt(int64(r))
+		}
+		n := int(parts%7) + 1
+		for _, spec := range []string{"count(*) AS c", "sum(x) AS s", "min(x) AS m", "max(x) AS m"} {
+			a := runAgg(t, MustParseSpec(spec), vals, 1)
+			b := runAgg(t, MustParseSpec(spec), vals, n)
+			if !value.Equal(a, b) && !(a.IsNull() && b.IsNull()) {
+				return false
+			}
+		}
+		// avg compares approximately (float association).
+		a := runAgg(t, MustParseSpec("avg(x) AS a"), vals, 1)
+		b := runAgg(t, MustParseSpec("avg(x) AS a"), vals, n)
+		if a.IsNull() != b.IsNull() {
+			return false
+		}
+		if !a.IsNull() {
+			af, _ := a.AsFloat()
+			bf, _ := b.AsFloat()
+			if math.Abs(af-bf) > 1e-9*(1+math.Abs(af)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{10, 1000, 50000} {
+		vals := make([]value.V, 0, n*2)
+		for i := 0; i < n; i++ {
+			v := value.NewInt(int64(i))
+			vals = append(vals, v, v) // duplicates must not inflate
+		}
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		got := runAgg(t, MustParseSpec("countd(x) AS c"), vals, 4)
+		err := math.Abs(float64(got.I)-float64(n)) / float64(n)
+		if err > 0.15 {
+			t.Errorf("countd(%d distinct) = %d (%.1f%% error)", n, got.I, err*100)
+		}
+	}
+}
+
+func TestHLLMergeCommutes(t *testing.T) {
+	a, b := newHLL(), newHLL()
+	for i := 0; i < 100; i++ {
+		a.Add(value.NewInt(int64(i)))
+		b.Add(value.NewInt(int64(i + 50)))
+	}
+	m1 := newHLL()
+	m1.Merge(a)
+	m1.Merge(b)
+	m2 := newHLL()
+	m2.Merge(b)
+	m2.Merge(a)
+	if m1.Estimate() != m2.Estimate() {
+		t.Error("HLL merge not commutative")
+	}
+}
+
+func TestDecodeHLLErrors(t *testing.T) {
+	if _, err := decodeHLL(value.NewString("short")); err == nil {
+		t.Error("short HLL state accepted")
+	}
+	if _, err := decodeHLL(value.NewInt(3)); err == nil {
+		t.Error("non-string HLL state accepted")
+	}
+}
+
+func TestFinalizeArityError(t *testing.T) {
+	s := MustParseSpec("avg(x) AS a")
+	if _, err := s.Finalize([]value.V{value.NewInt(1)}); err == nil {
+		t.Error("short primitive vector accepted")
+	}
+}
+
+func TestSubColumns(t *testing.T) {
+	s := MustParseSpec("avg(x) AS a1")
+	cols := s.SubColumns()
+	if len(cols) != 2 || cols[0].Name != "a1__p0" || cols[1].Name != "a1__p1" {
+		t.Errorf("SubColumns = %v", cols)
+	}
+	if cols[1].Kind != value.KindInt {
+		t.Errorf("count prim kind = %v", cols[1].Kind)
+	}
+	if c := MustParseSpec("count(*) AS c").OutColumn(); c.Kind != value.KindInt {
+		t.Errorf("count out kind = %v", c.Kind)
+	}
+}
+
+func TestMergeTypeErrors(t *testing.T) {
+	a := NewAcc(PCount, false)
+	if err := a.Merge(value.NewString("x")); err == nil {
+		t.Error("count merge of string accepted")
+	}
+	a = NewAcc(PSum, false)
+	if err := a.Add(value.NewString("x")); err == nil {
+		t.Error("sum of string accepted")
+	}
+	a = NewAcc(PMin, false)
+	if err := a.Add(value.NewString("x")); err != nil {
+		t.Errorf("first min value rejected: %v", err)
+	}
+	if err := a.Add(value.NewInt(1)); err == nil {
+		t.Error("mixed-type min accepted")
+	}
+}
+
+func TestExactCountDistinct(t *testing.T) {
+	// Duplicates across partitions collapse exactly.
+	vals := []value.V{
+		value.NewInt(1), value.NewInt(2), value.NewInt(1),
+		value.NewString("a"), value.NewString("a"), value.NewInt(2),
+		value.NewFloat(2), // == int 2 by value identity
+		value.Null,        // ignored
+	}
+	for _, parts := range []int{1, 2, 3} {
+		got := runAgg(t, MustParseSpec("countdx(x) AS u"), vals, parts)
+		if got.I != 3 {
+			t.Errorf("countdx over %d parts = %v, want 3", parts, got)
+		}
+	}
+	// Empty input.
+	if got := runAgg(t, MustParseSpec("countdx(x) AS u"), nil, 2); got.I != 0 {
+		t.Errorf("countdx empty = %v", got)
+	}
+	// Aliases parse.
+	if MustParseSpec("exact_count_distinct(x) AS u").Func != CountDX {
+		t.Error("alias not recognized")
+	}
+}
+
+func TestExactDistinctSetEncoding(t *testing.T) {
+	set := map[string]struct{}{"": {}, "a\x1fb": {}, "long-value-with-bytes\x00": {}}
+	v := encodeSet(set)
+	back, err := decodeSet(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(set) {
+		t.Fatalf("decoded %d values, want %d", len(back), len(set))
+	}
+	for k := range set {
+		if _, ok := back[k]; !ok {
+			t.Errorf("value %q lost", k)
+		}
+	}
+	// Corrupt states are rejected, not mis-decoded.
+	if _, err := decodeSet(value.NewString("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")); err == nil {
+		t.Error("corrupt set state accepted")
+	}
+	if _, err := decodeSet(value.NewInt(1)); err == nil {
+		t.Error("non-string set state accepted")
+	}
+}
+
+func TestExactDistinctCap(t *testing.T) {
+	a := NewAcc(PSet, false)
+	var err error
+	for i := 0; i <= maxExactDistinct; i++ {
+		if err = a.Add(value.NewInt(int64(i))); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("exact distinct cap not enforced")
+	}
+}

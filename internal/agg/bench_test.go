@@ -1,0 +1,65 @@
+package agg
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func BenchmarkAccAdd(b *testing.B) {
+	for _, spec := range []string{"count(*) AS c", "sum(x) AS s", "avg(x) AS a", "var(x) AS v"} {
+		b.Run(spec[:3], func(b *testing.B) {
+			accs := NewAccs(MustParseSpec(spec))
+			v := value.NewInt(42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range accs {
+					if err := a.Add(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAccMerge(b *testing.B) {
+	a := NewAcc(PSum, false)
+	v := value.NewInt(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Merge(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := newHLL()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(value.NewInt(int64(i)))
+	}
+}
+
+func BenchmarkHLLEncodeDecode(b *testing.B) {
+	h := newHLL()
+	for i := 0; i < 10000; i++ {
+		h.Add(value.NewInt(int64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := h.Encode()
+		if _, err := decodeHLL(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSpec("avg(F.NumBytes) AS avg_nb"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package agg
+
+import "testing"
+
+// FuzzParseSpec asserts the aggregate-spec parser never panics and that
+// the wire form is a fixpoint.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"count(*) AS cnt1",
+		"cnt(*) -> cnt1",
+		"avg(F.NumBytes) AS avg_nb",
+		"sum(x * (1 - y)) AS revenue",
+		"countd(ip) AS uniq",
+		"stddev(v) AS sd",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(input)
+		if err != nil {
+			return
+		}
+		s1 := spec.String()
+		again, err := ParseSpec(s1)
+		if err != nil {
+			t.Fatalf("wire form does not re-parse: %q -> %q: %v", input, s1, err)
+		}
+		if s2 := again.String(); s2 != s1 {
+			t.Fatalf("wire form not a fixpoint: %q -> %q -> %q", input, s1, s2)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func vi(vals ...int64) []value.V {
+	out := make([]value.V, len(vals))
+	for i, v := range vals {
+		out[i] = value.NewInt(v)
+	}
+	return out
+}
+
+func TestSiteLookupAndDomains(t *testing.T) {
+	c := New("s1", "s2")
+	if _, err := c.Site("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Site("nope"); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if err := c.SetDomain("s1", "NationKey", expr.DomainSet(vi(0, 1)...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDomain("nope", "x", expr.Domain{}); err == nil {
+		t.Error("SetDomain on unknown site accepted")
+	}
+	d := c.DomainsFor("s1")
+	if len(d) != 1 {
+		t.Errorf("DomainsFor = %v", d)
+	}
+	if c.DomainsFor("nope") != nil {
+		t.Error("DomainsFor unknown site should be nil")
+	}
+}
+
+func TestPartitionAttrSets(t *testing.T) {
+	c := New("s1", "s2", "s3")
+	c.SetDomain("s1", "nk", expr.DomainSet(vi(0, 1, 2)...))
+	c.SetDomain("s2", "nk", expr.DomainSet(vi(3, 4)...))
+	c.SetDomain("s3", "nk", expr.DomainSet(vi(5)...))
+	if !c.IsPartitionAttr("NK") {
+		t.Error("disjoint sets not detected as partition attribute")
+	}
+	// Overlap breaks it.
+	c.SetDomain("s3", "nk", expr.DomainSet(vi(4, 5)...))
+	if c.IsPartitionAttr("nk") {
+		t.Error("overlapping sets detected as partition attribute")
+	}
+}
+
+func TestPartitionAttrRanges(t *testing.T) {
+	c := New("s1", "s2")
+	c.SetDomain("s1", "a", expr.DomainRange(value.NewInt(1), value.NewInt(25)))
+	c.SetDomain("s2", "a", expr.DomainRange(value.NewInt(26), value.NewInt(50)))
+	if !c.IsPartitionAttr("a") {
+		t.Error("disjoint ranges not detected")
+	}
+	c.SetDomain("s2", "a", expr.DomainRange(value.NewInt(25), value.NewInt(50)))
+	if c.IsPartitionAttr("a") {
+		t.Error("touching ranges (sharing 25) detected as disjoint")
+	}
+}
+
+func TestPartitionAttrSetVsRange(t *testing.T) {
+	c := New("s1", "s2")
+	c.SetDomain("s1", "a", expr.DomainSet(vi(1, 2)...))
+	c.SetDomain("s2", "a", expr.DomainRange(value.NewInt(10), value.NewInt(20)))
+	if !c.IsPartitionAttr("a") {
+		t.Error("set below range not disjoint")
+	}
+	c.SetDomain("s1", "a", expr.DomainSet(vi(1, 15)...))
+	if c.IsPartitionAttr("a") {
+		t.Error("set element inside range not caught")
+	}
+}
+
+func TestPartitionAttrMissingSite(t *testing.T) {
+	c := New("s1", "s2")
+	c.SetDomain("s1", "a", expr.DomainSet(vi(1)...))
+	// s2 has no domain for a: cannot conclude.
+	if c.IsPartitionAttr("a") {
+		t.Error("partition attr concluded with missing domain")
+	}
+	if New().IsPartitionAttr("a") {
+		t.Error("empty catalog has partition attrs")
+	}
+}
+
+func TestFDDerivedPartitionAttr(t *testing.T) {
+	c := New("s1", "s2")
+	c.SetDomain("s1", "nationkey", expr.DomainSet(vi(0, 1)...))
+	c.SetDomain("s2", "nationkey", expr.DomainSet(vi(2, 3)...))
+	c.AddFD("CustKey", "NationKey")
+	c.AddFD("CustName", "CustKey")
+	if !c.IsPartitionAttr("custkey") {
+		t.Error("FD-derived partition attribute not detected")
+	}
+	if !c.IsPartitionAttr("CustName") {
+		t.Error("transitive FD-derived partition attribute not detected")
+	}
+	if c.IsPartitionAttr("other") {
+		t.Error("unrelated attribute detected")
+	}
+}
+
+func TestFDCycleGuard(t *testing.T) {
+	c := New("s1")
+	c.AddFD("a", "b")
+	c.AddFD("b", "a")
+	if c.IsPartitionAttr("a") {
+		t.Error("FD cycle concluded partition attr")
+	}
+}
+
+func TestPartitionAttrsEnumeration(t *testing.T) {
+	c := New("s1", "s2")
+	c.SetDomain("s1", "nk", expr.DomainSet(vi(0)...))
+	c.SetDomain("s2", "nk", expr.DomainSet(vi(1)...))
+	c.SetDomain("s1", "other", expr.DomainSet(vi(0)...))
+	// "other" has no domain at s2 → not a partition attr.
+	c.AddFD("ck", "nk")
+	attrs := c.PartitionAttrs()
+	want := map[string]bool{"nk": true, "ck": true}
+	if len(attrs) != 2 {
+		t.Fatalf("PartitionAttrs = %v", attrs)
+	}
+	for _, a := range attrs {
+		if !want[a] {
+			t.Errorf("unexpected partition attr %q", a)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New("s0", "s1")
+	c.SetDomain("s0", "nationkey", expr.DomainSet(vi(0, 2, 4)...))
+	c.SetDomain("s1", "nationkey", expr.DomainSet(vi(1, 3)...))
+	c.SetDomain("s0", "shipdate", expr.DomainRange(value.NewInt(0), value.NewInt(100)))
+	c.SetDomain("s1", "name", expr.DomainSet(value.NewString("a"), value.NewString("b")))
+	c.SetDomain("s0", "frac", expr.DomainRange(value.NewFloat(0.25), value.NewFloat(0.75)))
+	c.AddFD("custkey", "nationkey")
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sites) != 2 || len(back.FDs) != 1 {
+		t.Fatalf("restored: %+v", back)
+	}
+	if !back.IsPartitionAttr("nationkey") || !back.IsPartitionAttr("custkey") {
+		t.Error("partition knowledge lost")
+	}
+	d := back.DomainsFor("s0")["shipdate"]
+	if !d.HasMin || !d.HasMax || d.Min.I != 0 || d.Max.I != 100 {
+		t.Errorf("range domain lost: %+v", d)
+	}
+	if f := back.DomainsFor("s0")["frac"]; !f.HasMin || f.Min.F != 0.25 {
+		t.Errorf("float domain lost: %+v", f)
+	}
+	if names := back.DomainsFor("s1")["name"]; len(names.Set) != 2 || names.Set[0].S != "a" {
+		t.Errorf("string set lost: %+v", names)
+	}
+}
+
+func TestJSONHandAuthored(t *testing.T) {
+	src := `{
+	  "sites": [
+	    {"id": "site0", "domains": {"nationkey": {"set": [0, 8, 16]}}},
+	    {"id": "site1", "domains": {"nationkey": {"set": [1, 9, 17]}}}
+	  ],
+	  "fds": [{"from": "custkey", "to": "nationkey"}]
+	}`
+	c, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsPartitionAttr("NationKey") {
+		t.Error("hand-authored partition sets not recognized")
+	}
+	// Bad inputs.
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"sites":[{"id":""}]}`)); err == nil {
+		t.Error("empty site id accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"sites":[{"id":"x","domains":{"a":{"set":[true]}}}]}`)); err == nil {
+		t.Error("bool domain value accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/catalog.json"
+	c := New("s0")
+	c.SetDomain("s0", "a", expr.DomainSet(vi(1)...))
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sites) != 1 || back.Sites[0].ID != "s0" {
+		t.Errorf("loaded: %+v", back)
+	}
+	if _, err := LoadFile(dir + "/missing.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Coordinator executes distributed evaluation plans against a set of site
+// clients — Alg. GMDJDistribEval of the paper. It maintains the
+// base-result structure X, ships it (or per-site reductions of it) to the
+// sites each round, and synchronizes the returned sub-aggregates into X
+// keyed on the base relation key K (Theorem 1).
+type Coordinator struct {
+	clients []transport.Client
+}
+
+// NewCoordinator returns a coordinator over the given site clients. The
+// clients define the participating sites S_B = S_MD.
+func NewCoordinator(clients ...transport.Client) *Coordinator {
+	return &Coordinator{clients: clients}
+}
+
+// Clients returns the coordinator's site clients.
+func (c *Coordinator) Clients() []transport.Client { return c.clients }
+
+// NumSites returns the number of participating sites.
+func (c *Coordinator) NumSites() int { return len(c.clients) }
+
+// DetailSchema fetches the schema of the named relation from the first
+// site, for planning.
+func (c *Coordinator) DetailSchema(name string) (*relation.Schema, error) {
+	if len(c.clients) == 0 {
+		return nil, fmt.Errorf("core: coordinator has no sites")
+	}
+	resp, err := c.clients[0].Call(&transport.Request{Op: transport.OpRelInfo, Rel: name})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	if resp.Rel == nil || resp.Rel.Schema == nil {
+		return nil, fmt.Errorf("core: site returned no schema for %q", name)
+	}
+	return resp.Rel.Schema, nil
+}
+
+// Run plans and executes a query in one call: it fetches the schemas of
+// every detail relation the query references, builds the plan with the
+// given optimizer, and executes it.
+func (c *Coordinator) Run(q gmdj.Query, detailName string, egil Egil) (*relation.Relation, *ExecStats, *Plan, error) {
+	schemas := map[string]*relation.Schema{}
+	for _, name := range q.DetailNames(detailName) {
+		schema, err := c.DetailSchema(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		schemas[name] = schema
+	}
+	plan, err := egil.BuildPlanSchemas(q, detailName, schemas)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, stats, err := c.Execute(plan)
+	return res, stats, plan, err
+}
+
+// siteResult carries one site's round result back to the merger.
+type siteResult struct {
+	site      string
+	resp      *transport.Response
+	sentB     int64
+	recvB     int64
+	comm      time.Duration
+	shipped   int64
+	computeNs int64
+}
+
+// Execute runs the plan and returns the final base-result structure X.
+func (c *Coordinator) Execute(plan *Plan) (*relation.Relation, *ExecStats, error) {
+	if len(c.clients) == 0 {
+		return nil, nil, fmt.Errorf("core: coordinator has no sites")
+	}
+	start := time.Now()
+	stats := &ExecStats{}
+
+	var x *relation.Relation
+	q := plan.Query
+
+	// Round 0: compute and synchronize the base-values relation.
+	if plan.BaseRound {
+		rs := RoundStats{Name: "base"}
+		results, err := c.fanout(func(cl transport.Client) (*transport.Request, error) {
+			return &transport.Request{
+				Op:        transport.OpEvalBase,
+				Detail:    plan.Detail,
+				BaseCols:  q.Base.Cols,
+				BaseWhere: whereText(q.Base.Where),
+			}, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		coordStart := time.Now()
+		var parts []*relation.Relation
+		for _, r := range results {
+			accountRound(&rs, r)
+			parts = append(parts, r.resp.Rel)
+		}
+		x, err = unionDistinct(parts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: base synchronization: %w", err)
+		}
+		rs.CoordTime = time.Since(coordStart)
+		stats.Rounds = append(stats.Rounds, rs)
+	}
+
+	for si, step := range plan.Steps {
+		rs := RoundStats{Name: fmt.Sprintf("step %d", si+1)}
+
+		// Collect the step's MDs and aggregate specs.
+		var specs []agg.Spec
+		rounds := make([]transport.RoundSpec, 0, len(step.MDs))
+		chained := len(step.MDs) > 1
+		for _, mi := range step.MDs {
+			md := q.MDs[mi]
+			specs = append(specs, md.Specs()...)
+			bAlias, dAlias := md.Aliases()
+			spec := transport.RoundSpec{
+				Detail:      md.DetailName(plan.Detail),
+				BaseAlias:   bAlias,
+				DetailAlias: dAlias,
+				Finalize:    chained,
+				// Dropping untouched groups is unsafe when the
+				// coordinator never sees the full base (fused step):
+				// a group untouched at every site would vanish from
+				// the result instead of keeping empty aggregates.
+				Touched: plan.Touched && !step.FuseBase,
+			}
+			for i, theta := range md.Thetas {
+				spec.Thetas = append(spec.Thetas, theta.String())
+				var aggs []string
+				for _, s := range md.Aggs[i] {
+					aggs = append(aggs, s.String())
+				}
+				spec.Aggs = append(spec.Aggs, aggs)
+			}
+			rounds = append(rounds, spec)
+		}
+
+		// Per-site filtering of the shipped base structure (Theorem 4).
+		coordStart := time.Now()
+		frags := map[string]*relation.Relation{}
+		if !step.FuseBase {
+			for _, cl := range c.clients {
+				frag := x
+				if fs, ok := plan.SiteFilters[cl.SiteID()]; ok && si < len(fs) && fs[si] != nil {
+					var err error
+					frag, err = filterBase(x, fs[si], q.MDs[step.MDs[0]])
+					if err != nil {
+						return nil, nil, fmt.Errorf("core: site filter for %s: %w", cl.SiteID(), err)
+					}
+				}
+				frags[cl.SiteID()] = frag
+			}
+		}
+		prepTime := time.Since(coordStart)
+
+		// Stream fragments into the synchronizer as sites finish: the
+		// coordinator merges early arrivals while slower sites still
+		// compute (the incremental synchronization §3.2 describes).
+		stream := c.fanoutStream(func(cl transport.Client) (*transport.Request, error) {
+			req := &transport.Request{Op: transport.OpEvalRounds, Rounds: rounds, Keys: plan.Keys}
+			if step.FuseBase {
+				req.Detail = plan.Detail
+				req.BaseCols = q.Base.Cols
+				req.BaseWhere = whereText(q.Base.Where)
+			} else {
+				req.Base = frags[cl.SiteID()]
+			}
+			return req, nil
+		})
+
+		// Synchronize: merge primitive states into X keyed on K.
+		merged, mergeTime, err := c.synchronize(x, stream, specs, plan, step.FuseBase, &rs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: synchronization of step %d: %w", si+1, err)
+		}
+		x = merged
+		rs.CoordTime = prepTime + mergeTime
+		stats.Rounds = append(stats.Rounds, rs)
+	}
+
+	stats.Wall = time.Since(start)
+	return x, stats, nil
+}
+
+// fanout sends one request per site in parallel and collects all results.
+func (c *Coordinator) fanout(build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
+	var results []*siteResult
+	var firstErr error
+	for sr := range c.fanoutStream(build) {
+		switch {
+		case sr.err != nil && firstErr == nil:
+			firstErr = sr.err
+		case sr.err == nil:
+			results = append(results, sr.res)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// streamItem is one arrival on a fan-out stream.
+type streamItem struct {
+	res *siteResult
+	err error
+}
+
+// fanoutStream sends one request per site in parallel and delivers each
+// site's result the moment it arrives. The channel closes after all
+// sites have answered (successfully or not).
+func (c *Coordinator) fanoutStream(build func(cl transport.Client) (*transport.Request, error)) <-chan streamItem {
+	out := make(chan streamItem, len(c.clients))
+	var wg sync.WaitGroup
+	for _, cl := range c.clients {
+		wg.Add(1)
+		go func(cl transport.Client) {
+			defer wg.Done()
+			req, err := build(cl)
+			if err != nil {
+				out <- streamItem{err: err}
+				return
+			}
+			s0, r0, _, t0 := cl.Stats().Snapshot()
+			resp, err := cl.Call(req)
+			if err != nil {
+				out <- streamItem{err: fmt.Errorf("core: site %s: %w", cl.SiteID(), err)}
+				return
+			}
+			if err := resp.Error(); err != nil {
+				out <- streamItem{err: fmt.Errorf("core: site %s: %w", cl.SiteID(), err)}
+				return
+			}
+			s1, r1, _, t1 := cl.Stats().Snapshot()
+			res := &siteResult{
+				site: cl.SiteID(), resp: resp,
+				sentB: s1 - s0, recvB: r1 - r0, comm: t1 - t0,
+				computeNs: resp.ComputeNs,
+			}
+			if req.Base != nil {
+				res.shipped = int64(req.Base.Len())
+			}
+			out <- streamItem{res: res}
+		}(cl)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// accountRound folds one site's wire and compute statistics into the
+// round's statistics.
+func accountRound(rs *RoundStats, r *siteResult) {
+	rs.BytesToSites += r.sentB
+	rs.BytesFromSites += r.recvB
+	rs.GroupsShipped += r.shipped
+	if r.resp.Rel != nil {
+		rs.GroupsReceived += int64(r.resp.Rel.Len())
+	}
+	d := time.Duration(r.computeNs)
+	rs.SiteTimeTotal += d
+	if d > rs.SiteTime {
+		rs.SiteTime = d
+	}
+	if r.comm > rs.CommTime {
+		rs.CommTime = r.comm
+	}
+}
+
+// synchronize merges the sites' sub-aggregate fragments into X as they
+// arrive on the stream and appends the step's finalized aggregate columns
+// (Theorem 1). Incremental consumption is the behavior §3.2 describes:
+// the coordinator synchronizes early fragments while slower sites are
+// still computing. It returns the new X and the coordinator time spent
+// merging (excluding time blocked waiting on the stream).
+func (c *Coordinator) synchronize(x *relation.Relation, stream <-chan streamItem, specs []agg.Spec, plan *Plan, fused bool, rs *RoundStats) (*relation.Relation, time.Duration, error) {
+	var mergeTime time.Duration
+	var firstErr error
+
+	// Merge state, initialized lazily for fused steps (the base schema
+	// comes from the first fragment).
+	var keyIdx []int
+	index := map[string]int{}
+	var accs [][][]*agg.Acc
+	newAccs := func() [][]*agg.Acc {
+		a := make([][]*agg.Acc, len(specs))
+		for i, sp := range specs {
+			a[i] = agg.NewAccs(sp)
+		}
+		return a
+	}
+	ready := false
+
+	initState := func(firstFrag *relation.Relation) error {
+		if fused {
+			baseSchema, _, err := firstFrag.Schema.Project(plan.Query.Base.Cols)
+			if err != nil {
+				return fmt.Errorf("fused step base schema: %w", err)
+			}
+			x = relation.New(baseSchema)
+		} else if x == nil {
+			return fmt.Errorf("no base-result structure before non-fused step")
+		}
+		keyIdx = make([]int, len(plan.Keys))
+		for i, k := range plan.Keys {
+			p, err := x.Schema.MustLookup(k)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", k, err)
+			}
+			keyIdx[i] = p
+		}
+		for pos, row := range x.Rows {
+			index[relation.RowKey(row, keyIdx)] = pos
+		}
+		accs = make([][][]*agg.Acc, len(x.Rows))
+		for i := range accs {
+			accs[i] = newAccs()
+		}
+		ready = true
+		return nil
+	}
+
+	mergeFragment := func(r *siteResult) error {
+		h := r.resp.Rel
+		if h == nil {
+			return fmt.Errorf("site %s returned no relation", r.site)
+		}
+		if !ready {
+			if err := initState(h); err != nil {
+				return err
+			}
+		}
+		// Resolve column positions in this fragment by name.
+		hKey := make([]int, len(plan.Keys))
+		for i, k := range plan.Keys {
+			p, err := h.Schema.MustLookup(k)
+			if err != nil {
+				return fmt.Errorf("site %s fragment: key %q: %w", r.site, k, err)
+			}
+			hKey[i] = p
+		}
+		var hBase []int
+		if fused {
+			hBase = make([]int, x.Schema.Len())
+			for i, col := range x.Schema.Cols {
+				p, err := h.Schema.MustLookup(col.Name)
+				if err != nil {
+					return fmt.Errorf("site %s fragment: base column %q: %w", r.site, col.Name, err)
+				}
+				hBase[i] = p
+			}
+		}
+		prims := make([][]int, len(specs))
+		for si, sp := range specs {
+			prims[si] = make([]int, len(sp.Prims()))
+			for pi := range sp.Prims() {
+				p, err := h.Schema.MustLookup(sp.SubColName(pi))
+				if err != nil {
+					return fmt.Errorf("site %s fragment: %w", r.site, err)
+				}
+				prims[si][pi] = p
+			}
+		}
+		for _, row := range h.Rows {
+			key := relation.RowKey(row, hKey)
+			pos, ok := index[key]
+			if !ok {
+				if !fused {
+					// A fragment group the coordinator never shipped:
+					// only legal in fused mode.
+					return fmt.Errorf("site %s returned unknown group", r.site)
+				}
+				nr := make(relation.Row, len(hBase))
+				for i, p := range hBase {
+					nr[i] = row[p]
+				}
+				x.Rows = append(x.Rows, nr)
+				accs = append(accs, newAccs())
+				pos = len(x.Rows) - 1
+				index[key] = pos
+			}
+			for si := range specs {
+				for pi, p := range prims[si] {
+					if err := accs[pos][si][pi].Merge(row[p]); err != nil {
+						return fmt.Errorf("site %s group merge: %w", r.site, err)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Consume arrivals; merge each as soon as it lands.
+	for sr := range stream {
+		if sr.err != nil {
+			if firstErr == nil {
+				firstErr = sr.err
+			}
+			continue
+		}
+		t0 := time.Now()
+		accountRound(rs, sr.res)
+		if firstErr == nil {
+			if err := mergeFragment(sr.res); err != nil {
+				firstErr = err
+			}
+		}
+		mergeTime += time.Since(t0)
+	}
+	if firstErr != nil {
+		return nil, mergeTime, firstErr
+	}
+	if !ready {
+		return nil, mergeTime, fmt.Errorf("no fragments arrived")
+	}
+
+	// Finalize the step's aggregates into new X columns.
+	t0 := time.Now()
+	outCols := make([]relation.Column, len(specs))
+	for i, sp := range specs {
+		outCols[i] = sp.OutColumn()
+	}
+	outSchema, err := x.Schema.Concat(outCols...)
+	if err != nil {
+		return nil, mergeTime, err
+	}
+	out := relation.New(outSchema)
+	out.Rows = make([]relation.Row, len(x.Rows))
+	for gi, row := range x.Rows {
+		nr := make(relation.Row, 0, outSchema.Len())
+		nr = append(nr, row...)
+		for si, sp := range specs {
+			states := make([]value.V, len(accs[gi][si]))
+			for pi, a := range accs[gi][si] {
+				states[pi] = a.Result()
+			}
+			v, err := sp.Finalize(states)
+			if err != nil {
+				return nil, mergeTime, fmt.Errorf("finalize %s: %w", sp.As, err)
+			}
+			nr = append(nr, v)
+		}
+		out.Rows[gi] = nr
+	}
+	mergeTime += time.Since(t0)
+	return out, mergeTime, nil
+}
+
+// filterBase applies a Theorem-4 site filter to the base structure.
+func filterBase(x *relation.Relation, f expr.Expr, md gmdj.MD) (*relation.Relation, error) {
+	bAlias, _ := md.Aliases()
+	bound, err := expr.Bind(f, expr.Binding{Base: x.Schema, BaseAliases: []string{bAlias}})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(x.Schema)
+	for _, row := range x.Rows {
+		ok, err := bound.EvalBool(row, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// unionDistinct merges base fragments with set semantics.
+func unionDistinct(parts []*relation.Relation) (*relation.Relation, error) {
+	var out *relation.Relation
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("missing base fragment")
+		}
+		if out == nil {
+			out = relation.New(p.Schema)
+		}
+		if err := out.Union(p); err != nil {
+			return nil, err
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("no base fragments")
+	}
+	return out.DistinctProject(out.Schema.Names())
+}
+
+func whereText(e expr.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.String()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RoundStats records one synchronization round of a plan execution.
+type RoundStats struct {
+	// Name labels the round ("base", "step 1", ...).
+	Name string
+	// BytesToSites / BytesFromSites are exact wire sizes.
+	BytesToSites   int64
+	BytesFromSites int64
+	// GroupsShipped / GroupsReceived count base-result rows moved.
+	GroupsShipped  int64
+	GroupsReceived int64
+	// SiteTime is the slowest site's computation time (sites run in
+	// parallel); SiteTimeTotal sums all sites' computation.
+	SiteTime      time.Duration
+	SiteTimeTotal time.Duration
+	// CommTime is the slowest site's modeled transfer time this round.
+	CommTime time.Duration
+	// CoordTime is the coordinator's own work (filtering, merging).
+	CoordTime time.Duration
+}
+
+// ExecStats aggregates a full plan execution.
+type ExecStats struct {
+	Rounds []RoundStats
+	// Wall is the measured end-to-end wall-clock time of Execute.
+	Wall time.Duration
+}
+
+// Bytes returns total bytes moved in both directions.
+func (s *ExecStats) Bytes() int64 {
+	var n int64
+	for _, r := range s.Rounds {
+		n += r.BytesToSites + r.BytesFromSites
+	}
+	return n
+}
+
+// Groups returns the total number of base-result rows shipped either way.
+func (s *ExecStats) Groups() int64 {
+	var n int64
+	for _, r := range s.Rounds {
+		n += r.GroupsShipped + r.GroupsReceived
+	}
+	return n
+}
+
+// SiteTime returns the response-time contribution of site computation:
+// the per-round maxima summed over rounds.
+func (s *ExecStats) SiteTime() time.Duration {
+	var d time.Duration
+	for _, r := range s.Rounds {
+		d += r.SiteTime
+	}
+	return d
+}
+
+// CoordTime returns total coordinator computation time.
+func (s *ExecStats) CoordTime() time.Duration {
+	var d time.Duration
+	for _, r := range s.Rounds {
+		d += r.CoordTime
+	}
+	return d
+}
+
+// CommTime returns the response-time contribution of communication: the
+// per-round maxima summed over rounds.
+func (s *ExecStats) CommTime() time.Duration {
+	var d time.Duration
+	for _, r := range s.Rounds {
+		d += r.CommTime
+	}
+	return d
+}
+
+// EvalTime is the modeled query evaluation time the experiments report:
+// site computation + coordinator computation + communication, composed
+// per round as the paper's response-time model does.
+func (s *ExecStats) EvalTime() time.Duration {
+	return s.SiteTime() + s.CoordTime() + s.CommTime()
+}
+
+// String renders a per-round breakdown table.
+func (s *ExecStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %8s %8s %12s %12s %12s\n",
+		"round", "bytes→sites", "bytes←sites", "grp→", "grp←", "site(max)", "coord", "comm")
+	for _, r := range s.Rounds {
+		fmt.Fprintf(&b, "%-8s %12d %12d %8d %8d %12s %12s %12s\n",
+			r.Name, r.BytesToSites, r.BytesFromSites, r.GroupsShipped, r.GroupsReceived,
+			r.SiteTime.Round(time.Microsecond), r.CoordTime.Round(time.Microsecond),
+			r.CommTime.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "total: %d bytes, eval time %s (site %s + coord %s + comm %s), wall %s\n",
+		s.Bytes(), s.EvalTime().Round(time.Microsecond),
+		s.SiteTime().Round(time.Microsecond), s.CoordTime().Round(time.Microsecond),
+		s.CommTime().Round(time.Microsecond), s.Wall.Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+var benchCond = "F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS AND F.NumBytes >= B.sum1 / B.cnt1"
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchCond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBind(b *testing.B) {
+	bd := flowBinding()
+	e := MustParse(benchCond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Bind(e, bd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalBool(b *testing.B) {
+	bd := flowBinding()
+	bound, err := Bind(MustParse(benchCond), bd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bRowV := bRow(1, 2, 100, 4)
+	rRowV := rRow(1, 2, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bound.EvalBool(bRowV, rRowV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCase(b *testing.B) {
+	schema := relation.MustSchema(
+		relation.Column{Name: "port", Kind: value.KindInt},
+		relation.Column{Name: "bytes", Kind: value.KindInt},
+	)
+	bound, err := Bind(MustParse("CASE WHEN F.port IN (80, 443) THEN F.bytes ELSE 0 END"),
+		SingleRelation(schema, "F"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := relation.Row{value.NewInt(443), value.NewInt(1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bound.Eval(nil, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeriveSiteFilter(b *testing.B) {
+	bd := flowBinding()
+	thetas := []Expr{
+		MustParse("F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS"),
+		MustParse("F.SourceAS = B.SourceAS AND F.NumBytes >= B.sum1 / B.cnt1"),
+	}
+	domains := map[string]Domain{
+		"sourceas": DomainRange(value.NewInt(1), value.NewInt(25)),
+		"destas":   intSet(1, 2, 3, 4, 5),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := DeriveSiteFilter(thetas, bd, domains); f == nil {
+			b.Fatal("no filter derived")
+		}
+	}
+}

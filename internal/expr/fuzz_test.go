@@ -1,0 +1,41 @@
+package expr
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that the canonical text
+// form is a fixpoint: Parse(e.String()).String() == e.String(). The
+// fixpoint property is what makes Expr.String a safe wire format.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS",
+		"F.NumBytes >= B.sum1 / B.cnt1",
+		"B.DestAS + B.SourceAS < F.SourceAS * 2",
+		"x IN (1, 2, 3) OR y NOT BETWEEN -5 AND 5",
+		"CASE WHEN a > 1 THEN 'x' ELSE coalesce(b, 0) END",
+		"name LIKE 'Customer#%' AND NOT (a = 1)",
+		"abs(x - y) <= greatest(a, b, 1.5)",
+		"s = 'it''s'",
+		"1e3 + -2.5 % 3",
+		"((((a))))",
+		"TRUE AND FALSE OR NULL = x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		s1 := e.String()
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q -> %q: %v", input, s1, err)
+		}
+		if s2 := e2.String(); s2 != s1 {
+			t.Fatalf("canonical form not a fixpoint: %q -> %q -> %q", input, s1, s2)
+		}
+	})
+}

@@ -1,0 +1,513 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/value"
+)
+
+// Parse parses the textual expression form produced by Expr.String (and
+// written by hand in queries): SQL-ish conditions with AND/OR/NOT (also
+// &&, ||, !), comparisons (= == != <> < <= > >=), IN lists, BETWEEN,
+// arithmetic (+ - * / %), qualified column references (F.NumBytes),
+// integer/float/string literals, and parentheses.
+func Parse(input string) (Expr, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errorf("parse %q: unexpected %q at offset %d", input, p.peek().text, p.peek().pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and literals.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp      // punctuation operators
+	tokKeyword // AND OR NOT IN BETWEEN TRUE FALSE NULL
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "TRUE": true, "FALSE": true, "NULL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"LIKE": true,
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(s) {
+					return nil, errorf("parse %q: unterminated string at offset %d", s, start)
+				}
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			start := i
+			for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+				(s[i] == '+' || s[i] == '-') && i > start && (s[i-1] == 'e' || s[i-1] == 'E')) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, s[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(s) && isIdentPart(rune(s[i])) {
+				i++
+			}
+			word := s[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		default:
+			start := i
+			two := ""
+			if i+1 < len(s) {
+				two = s[i : i+2]
+			}
+			switch two {
+			case "&&", "||", "==", "!=", "<>", "<=", ">=":
+				op := two
+				switch two {
+				case "&&":
+					op = "AND"
+				case "||":
+					op = "OR"
+				case "==":
+					op = "="
+				case "<>":
+					op = "!="
+				}
+				kind := tokOp
+				if op == "AND" || op == "OR" {
+					kind = tokKeyword
+				}
+				toks = append(toks, token{kind, op, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.':
+				toks = append(toks, token{tokOp, string(c), start})
+				i++
+			case '!':
+				toks = append(toks, token{tokKeyword, "NOT", start})
+				i++
+			default:
+				return nil, errorf("parse %q: unexpected character %q at offset %d", s, string(c), i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		t := p.peek()
+		return errorf("parse %q: expected %q, found %q at offset %d", p.input, text, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	neg := false
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+		// lookahead for NOT IN / NOT BETWEEN
+		if p.pos+1 < len(p.toks) {
+			nt := p.toks[p.pos+1]
+			if nt.kind == tokKeyword && (nt.text == "IN" || nt.text == "BETWEEN" || nt.text == "LIKE") {
+				p.pos++
+				neg = true
+			}
+		}
+	}
+	if p.accept(tokKeyword, "IN") {
+		return p.parseInTail(l, neg)
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		pt := p.next()
+		if pt.kind != tokString {
+			return nil, errorf("parse %q: LIKE needs a string pattern, found %q", p.input, pt.text)
+		}
+		return Like{X: l, Pattern: pt.text, Neg: neg}, nil
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return Between{X: l, Lo: lo, Hi: hi, Neg: neg}, nil
+	}
+	if neg {
+		return nil, errorf("parse %q: NOT must be followed by IN, BETWEEN, or LIKE here", p.input)
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseInTail(l Expr, neg bool) (Expr, error) {
+	if err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	in := InList{X: l, Neg: neg}
+	for {
+		e, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		c, ok := constFold(e)
+		if !ok {
+			return nil, errorf("parse %q: IN list elements must be literals", p.input)
+		}
+		in.Vals = append(in.Vals, c)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		if err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals.
+		if c, ok := x.(Const); ok && c.Val.K.Numeric() {
+			v, err := negConst(c)
+			if err == nil {
+				return v, nil
+			}
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func negConst(c Const) (Expr, error) {
+	v, err := value.Neg(c.Val)
+	if err != nil {
+		return nil, errorf("cannot negate %s", c.Val)
+	}
+	return Const{Val: v}, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return CInt(i), nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errorf("parse %q: bad number %q at offset %d", p.input, t.text, t.pos)
+		}
+		return Const{Val: value.NewFloat(f)}, nil
+	case tokString:
+		return Const{Val: value.NewString(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			return Const{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			return Const{Val: value.NewBool(false)}, nil
+		case "NULL":
+			return Const{}, nil
+		case "CASE":
+			return p.parseCaseTail()
+		}
+		return nil, errorf("parse %q: unexpected keyword %q at offset %d", p.input, t.text, t.pos)
+	case tokIdent:
+		if p.peek().kind == tokOp && p.peek().text == "(" && IsScalarFunc(t.text) {
+			p.pos++ // consume "("
+			return p.parseCallTail(t.text)
+		}
+		if p.accept(tokOp, ".") {
+			nt := p.next()
+			if nt.kind != tokIdent {
+				return nil, errorf("parse %q: expected column name after %q. at offset %d", p.input, t.text, nt.pos)
+			}
+			return Col{Qual: t.text, Name: nt.text}, nil
+		}
+		return Col{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errorf("parse %q: unexpected %q at offset %d", p.input, t.text, t.pos)
+}
+
+// parseCaseTail parses the body of a searched CASE expression after the
+// CASE keyword: WHEN cond THEN expr ... [ELSE expr] END.
+func (p *parser) parseCaseTail() (Expr, error) {
+	var c Case
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, errorf("parse %q: CASE needs at least one WHEN arm", p.input)
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		els, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = els
+	}
+	if err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseCallTail parses the argument list of a scalar function call after
+// the opening parenthesis.
+func (p *parser) parseCallTail(name string) (Expr, error) {
+	call := Call{Name: name}
+	if p.accept(tokOp, ")") {
+		return nil, errorf("parse %q: %s() needs arguments", p.input, name)
+	}
+	for {
+		arg, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		if err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+}
+
+// constFold reduces a literal-only expression to its value.
+func constFold(e Expr) (value.V, bool) {
+	switch n := e.(type) {
+	case Const:
+		return n.Val, true
+	case Unary:
+		if n.Op == "-" {
+			if c, ok := constFold(n.X); ok {
+				if neg, err := value.Neg(c); err == nil {
+					return neg, true
+				}
+			}
+		}
+	}
+	return value.Null, false
+}

@@ -1,0 +1,108 @@
+package gmdj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// benchDetail builds an n-row detail relation with g distinct groups.
+func benchDetail(n, g int) *relation.Relation {
+	rng := rand.New(rand.NewSource(1))
+	r := relation.New(relation.MustSchema(
+		relation.Column{Name: "SourceAS", Kind: value.KindInt},
+		relation.Column{Name: "DestAS", Kind: value.KindInt},
+		relation.Column{Name: "NumBytes", Kind: value.KindInt},
+	))
+	r.Rows = make([]relation.Row, n)
+	for i := range r.Rows {
+		r.Rows[i] = relation.Row{
+			value.NewInt(int64(rng.Intn(g))),
+			value.NewInt(int64(rng.Intn(8))),
+			value.NewInt(int64(rng.Intn(100000))),
+		}
+	}
+	return r
+}
+
+// BenchmarkEvalHashPath measures the hash-partitioned GMDJ scan (equality
+// conjuncts present): the hot path of every site round.
+func BenchmarkEvalHashPath(b *testing.B) {
+	detail := benchDetail(20000, 500)
+	base, err := EvalBase(detail, BaseDef{Cols: []string{"SourceAS"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	md := MD{
+		Aggs: [][]agg.Spec{{
+			agg.MustParseSpec("count(*) AS c"),
+			agg.MustParseSpec("avg(F.NumBytes) AS a"),
+		}},
+		Thetas: []expr.Expr{expr.MustParse("F.SourceAS = B.SourceAS")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(base, detail, md); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(detail.Len()))
+}
+
+// BenchmarkEvalNestedLoop measures the fallback path without equality
+// conjuncts (every base row tested per detail row).
+func BenchmarkEvalNestedLoop(b *testing.B) {
+	detail := benchDetail(2000, 20)
+	base, err := EvalBase(detail, BaseDef{Cols: []string{"SourceAS"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	md := MD{
+		Aggs:   [][]agg.Spec{{agg.MustParseSpec("count(*) AS c")}},
+		Thetas: []expr.Expr{expr.MustParse("F.NumBytes > B.SourceAS * 1000")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(base, detail, md); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalSubTouched measures the sub-aggregate site path with the
+// group-reduction counter on.
+func BenchmarkEvalSubTouched(b *testing.B) {
+	detail := benchDetail(20000, 500)
+	base, err := EvalBase(detail, BaseDef{Cols: []string{"SourceAS"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	md := MD{
+		Aggs: [][]agg.Spec{{
+			agg.MustParseSpec("count(*) AS c"),
+			agg.MustParseSpec("avg(F.NumBytes) AS a"),
+		}},
+		Thetas: []expr.Expr{expr.MustParse("F.SourceAS = B.SourceAS")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalSub(base, detail, md, SubOpts{Touched: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalBase measures distinct projection over the detail scan.
+func BenchmarkEvalBase(b *testing.B) {
+	detail := benchDetail(20000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBase(detail, BaseDef{Cols: []string{"SourceAS", "DestAS"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package gmdj implements the GMDJ operator (Definition 1 of the paper):
+// MD(B, R, (l_1..l_m), (θ_1..θ_m)) extends each base tuple b ∈ B with
+// aggregates over RNG(b, R, θ_i) = {r ∈ R | θ_i(b, r)}.
+//
+// The package provides centralized evaluation (used both by the Skalla
+// sites against their local partitions and as the reference implementation
+// the distributed executor is tested against), the sub-aggregate variant
+// that ships primitive states (Theorem 1), and the coalescing transform of
+// Section 4.3.
+//
+// Evaluation follows the efficient strategy of [2,7]: equality conjuncts
+// of θ_i are extracted and used to hash-partition B, so each scan of the
+// detail relation probes matching base tuples instead of testing all of B.
+// RNG sets may still overlap across base tuples (the residual condition is
+// evaluated per candidate pair), which is exactly what makes GMDJ strictly
+// more general than SQL GROUP BY.
+package gmdj
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// MD is one GMDJ operator: m condition/aggregate-list pairs evaluated
+// against a detail relation. Thetas[i] is θ_i and Aggs[i] its aggregate
+// list l_i.
+type MD struct {
+	Aggs   [][]agg.Spec
+	Thetas []expr.Expr
+
+	// BaseAlias and DetailAlias are the qualifiers conditions use to
+	// reference the two sides; they default to "B" and "R".
+	BaseAlias   string
+	DetailAlias string
+
+	// Detail optionally names a different detail relation for this
+	// operator (the paper's R_k may change across rounds); empty means
+	// the query's default detail relation.
+	Detail string
+}
+
+// Aliases returns the effective base and detail aliases.
+func (md MD) Aliases() (string, string) {
+	b, d := md.BaseAlias, md.DetailAlias
+	if b == "" {
+		b = "B"
+	}
+	if d == "" {
+		d = "R"
+	}
+	return b, d
+}
+
+// Binding returns the expression binding for this MD over the given
+// schemas.
+func (md MD) Binding(base, detail *relation.Schema) expr.Binding {
+	b, d := md.Aliases()
+	return expr.Binding{
+		Base: base, Detail: detail,
+		BaseAliases:   []string{b},
+		DetailAliases: []string{d, "F"}, // the paper's examples write F for Flow
+	}
+}
+
+// Specs returns all aggregate specs of the MD in evaluation order.
+func (md MD) Specs() []agg.Spec {
+	var out []agg.Spec
+	for _, l := range md.Aggs {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// Validate checks structural consistency and that every condition and
+// aggregate argument binds against the schemas.
+func (md MD) Validate(base, detail *relation.Schema) error {
+	if len(md.Aggs) != len(md.Thetas) {
+		return fmt.Errorf("gmdj: %d aggregate lists but %d conditions", len(md.Aggs), len(md.Thetas))
+	}
+	if len(md.Thetas) == 0 {
+		return fmt.Errorf("gmdj: MD with no conditions")
+	}
+	bd := md.Binding(base, detail)
+	detailOnly := expr.Binding{Detail: detail, DetailAliases: bd.DetailAliases}
+	seen := make(map[string]struct{})
+	for _, c := range base.Cols {
+		seen[strings.ToLower(c.Name)] = struct{}{}
+	}
+	for i, theta := range md.Thetas {
+		if theta == nil {
+			return fmt.Errorf("gmdj: θ_%d is nil", i+1)
+		}
+		if _, err := expr.Bind(theta, bd); err != nil {
+			return fmt.Errorf("gmdj: θ_%d: %w", i+1, err)
+		}
+		for _, s := range md.Aggs[i] {
+			if s.As == "" {
+				return fmt.Errorf("gmdj: aggregate %s in l_%d has no output name", s, i+1)
+			}
+			key := strings.ToLower(s.As)
+			if _, dup := seen[key]; dup {
+				return fmt.Errorf("gmdj: duplicate output column %q", s.As)
+			}
+			seen[key] = struct{}{}
+			if s.Arg != nil {
+				if _, err := expr.Bind(s.Arg, detailOnly); err != nil {
+					return fmt.Errorf("gmdj: aggregate %s: %w", s, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SubOpts selects what EvalSub appends to the base columns.
+type SubOpts struct {
+	// Finalize appends the finalized aggregate columns (named Spec.As) in
+	// addition to the primitive state columns. Local chained evaluation
+	// (synchronization reduction) needs finalized values because later
+	// conditions reference them.
+	Finalize bool
+	// Touched appends a TouchedCol count of detail matches across all θ_i.
+	// It is positive iff |RNG(b, R, θ_1 ∨ ... ∨ θ_m)| > 0, the test of
+	// Proposition 1 (distribution-independent group reduction).
+	Touched bool
+}
+
+// TouchedCol is the name of the match-count column appended by
+// SubOpts.Touched.
+const TouchedCol = "__touched"
+
+// Eval computes the GMDJ with fully finalized aggregate columns: the
+// result schema is B's columns followed by one column per aggregate. This
+// is Definition 1, and the centralized reference implementation.
+func Eval(b, r *relation.Relation, md MD) (*relation.Relation, error) {
+	return eval(b, r, md, false, true, false)
+}
+
+// EvalSub computes the sub-aggregate GMDJ of Theorem 1: the result schema
+// is B's columns followed by primitive state columns per aggregate (and
+// optionally finalized columns and the touched count). Primitive states
+// from disjoint partitions of R merge at the coordinator into the same
+// result Eval would give on the whole of R.
+func EvalSub(b, r *relation.Relation, md MD, opts SubOpts) (*relation.Relation, error) {
+	return eval(b, r, md, true, opts.Finalize, opts.Touched)
+}
+
+func eval(b, r *relation.Relation, md MD, prims, final, touched bool) (*relation.Relation, error) {
+	if err := md.Validate(b.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	specs := md.Specs()
+
+	// Output schema: base columns, then per-spec prim columns and/or
+	// finalized columns, then the touched counter.
+	outCols := append([]relation.Column(nil), b.Schema.Cols...)
+	if prims {
+		for _, s := range specs {
+			outCols = append(outCols, s.SubColumns()...)
+		}
+	}
+	if final {
+		for _, s := range specs {
+			outCols = append(outCols, s.OutColumn())
+		}
+	}
+	if touched {
+		outCols = append(outCols, relation.Column{Name: TouchedCol, Kind: value.KindInt})
+	}
+	outSchema, err := relation.NewSchema(outCols...)
+	if err != nil {
+		return nil, fmt.Errorf("gmdj: output schema: %w", err)
+	}
+
+	// Accumulator state per base row per spec.
+	accs := make([][][]*agg.Acc, len(b.Rows))
+	for gi := range accs {
+		accs[gi] = make([][]*agg.Acc, len(specs))
+		for si, s := range specs {
+			accs[gi][si] = agg.NewAccs(s)
+		}
+	}
+	matched := make([]int64, len(b.Rows))
+
+	bd := md.Binding(b.Schema, r.Schema)
+	detailOnly := expr.Binding{Detail: r.Schema, DetailAliases: bd.DetailAliases}
+
+	// One scan of the detail relation per θ_i.
+	specBase := 0
+	for ti, theta := range md.Thetas {
+		pairs := expr.EquiPairs(theta, bd)
+		residual, err := expr.Bind(expr.Residual(theta, bd, pairs), bd)
+		if err != nil {
+			return nil, fmt.Errorf("gmdj: θ_%d residual: %w", ti+1, err)
+		}
+
+		// Bind this θ's aggregate arguments once.
+		type argEval struct {
+			spec  int
+			bound *expr.Bound // nil for COUNT(*)
+		}
+		args := make([]argEval, len(md.Aggs[ti]))
+		for j, s := range md.Aggs[ti] {
+			ae := argEval{spec: specBase + j}
+			if s.Arg != nil {
+				bnd, err := expr.Bind(s.Arg, detailOnly)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: aggregate %s: %w", s, err)
+				}
+				ae.bound = bnd
+			}
+			args[j] = ae
+		}
+
+		// Candidate lookup: hash B on the equi columns when available.
+		var probe func(rRow relation.Row) ([]int, error)
+		if len(pairs) > 0 {
+			bIdx := make([]int, len(pairs))
+			rIdx := make([]int, len(pairs))
+			for i, p := range pairs {
+				bi, err := b.Schema.MustLookup(p.Base.Name)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: θ_%d: %w", ti+1, err)
+				}
+				ri, err := r.Schema.MustLookup(p.Detail.Name)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: θ_%d: %w", ti+1, err)
+				}
+				bIdx[i], rIdx[i] = bi, ri
+			}
+			index := make(map[string][]int, len(b.Rows))
+			for pos, row := range b.Rows {
+				k := relation.RowKey(row, bIdx)
+				index[k] = append(index[k], pos)
+			}
+			keyBuf := make([]value.V, len(rIdx))
+			probe = func(rRow relation.Row) ([]int, error) {
+				for i, ri := range rIdx {
+					keyBuf[i] = rRow[ri]
+				}
+				var sb strings.Builder
+				for _, v := range keyBuf {
+					sb.WriteString(v.Key())
+					sb.WriteByte('\x1f')
+				}
+				return index[sb.String()], nil
+			}
+		} else {
+			all := make([]int, len(b.Rows))
+			for i := range all {
+				all[i] = i
+			}
+			probe = func(relation.Row) ([]int, error) { return all, nil }
+		}
+
+		for _, rRow := range r.Rows {
+			cands, err := probe(rRow)
+			if err != nil {
+				return nil, err
+			}
+			for _, gi := range cands {
+				ok, err := residual.EvalBool(b.Rows[gi], rRow)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: θ_%d: %w", ti+1, err)
+				}
+				if !ok {
+					continue
+				}
+				matched[gi]++
+				for _, ae := range args {
+					var v value.V
+					if ae.bound == nil {
+						v = value.NewInt(1) // COUNT(*): any non-NULL marker
+					} else {
+						v, err = ae.bound.Eval(nil, rRow)
+						if err != nil {
+							return nil, fmt.Errorf("gmdj: aggregate arg: %w", err)
+						}
+					}
+					for _, a := range accs[gi][ae.spec] {
+						if err := a.Add(v); err != nil {
+							return nil, fmt.Errorf("gmdj: %w", err)
+						}
+					}
+				}
+			}
+		}
+		specBase += len(md.Aggs[ti])
+	}
+
+	// Assemble output rows.
+	out := relation.New(outSchema)
+	out.Rows = make([]relation.Row, 0, len(b.Rows))
+	for gi, bRow := range b.Rows {
+		row := make(relation.Row, 0, outSchema.Len())
+		row = append(row, bRow...)
+		if prims {
+			for si := range specs {
+				for _, a := range accs[gi][si] {
+					row = append(row, a.Result())
+				}
+			}
+		}
+		if final {
+			for si, s := range specs {
+				states := make([]value.V, len(accs[gi][si]))
+				for pi, a := range accs[gi][si] {
+					states[pi] = a.Result()
+				}
+				v, err := s.Finalize(states)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: finalize %s: %w", s, err)
+				}
+				row = append(row, v)
+			}
+		}
+		if touched {
+			row = append(row, value.NewInt(matched[gi]))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// FilterTouched returns only the rows with a positive touched count,
+// dropping the touched column itself when drop is true — the site-side
+// half of Proposition 1.
+func FilterTouched(h *relation.Relation, drop bool) (*relation.Relation, error) {
+	ti, err := h.Schema.MustLookup(TouchedCol)
+	if err != nil {
+		return nil, fmt.Errorf("gmdj: filter touched: %w", err)
+	}
+	outSchema := h.Schema
+	if drop {
+		cols := make([]relation.Column, 0, h.Schema.Len()-1)
+		for i, c := range h.Schema.Cols {
+			if i != ti {
+				cols = append(cols, c)
+			}
+		}
+		outSchema, err = relation.NewSchema(cols...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := relation.New(outSchema)
+	for _, row := range h.Rows {
+		t, err := row[ti].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("gmdj: touched column: %w", err)
+		}
+		if t <= 0 {
+			continue
+		}
+		if drop {
+			nr := make(relation.Row, 0, len(row)-1)
+			nr = append(nr, row[:ti]...)
+			nr = append(nr, row[ti+1:]...)
+			out.Rows = append(out.Rows, nr)
+		} else {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+// Package relation implements the in-memory relational storage used by the
+// Skalla sites and coordinator: schemas, row-oriented relations, key
+// hashing, projection with duplicate elimination, and hash indexes.
+//
+// Relations are deliberately simple — a schema plus a slice of rows — which
+// is all the paper's local warehouse substrate (Daytona in the original
+// system) needs to expose to the GMDJ evaluator.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	Cols []Column
+	// byName maps lower-cased column names to positions. It is rebuilt
+	// lazily after gob decoding, which does not transmit private fields.
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns, validating name uniqueness.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Cols: cols}
+	s.byName = make(map[string]int, len(cols))
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return nil, fmt.Errorf("relation: column %d has empty name", i)
+		}
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Lookup returns the position of the named column (case-insensitive) and
+// whether it exists.
+func (s *Schema) Lookup(name string) (int, bool) {
+	if s.byName == nil {
+		s.byName = make(map[string]int, len(s.Cols))
+		for i, c := range s.Cols {
+			s.byName[strings.ToLower(c.Name)] = i
+		}
+	}
+	i, ok := s.byName[strings.ToLower(name)]
+	return i, ok
+}
+
+// MustLookup returns the position of the named column or an error naming
+// the missing column and the available ones.
+func (s *Schema) MustLookup(name string) (int, error) {
+	if i, ok := s.Lookup(name); ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("relation: no column %q in schema (%s)", name, s)
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(name:KIND, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether two schemas have identical column names (case
+// insensitive) and kinds, in the same order.
+func (s *Schema) Equal(t *Schema) bool {
+	if len(s.Cols) != len(t.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if !strings.EqualFold(s.Cols[i].Name, t.Cols[i].Name) ||
+			s.Cols[i].Kind != t.Cols[i].Kind {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new schema containing the named columns, plus the
+// positions of those columns in s.
+func (s *Schema) Project(names []string) (*Schema, []int, error) {
+	cols := make([]Column, len(names))
+	idx := make([]int, len(names))
+	for i, n := range names {
+		p, err := s.MustLookup(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = s.Cols[p]
+		idx[i] = p
+	}
+	out, err := NewSchema(cols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, idx, nil
+}
+
+// Concat returns a schema with s's columns followed by extra columns.
+func (s *Schema) Concat(extra ...Column) (*Schema, error) {
+	cols := make([]Column, 0, len(s.Cols)+len(extra))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, extra...)
+	return NewSchema(cols...)
+}
+
+// Row is one tuple; its length always matches the owning schema.
+type Row = []value.V
+
+// Relation is a schema plus a bag of rows.
+type Relation struct {
+	Schema *Schema
+	Rows   []Row
+}
+
+// New returns an empty relation over the given schema.
+func New(s *Schema) *Relation { return &Relation{Schema: s} }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Append adds a row after checking its arity.
+func (r *Relation) Append(row Row) error {
+	if len(row) != r.Schema.Len() {
+		return fmt.Errorf("relation: row has %d values, schema %s has %d columns",
+			len(row), r.Schema, r.Schema.Len())
+	}
+	r.Rows = append(r.Rows, row)
+	return nil
+}
+
+// MustAppend is Append but panics on arity mismatch; for tests.
+func (r *Relation) MustAppend(vals ...value.V) {
+	if err := r.Append(vals); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep-enough copy: the row slice and each row are copied
+// (values themselves are immutable).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Rows: make([]Row, len(r.Rows))}
+	for i, row := range r.Rows {
+		nr := make(Row, len(row))
+		copy(nr, row)
+		out.Rows[i] = nr
+	}
+	return out
+}
+
+// RowKey builds a composite map key from the row values at positions idx.
+func RowKey(row Row, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(row[i].Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// DistinctProject computes the set projection π_names(r): the named columns
+// with duplicate rows removed, preserving first-seen order.
+func (r *Relation) DistinctProject(names []string) (*Relation, error) {
+	ps, idx, err := r.Schema.Project(names)
+	if err != nil {
+		return nil, err
+	}
+	out := New(ps)
+	seen := make(map[string]struct{}, len(r.Rows))
+	for _, row := range r.Rows {
+		k := RowKey(row, idx)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		nr := make(Row, len(idx))
+		for i, p := range idx {
+			nr[i] = row[p]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// Union appends all rows of t to r (multiset union). Schemas must match.
+func (r *Relation) Union(t *Relation) error {
+	if !r.Schema.Equal(t.Schema) {
+		return fmt.Errorf("relation: union schema mismatch: %s vs %s", r.Schema, t.Schema)
+	}
+	r.Rows = append(r.Rows, t.Rows...)
+	return nil
+}
+
+// SortKey names a sort column and its direction.
+type SortKey struct {
+	Name string
+	Desc bool
+}
+
+// SortBy sorts rows in place by the named columns ascending. It is used to
+// produce deterministic output for display and testing.
+func (r *Relation) SortBy(names ...string) error {
+	keys := make([]SortKey, len(names))
+	for i, n := range names {
+		keys[i] = SortKey{Name: n}
+	}
+	return r.SortKeys(keys...)
+}
+
+// SortKeys sorts rows in place by the given keys, honoring per-key
+// direction. NULLs sort first ascending (last descending).
+func (r *Relation) SortKeys(keys ...SortKey) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		p, err := r.Schema.MustLookup(k.Name)
+		if err != nil {
+			return err
+		}
+		idx[i] = p
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		ra, rb := r.Rows[a], r.Rows[b]
+		for i, p := range idx {
+			c, err := value.Compare(ra[p], rb[p])
+			if err != nil {
+				if value.Less(ra[p], rb[p]) {
+					c = -1
+				} else if value.Less(rb[p], ra[p]) {
+					c = 1
+				} else {
+					continue
+				}
+			}
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// Index is a hash index mapping a composite key over key columns to the
+// row positions holding that key.
+type Index struct {
+	Cols    []int
+	buckets map[string][]int
+}
+
+// BuildIndex indexes the relation on the named columns.
+func (r *Relation) BuildIndex(names []string) (*Index, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		p, err := r.Schema.MustLookup(n)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = p
+	}
+	ix := &Index{Cols: idx, buckets: make(map[string][]int, len(r.Rows))}
+	for pos, row := range r.Rows {
+		k := RowKey(row, idx)
+		ix.buckets[k] = append(ix.buckets[k], pos)
+	}
+	return ix, nil
+}
+
+// LookupKey returns the positions of rows whose key columns equal vals.
+func (ix *Index) LookupKey(vals []value.V) []int {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteString(v.Key())
+		b.WriteByte('\x1f')
+	}
+	return ix.buckets[b.String()]
+}
+
+// String renders the relation as an aligned text table (for examples and
+// debugging); long relations are truncated.
+func (r *Relation) String() string { return r.Format(20) }
+
+// Format renders up to maxRows rows as an aligned text table.
+func (r *Relation) Format(maxRows int) string {
+	names := r.Schema.Names()
+	width := make([]int, len(names))
+	for i, n := range names {
+		width[i] = len(n)
+	}
+	n := len(r.Rows)
+	shown := n
+	if maxRows >= 0 && shown > maxRows {
+		shown = maxRows
+	}
+	cells := make([][]string, shown)
+	for i := 0; i < shown; i++ {
+		row := r.Rows[i]
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if len(s) > width[j] {
+				width[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for j, nm := range names {
+		if j > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", width[j], nm)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for j, c := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	if shown < n {
+		fmt.Fprintf(&b, "... (%d more rows)\n", n-shown)
+	}
+	return b.String()
+}

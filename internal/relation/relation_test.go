@@ -1,0 +1,208 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Column{"SourceAS", value.KindInt},
+		Column{"DestAS", value.KindInt},
+		Column{"NumBytes", value.KindFloat},
+		Column{"Router", value.KindString},
+	)
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{"a", value.KindInt}, Column{"A", value.KindInt}); err == nil {
+		t.Error("duplicate (case-insensitive) columns accepted")
+	}
+	if _, err := NewSchema(Column{"", value.KindInt}); err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := testSchema(t)
+	if i, ok := s.Lookup("destas"); !ok || i != 1 {
+		t.Errorf("Lookup(destas) = %d, %v", i, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+	if _, err := s.MustLookup("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("MustLookup error should name the column: %v", err)
+	}
+}
+
+func TestSchemaLookupAfterGob(t *testing.T) {
+	// Simulate a schema arriving over the wire without the private index.
+	s := &Schema{Cols: testSchema(t).Cols}
+	if i, ok := s.Lookup("NumBytes"); !ok || i != 2 {
+		t.Errorf("Lookup on rebuilt schema = %d, %v", i, ok)
+	}
+}
+
+func TestSchemaProjectAndConcat(t *testing.T) {
+	s := testSchema(t)
+	p, idx, err := s.Project([]string{"DestAS", "SourceAS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || idx[0] != 1 || idx[1] != 0 {
+		t.Errorf("Project = %s idx %v", p, idx)
+	}
+	if _, _, err := s.Project([]string{"missing"}); err == nil {
+		t.Error("Project(missing) should error")
+	}
+	c, err := s.Concat(Column{"cnt", value.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Errorf("Concat len = %d", c.Len())
+	}
+	if _, err := s.Concat(Column{"sourceas", value.KindInt}); err == nil {
+		t.Error("Concat duplicate should error")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a, b := testSchema(t), testSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	c := MustSchema(Column{"SourceAS", value.KindFloat})
+	if a.Equal(c) {
+		t.Error("different schemas Equal")
+	}
+}
+
+func mkRel(t *testing.T) *Relation {
+	t.Helper()
+	r := New(testSchema(t))
+	r.MustAppend(value.NewInt(1), value.NewInt(10), value.NewFloat(100), value.NewString("r1"))
+	r.MustAppend(value.NewInt(1), value.NewInt(10), value.NewFloat(50), value.NewString("r1"))
+	r.MustAppend(value.NewInt(2), value.NewInt(20), value.NewFloat(75), value.NewString("r2"))
+	r.MustAppend(value.NewInt(1), value.NewInt(20), value.NewFloat(25), value.NewString("r2"))
+	return r
+}
+
+func TestAppendArity(t *testing.T) {
+	r := New(testSchema(t))
+	if err := r.Append(Row{value.NewInt(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestDistinctProject(t *testing.T) {
+	r := mkRel(t)
+	p, err := r.DistinctProject([]string{"SourceAS", "DestAS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Errorf("distinct project rows = %d, want 3", p.Len())
+	}
+	// First-seen order preserved.
+	if p.Rows[0][0].I != 1 || p.Rows[0][1].I != 10 {
+		t.Errorf("first row = %v", p.Rows[0])
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := mkRel(t), mkRel(t)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 8 {
+		t.Errorf("union len = %d", a.Len())
+	}
+	other := New(MustSchema(Column{"x", value.KindInt}))
+	if err := a.Union(other); err == nil {
+		t.Error("union with mismatched schema accepted")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	r := mkRel(t)
+	if err := r.SortBy("SourceAS", "DestAS"); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 10}, {1, 10}, {1, 20}, {2, 20}}
+	for i, w := range want {
+		if r.Rows[i][0].I != w[0] || r.Rows[i][1].I != w[1] {
+			t.Errorf("row %d = (%v,%v), want %v", i, r.Rows[i][0], r.Rows[i][1], w)
+		}
+	}
+	if err := r.SortBy("missing"); err == nil {
+		t.Error("SortBy(missing) should error")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	r := mkRel(t)
+	ix, err := r.BuildIndex([]string{"SourceAS", "DestAS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := ix.LookupKey([]value.V{value.NewInt(1), value.NewInt(10)})
+	if len(pos) != 2 {
+		t.Errorf("lookup (1,10) = %v, want 2 rows", pos)
+	}
+	if got := ix.LookupKey([]value.V{value.NewInt(9), value.NewInt(9)}); got != nil {
+		t.Errorf("lookup missing key = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := mkRel(t)
+	c := r.Clone()
+	c.Rows[0][0] = value.NewInt(99)
+	if r.Rows[0][0].I == 99 {
+		t.Error("clone shares row storage")
+	}
+}
+
+func TestRowKeyDistinguishes(t *testing.T) {
+	a := Row{value.NewInt(1), value.NewString("23")}
+	b := Row{value.NewInt(12), value.NewString("3")}
+	if RowKey(a, []int{0, 1}) == RowKey(b, []int{0, 1}) {
+		t.Error("row keys collide across field boundaries")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := mkRel(t)
+	s := r.Format(2)
+	if !strings.Contains(s, "SourceAS") || !strings.Contains(s, "2 more rows") {
+		t.Errorf("Format output unexpected:\n%s", s)
+	}
+}
+
+func TestSortKeysDesc(t *testing.T) {
+	r := mkRel(t)
+	if err := r.SortKeys(SortKey{Name: "NumBytes", Desc: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{100, 75, 50, 25}
+	for i, w := range want {
+		if r.Rows[i][2].F != w {
+			t.Errorf("row %d NumBytes = %v, want %v", i, r.Rows[i][2], w)
+		}
+	}
+	// Mixed directions: SourceAS asc, NumBytes desc.
+	if err := r.SortKeys(SortKey{Name: "SourceAS"}, SortKey{Name: "NumBytes", Desc: true}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 1 || r.Rows[0][2].F != 100 {
+		t.Errorf("first row = %v", r.Rows[0])
+	}
+	if err := r.SortKeys(SortKey{Name: "missing"}); err == nil {
+		t.Error("SortKeys(missing) should error")
+	}
+}

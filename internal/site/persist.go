@@ -1,0 +1,96 @@
+package site
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+)
+
+// Snapshot durability: a site can persist its stored relations to disk
+// and restore them at startup, so a restarted warehouse site comes back
+// with its partition intact without re-ingesting or regenerating. The
+// snapshot format is a single gob stream (a header plus the relation
+// map), written atomically via a temp file + rename.
+
+// snapshotMagic guards against restoring something that is not a Skalla
+// snapshot.
+const snapshotMagic = "skalla-site-snapshot-v1"
+
+type snapshotFile struct {
+	Magic  string
+	SiteID string
+	Rels   map[string]*relation.Relation
+}
+
+// Snapshot writes every stored relation to path, atomically.
+func (e *Engine) Snapshot(path string) error {
+	e.mu.RLock()
+	snap := snapshotFile{Magic: snapshotMagic, SiteID: e.id, Rels: make(map[string]*relation.Relation, len(e.rels))}
+	for name, rel := range e.rels {
+		snap.Rels[name] = rel
+	}
+	e.mu.RUnlock()
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".skalla-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("site: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	w := bufio.NewWriter(tmp)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("site: snapshot encode: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("site: snapshot flush: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("site: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("site: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the engine's relations with the snapshot's contents.
+func (e *Engine) Restore(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("site: restore: %w", err)
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
+		return fmt.Errorf("site: restore decode: %w", err)
+	}
+	if snap.Magic != snapshotMagic {
+		return fmt.Errorf("site: %s is not a site snapshot", path)
+	}
+	e.mu.Lock()
+	e.rels = snap.Rels
+	if e.rels == nil {
+		e.rels = map[string]*relation.Relation{}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// RelationNames lists the stored relations, for diagnostics.
+func (e *Engine) RelationNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.rels))
+	for name := range e.rels {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package site implements a Skalla site: the local data warehouse adjacent
+// to a data collection point. A site stores its horizontal partition of
+// the detail relation(s) and evaluates GMDJ rounds against it, shipping
+// only base-result structures and sub-aggregates back to the coordinator —
+// never detail tuples.
+//
+// The original system used the Daytona DBMS as the local warehouse; here
+// the local evaluator is the gmdj package over in-memory relations, which
+// exposes the same contract (local evaluation of GMDJ expressions and of
+// base-values queries).
+package site
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/transport"
+)
+
+// Generator synthesizes one site's partition of a dataset; generators are
+// registered by kind (e.g. "tpcr", "ipflow") so sites can build their data
+// locally instead of having it shipped.
+type Generator func(spec *transport.GenSpec) (*relation.Relation, error)
+
+var (
+	genMu      sync.RWMutex
+	generators = map[string]Generator{}
+)
+
+// RegisterGenerator makes a dataset generator available to all engines
+// under the given kind. It panics on duplicate registration, mirroring
+// database/sql driver registration.
+func RegisterGenerator(kind string, g Generator) {
+	genMu.Lock()
+	defer genMu.Unlock()
+	if _, dup := generators[kind]; dup {
+		panic(fmt.Sprintf("site: generator %q registered twice", kind))
+	}
+	generators[kind] = g
+}
+
+func lookupGenerator(kind string) (Generator, bool) {
+	genMu.RLock()
+	defer genMu.RUnlock()
+	g, ok := generators[kind]
+	return g, ok
+}
+
+// Engine is one site's local warehouse. It implements transport.Handler.
+type Engine struct {
+	id string
+
+	mu   sync.RWMutex
+	rels map[string]*relation.Relation
+}
+
+// NewEngine returns an empty site engine.
+func NewEngine(id string) *Engine {
+	return &Engine{id: id, rels: map[string]*relation.Relation{}}
+}
+
+// ID returns the site identifier.
+func (e *Engine) ID() string { return e.id }
+
+// Load stores a relation under the given name, replacing any previous one.
+func (e *Engine) Load(name string, r *relation.Relation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rels[strings.ToLower(name)] = r
+}
+
+// Relation returns the stored relation with the given name.
+func (e *Engine) Relation(name string) (*relation.Relation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, ok := e.rels[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("site %s: no relation %q", e.id, name)
+	}
+	return r, nil
+}
+
+// Handle implements transport.Handler. Errors travel in Response.Err so
+// they cross the wire.
+func (e *Engine) Handle(req *transport.Request) *transport.Response {
+	resp, err := e.handle(req)
+	if err != nil {
+		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err)}
+	}
+	return resp
+}
+
+func (e *Engine) handle(req *transport.Request) (*transport.Response, error) {
+	switch req.Op {
+	case transport.OpPing:
+		return &transport.Response{}, nil
+
+	case transport.OpLoad:
+		if req.Data == nil || req.Data.Schema == nil {
+			return nil, fmt.Errorf("no relation payload")
+		}
+		if req.Rel == "" {
+			return nil, fmt.Errorf("no relation name")
+		}
+		e.Load(req.Rel, req.Data)
+		return &transport.Response{RowCount: req.Data.Len()}, nil
+
+	case transport.OpGenerate:
+		if req.Gen == nil {
+			return nil, fmt.Errorf("no generator spec")
+		}
+		g, ok := lookupGenerator(req.Gen.Kind)
+		if !ok {
+			return nil, fmt.Errorf("unknown generator %q", req.Gen.Kind)
+		}
+		start := time.Now()
+		r, err := g(req.Gen)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", req.Gen.Kind, err)
+		}
+		name := req.Gen.Rel
+		if name == "" {
+			name = req.Gen.Kind
+		}
+		e.Load(name, r)
+		return &transport.Response{RowCount: r.Len(), ComputeNs: time.Since(start).Nanoseconds()}, nil
+
+	case transport.OpDrop:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		delete(e.rels, strings.ToLower(req.Rel))
+		return &transport.Response{}, nil
+
+	case transport.OpRelInfo:
+		r, err := e.Relation(req.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return &transport.Response{
+			RowCount: r.Len(),
+			Rel:      &relation.Relation{Schema: r.Schema},
+		}, nil
+
+	case transport.OpEvalBase:
+		return e.evalBase(req)
+
+	case transport.OpEvalRounds:
+		return e.evalRounds(req)
+
+	default:
+		return nil, fmt.Errorf("unknown op %d", req.Op)
+	}
+}
+
+// evalBase computes the base-values query over the local detail relation.
+func (e *Engine) evalBase(req *transport.Request) (*transport.Response, error) {
+	detail, err := e.Relation(req.Detail)
+	if err != nil {
+		return nil, err
+	}
+	def, err := baseDef(req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	b, err := gmdj.EvalBase(detail, def)
+	if err != nil {
+		return nil, err
+	}
+	return &transport.Response{Rel: b, ComputeNs: time.Since(start).Nanoseconds()}, nil
+}
+
+func baseDef(req *transport.Request) (gmdj.BaseDef, error) {
+	def := gmdj.BaseDef{Cols: req.BaseCols}
+	if req.BaseWhere != "" {
+		w, err := expr.Parse(req.BaseWhere)
+		if err != nil {
+			return def, fmt.Errorf("base filter: %w", err)
+		}
+		def.Where = w
+	}
+	return def, nil
+}
+
+// evalRounds runs one or more GMDJ rounds locally. With req.Base set the
+// shipped base-result fragment is used; with req.BaseCols set the base is
+// computed locally first (Proposition 2 fusion). Multiple rounds evaluate
+// as a local chain without intermediate synchronization (Theorem 5 /
+// Corollary 1); later rounds see the finalized aggregates of earlier ones.
+func (e *Engine) evalRounds(req *transport.Request) (*transport.Response, error) {
+	if len(req.Rounds) == 0 {
+		return nil, fmt.Errorf("no rounds")
+	}
+	start := time.Now()
+
+	base := req.Base
+	if len(req.BaseCols) > 0 {
+		detail, err := e.Relation(firstDetail(req))
+		if err != nil {
+			return nil, err
+		}
+		def, err := baseDef(req)
+		if err != nil {
+			return nil, err
+		}
+		base, err = gmdj.EvalBase(detail, def)
+		if err != nil {
+			return nil, fmt.Errorf("fused base: %w", err)
+		}
+	}
+	if base == nil || base.Schema == nil {
+		return nil, fmt.Errorf("no base relation (ship Base or set BaseCols)")
+	}
+
+	// Accumulated |RNG| counts across rounds (Proposition 1 over
+	// θ_1 ∨ ... ∨ θ_m of the whole chain).
+	var touchedTotals []int64
+	anyTouched := false
+	var finalCols []string
+
+	for ri, spec := range req.Rounds {
+		md, err := parseRound(spec)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", ri+1, err)
+		}
+		detail, err := e.Relation(spec.Detail)
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", ri+1, err)
+		}
+		h, err := gmdj.EvalSub(base, detail, md, gmdj.SubOpts{
+			Finalize: spec.Finalize,
+			Touched:  spec.Touched,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("round %d: %w", ri+1, err)
+		}
+		if spec.Finalize {
+			for _, s := range md.Specs() {
+				finalCols = append(finalCols, s.As)
+			}
+		}
+		if spec.Touched {
+			anyTouched = true
+			h, touchedTotals, err = absorbTouched(h, touchedTotals)
+			if err != nil {
+				return nil, fmt.Errorf("round %d: %w", ri+1, err)
+			}
+		} else if touchedTotals != nil {
+			// Keep alignment: rows per base tuple are stable across rounds.
+			if len(touchedTotals) != h.Len() {
+				return nil, fmt.Errorf("round %d: row count changed mid-chain", ri+1)
+			}
+		}
+		base = h
+	}
+
+	out := base
+	// Strip locally-finalized columns before shipping unless the plan
+	// wants them (plans that merge primitives recompute finals at the
+	// coordinator; shipping both would waste traffic).
+	if len(finalCols) > 0 && !req.KeepFinal {
+		var err error
+		out, err = dropColumns(out, finalCols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if anyTouched {
+		out = filterByTotals(out, touchedTotals)
+	}
+	return &transport.Response{Rel: out, ComputeNs: time.Since(start).Nanoseconds()}, nil
+}
+
+func firstDetail(req *transport.Request) string {
+	if req.Detail != "" {
+		return req.Detail
+	}
+	return req.Rounds[0].Detail
+}
+
+// parseRound converts the wire form of a round into an MD operator.
+func parseRound(spec transport.RoundSpec) (gmdj.MD, error) {
+	md := gmdj.MD{BaseAlias: spec.BaseAlias, DetailAlias: spec.DetailAlias}
+	if len(spec.Aggs) != len(spec.Thetas) {
+		return md, fmt.Errorf("%d aggregate lists vs %d conditions", len(spec.Aggs), len(spec.Thetas))
+	}
+	for i, thetaText := range spec.Thetas {
+		theta, err := expr.Parse(thetaText)
+		if err != nil {
+			return md, fmt.Errorf("θ_%d: %w", i+1, err)
+		}
+		var specs []agg.Spec
+		for _, at := range spec.Aggs[i] {
+			s, err := agg.ParseSpec(at)
+			if err != nil {
+				return md, err
+			}
+			specs = append(specs, s)
+		}
+		md.Thetas = append(md.Thetas, theta)
+		md.Aggs = append(md.Aggs, specs)
+	}
+	return md, nil
+}
+
+// absorbTouched removes the touched column from h, adding its counts into
+// the running totals.
+func absorbTouched(h *relation.Relation, totals []int64) (*relation.Relation, []int64, error) {
+	ti, err := h.Schema.MustLookup(gmdj.TouchedCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	if totals == nil {
+		totals = make([]int64, h.Len())
+	}
+	if len(totals) != h.Len() {
+		return nil, nil, fmt.Errorf("touched totals misaligned: %d vs %d rows", len(totals), h.Len())
+	}
+	for i, row := range h.Rows {
+		t, err := row[ti].AsInt()
+		if err != nil {
+			return nil, nil, err
+		}
+		totals[i] += t
+	}
+	out, err := dropColumns(h, []string{gmdj.TouchedCol})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, totals, nil
+}
+
+// filterByTotals drops groups whose accumulated |RNG| count is zero — the
+// site-side half of Proposition 1. The count itself is a local detection
+// mechanism and is not shipped.
+func filterByTotals(h *relation.Relation, totals []int64) *relation.Relation {
+	out := relation.New(h.Schema)
+	for i, row := range h.Rows {
+		if totals[i] > 0 {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// dropColumns projects away the named columns.
+func dropColumns(r *relation.Relation, names []string) (*relation.Relation, error) {
+	drop := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		drop[strings.ToLower(n)] = struct{}{}
+	}
+	var keep []string
+	for _, c := range r.Schema.Cols {
+		if _, d := drop[strings.ToLower(c.Name)]; !d {
+			keep = append(keep, c.Name)
+		}
+	}
+	if len(keep) == r.Schema.Len() {
+		return r, nil
+	}
+	s, idx, err := r.Schema.Project(keep)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(s)
+	out.Rows = make([]relation.Row, len(r.Rows))
+	for i, row := range r.Rows {
+		nr := make(relation.Row, len(idx))
+		for j, p := range idx {
+			nr[j] = row[p]
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}

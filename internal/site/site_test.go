@@ -1,0 +1,361 @@
+package site
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func flowRel(rows ...[3]int64) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Column{Name: "SourceAS", Kind: value.KindInt},
+		relation.Column{Name: "DestAS", Kind: value.KindInt},
+		relation.Column{Name: "NumBytes", Kind: value.KindInt},
+	)
+	r := relation.New(s)
+	for _, t := range rows {
+		r.MustAppend(value.NewInt(t[0]), value.NewInt(t[1]), value.NewInt(t[2]))
+	}
+	return r
+}
+
+var testFlow = [][3]int64{
+	{1, 10, 100}, {1, 10, 300}, {2, 10, 50}, {1, 20, 500},
+}
+
+func loadedEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine("s1")
+	e.Load("flow", flowRel(testFlow...))
+	return e
+}
+
+func TestPingAndUnknownOp(t *testing.T) {
+	e := loadedEngine(t)
+	if resp := e.Handle(&transport.Request{Op: transport.OpPing}); resp.Error() != nil {
+		t.Error(resp.Error())
+	}
+	if resp := e.Handle(&transport.Request{Op: transport.Op(99)}); resp.Error() == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestLoadDropInfo(t *testing.T) {
+	e := NewEngine("s1")
+	rel := flowRel(testFlow...)
+	resp := e.Handle(&transport.Request{Op: transport.OpLoad, Rel: "f", Data: rel})
+	if resp.Error() != nil || resp.RowCount != 4 {
+		t.Fatalf("load: %v, count %d", resp.Error(), resp.RowCount)
+	}
+	resp = e.Handle(&transport.Request{Op: transport.OpRelInfo, Rel: "F"}) // case-insensitive
+	if resp.Error() != nil || resp.RowCount != 4 {
+		t.Fatalf("info: %v", resp.Error())
+	}
+	resp = e.Handle(&transport.Request{Op: transport.OpDrop, Rel: "f"})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	resp = e.Handle(&transport.Request{Op: transport.OpRelInfo, Rel: "f"})
+	if resp.Error() == nil {
+		t.Error("info after drop should fail")
+	}
+	// Bad loads.
+	if resp := e.Handle(&transport.Request{Op: transport.OpLoad, Rel: "x"}); resp.Error() == nil {
+		t.Error("load without payload accepted")
+	}
+	if resp := e.Handle(&transport.Request{Op: transport.OpLoad, Data: rel}); resp.Error() == nil {
+		t.Error("load without name accepted")
+	}
+}
+
+func TestEvalBase(t *testing.T) {
+	e := loadedEngine(t)
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalBase, Detail: "flow",
+		BaseCols: []string{"SourceAS", "DestAS"},
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if resp.Rel.Len() != 3 {
+		t.Errorf("base rows = %d, want 3", resp.Rel.Len())
+	}
+	if resp.ComputeNs < 0 {
+		t.Error("no compute time")
+	}
+	// With filter.
+	resp = e.Handle(&transport.Request{
+		Op: transport.OpEvalBase, Detail: "flow",
+		BaseCols: []string{"SourceAS"}, BaseWhere: "F.NumBytes >= 300",
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if resp.Rel.Len() != 1 {
+		t.Errorf("filtered base rows = %d", resp.Rel.Len())
+	}
+	// Errors.
+	if resp := e.Handle(&transport.Request{Op: transport.OpEvalBase, Detail: "none", BaseCols: []string{"x"}}); resp.Error() == nil {
+		t.Error("missing detail accepted")
+	}
+	if resp := e.Handle(&transport.Request{Op: transport.OpEvalBase, Detail: "flow", BaseCols: []string{"SourceAS"}, BaseWhere: "(("}); resp.Error() == nil {
+		t.Error("bad filter accepted")
+	}
+}
+
+func roundSpec(touched, finalize bool) transport.RoundSpec {
+	return transport.RoundSpec{
+		Detail:  "flow",
+		Aggs:    [][]string{{"count(*) AS cnt1", "sum(F.NumBytes) AS sum1"}},
+		Thetas:  []string{"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS"},
+		Touched: touched, Finalize: finalize,
+	}
+}
+
+func TestEvalRoundsShippedBase(t *testing.T) {
+	e := loadedEngine(t)
+	b, err := gmdj.EvalBase(flowRel(testFlow...), gmdj.BaseDef{Cols: []string{"SourceAS", "DestAS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalRounds, Base: b,
+		Rounds: []transport.RoundSpec{roundSpec(false, false)},
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	h := resp.Rel
+	for _, col := range []string{"SourceAS", "DestAS", "cnt1__p0", "sum1__p0"} {
+		if _, ok := h.Schema.Lookup(col); !ok {
+			t.Errorf("missing column %s in %s", col, h.Schema)
+		}
+	}
+	if _, ok := h.Schema.Lookup("cnt1"); ok {
+		t.Error("finalized column shipped without Finalize")
+	}
+	if h.Len() != 3 {
+		t.Errorf("rows = %d", h.Len())
+	}
+}
+
+func TestEvalRoundsFusedBase(t *testing.T) {
+	e := loadedEngine(t)
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalRounds, Detail: "flow",
+		BaseCols: []string{"SourceAS", "DestAS"},
+		Rounds:   []transport.RoundSpec{roundSpec(false, false)},
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if resp.Rel.Len() != 3 {
+		t.Errorf("fused rows = %d", resp.Rel.Len())
+	}
+}
+
+func TestEvalRoundsChained(t *testing.T) {
+	e := loadedEngine(t)
+	rounds := []transport.RoundSpec{
+		{
+			Detail:   "flow",
+			Aggs:     [][]string{{"count(*) AS cnt1", "sum(F.NumBytes) AS sum1"}},
+			Thetas:   []string{"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS"},
+			Finalize: true, Touched: true,
+		},
+		{
+			Detail:   "flow",
+			Aggs:     [][]string{{"count(*) AS cnt2"}},
+			Thetas:   []string{"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS AND F.NumBytes >= B.sum1 / B.cnt1"},
+			Finalize: true, Touched: true,
+		},
+	}
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalRounds, Detail: "flow",
+		BaseCols: []string{"SourceAS", "DestAS"},
+		Rounds:   rounds,
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	h := resp.Rel
+	// Finalized columns stripped, prims of both rounds present; the
+	// touched counter is local-only and never shipped.
+	for _, col := range []string{"cnt1__p0", "sum1__p0", "cnt2__p0"} {
+		if _, ok := h.Schema.Lookup(col); !ok {
+			t.Errorf("missing %s in %s", col, h.Schema)
+		}
+	}
+	for _, col := range []string{"cnt1", "sum1", "cnt2", gmdj.TouchedCol} {
+		if _, ok := h.Schema.Lookup(col); ok {
+			t.Errorf("column %s not stripped", col)
+		}
+	}
+	// Local chain: group (1,10) has cnt1=2 (rows 100,300), avg=200,
+	// cnt2 = #{300} = 1.
+	h.SortBy("SourceAS", "DestAS")
+	c2, _ := h.Schema.MustLookup("cnt2__p0")
+	if h.Rows[0][c2].I != 1 {
+		t.Errorf("chained cnt2 = %v, want 1\n%s", h.Rows[0][c2], h)
+	}
+}
+
+func TestEvalRoundsKeepFinal(t *testing.T) {
+	e := loadedEngine(t)
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalRounds, Detail: "flow",
+		BaseCols:  []string{"SourceAS", "DestAS"},
+		Rounds:    []transport.RoundSpec{roundSpec(false, true)},
+		KeepFinal: true,
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if _, ok := resp.Rel.Schema.Lookup("cnt1"); !ok {
+		t.Error("KeepFinal did not keep finalized columns")
+	}
+}
+
+func TestEvalRoundsTouchedFilter(t *testing.T) {
+	e := loadedEngine(t)
+	// Shipped base contains a foreign group (9,9) this site never matches.
+	b, err := gmdj.EvalBase(flowRel(testFlow...), gmdj.BaseDef{Cols: []string{"SourceAS", "DestAS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.MustAppend(value.NewInt(9), value.NewInt(9))
+	resp := e.Handle(&transport.Request{
+		Op: transport.OpEvalRounds, Base: b,
+		Rounds: []transport.RoundSpec{roundSpec(true, false)},
+	})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if resp.Rel.Len() != 3 {
+		t.Errorf("touched filter kept %d rows, want 3", resp.Rel.Len())
+	}
+}
+
+func TestEvalRoundsErrors(t *testing.T) {
+	e := loadedEngine(t)
+	cases := []*transport.Request{
+		{Op: transport.OpEvalRounds}, // no rounds
+		{Op: transport.OpEvalRounds, Rounds: []transport.RoundSpec{roundSpec(false, false)}}, // no base
+		{Op: transport.OpEvalRounds, Detail: "flow", BaseCols: []string{"SourceAS"},
+			Rounds: []transport.RoundSpec{{Detail: "missing", Aggs: [][]string{{"count(*) AS c"}}, Thetas: []string{"TRUE"}}}},
+		{Op: transport.OpEvalRounds, Detail: "flow", BaseCols: []string{"SourceAS"},
+			Rounds: []transport.RoundSpec{{Detail: "flow", Aggs: [][]string{{"count(*) AS c"}}, Thetas: []string{"((bad"}}}},
+		{Op: transport.OpEvalRounds, Detail: "flow", BaseCols: []string{"SourceAS"},
+			Rounds: []transport.RoundSpec{{Detail: "flow", Aggs: [][]string{{"nope(*) AS c"}}, Thetas: []string{"TRUE"}}}},
+		{Op: transport.OpEvalRounds, Detail: "flow", BaseCols: []string{"SourceAS"},
+			Rounds: []transport.RoundSpec{{Detail: "flow", Aggs: [][]string{{"count(*) AS c"}, {"count(*) AS d"}}, Thetas: []string{"TRUE"}}}},
+	}
+	for i, req := range cases {
+		if resp := e.Handle(req); resp.Error() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorRegistry(t *testing.T) {
+	kind := fmt.Sprintf("test-gen-%d", len(generators))
+	RegisterGenerator(kind, func(spec *transport.GenSpec) (*relation.Relation, error) {
+		if spec.Params["fail"] == 1 {
+			return nil, fmt.Errorf("boom")
+		}
+		return flowRel(testFlow...), nil
+	})
+	e := NewEngine("s1")
+	resp := e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Rel: "g"}})
+	if resp.Error() != nil || resp.RowCount != 4 {
+		t.Fatalf("generate: %v", resp.Error())
+	}
+	if _, err := e.Relation("g"); err != nil {
+		t.Error(err)
+	}
+	// Default name = kind.
+	resp = e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind}})
+	if resp.Error() != nil {
+		t.Fatal(resp.Error())
+	}
+	if _, err := e.Relation(kind); err != nil {
+		t.Error(err)
+	}
+	// Failure paths.
+	resp = e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Params: map[string]int64{"fail": 1}}})
+	if resp.Error() == nil || !strings.Contains(resp.Error().Error(), "boom") {
+		t.Errorf("generator failure not surfaced: %v", resp.Error())
+	}
+	if resp := e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: "unregistered"}}); resp.Error() == nil {
+		t.Error("unknown generator accepted")
+	}
+	if resp := e.Handle(&transport.Request{Op: transport.OpGenerate}); resp.Error() == nil {
+		t.Error("missing GenSpec accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterGenerator(kind, nil)
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/site.snap"
+
+	e := loadedEngine(t)
+	e.Load("extra", flowRel([3]int64{9, 9, 9}))
+	if err := e.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewEngine("s2")
+	if err := fresh.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	names := fresh.RelationNames()
+	if len(names) != 2 {
+		t.Fatalf("restored relations: %v", names)
+	}
+	rel, err := fresh.Relation("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Errorf("restored flow rows = %d", rel.Len())
+	}
+	// Restored engine answers queries identically.
+	resp := fresh.Handle(&transport.Request{
+		Op: transport.OpEvalBase, Detail: "flow",
+		BaseCols: []string{"SourceAS"},
+	})
+	if resp.Error() != nil || resp.Rel.Len() != 2 {
+		t.Errorf("restored eval: %v, %d rows", resp.Error(), resp.Rel.Len())
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	e := NewEngine("s1")
+	if err := e.Restore("/nonexistent/path"); err == nil {
+		t.Error("restore of missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := dir + "/bad.snap"
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(bad); err == nil {
+		t.Error("restore of garbage accepted")
+	}
+	// Snapshot into a nonexistent directory fails cleanly.
+	if err := e.Snapshot("/nonexistent/dir/x.snap"); err == nil {
+		t.Error("snapshot into missing dir accepted")
+	}
+}

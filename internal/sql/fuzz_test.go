@@ -1,0 +1,39 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the SQL front-end never panics and that accepted
+// statements are structurally sane.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT Region, count(*) FROM sales GROUP BY Region",
+		"SELECT a, sum(x * (1 - y)) AS r FROM t WHERE x BETWEEN 1 AND 9 GROUP BY a HAVING r > 5",
+		"SELECT a, b, avg(v) FROM t CUBE BY a, b",
+		"SELECT a, max(v) FROM t ROLLUP BY a;",
+		"select a from t where s = 'group by' group by a",
+		"SELECT a, count(*) FROM t GROUP BY a HAVING count > 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st.Detail == "" {
+			t.Fatalf("accepted statement without relation: %q", input)
+		}
+		if len(st.GroupCols) == 0 {
+			t.Fatalf("accepted statement without grouping columns: %q", input)
+		}
+		if len(st.SelectCols) == 0 {
+			t.Fatalf("accepted statement without select columns: %q", input)
+		}
+		if !st.Cube && !st.Rollup {
+			if _, err := st.Query(); err != nil {
+				t.Fatalf("accepted statement fails translation: %q: %v", input, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,533 @@
+// Package sql implements a small SQL front-end for Skalla: the role the
+// paper assigns to the query generator, which "constructs query plans
+// from the OLAP queries" before Egil optimizes them as GMDJ expressions.
+//
+// Supported statement shape:
+//
+//	SELECT <cols and aggregates>
+//	FROM <relation>
+//	[WHERE <condition over detail columns>]
+//	{GROUP BY <cols> | CUBE BY <cols> | ROLLUP BY <cols>}
+//	[HAVING <condition over the result columns>]
+//	[ORDER BY <col [ASC|DESC]>, ...]
+//	[LIMIT <n>]
+//
+// Aggregates are count/sum/avg/min/max/var/stddev/countd over detail
+// expressions; every non-aggregate select item must appear in the
+// grouping columns. GROUP BY compiles to a single-MD GMDJ query (group
+// equality plus the WHERE condition as θ); CUBE BY marks the statement
+// for data-cube execution. HAVING is returned as a predicate over the
+// result relation, applied after synchronization (it references
+// super-aggregates, which only exist at the coordinator).
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/gmdj"
+)
+
+// Statement is a parsed and translated SQL query.
+type Statement struct {
+	// Detail is the FROM relation.
+	Detail string
+	// GroupCols are the grouping (or cube dimension) columns.
+	GroupCols []string
+	// Aggs are the aggregates of the select list.
+	Aggs []agg.Spec
+	// SelectCols is the output column order, referencing grouping
+	// columns and aggregate aliases.
+	SelectCols []string
+	// Where is the detail-row filter (columns qualified with F), or nil.
+	Where expr.Expr
+	// Having filters the result relation, or nil.
+	Having expr.Expr
+	// Cube marks CUBE BY statements.
+	Cube bool
+	// Rollup marks ROLLUP BY statements.
+	Rollup bool
+	// OrderBy lists result sort keys (names from the select list).
+	OrderBy []OrderKey
+	// Limit caps the result rows; 0 means no limit.
+	Limit int
+}
+
+// OrderKey is one ORDER BY item.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Query translates a GROUP BY statement into its GMDJ form: a single MD
+// whose condition equates every grouping column and conjoins the WHERE
+// filter. Cube statements have no single-query form; execute them with a
+// cube evaluator over (GroupCols, Aggs).
+func (s *Statement) Query() (gmdj.Query, error) {
+	if s.Cube || s.Rollup {
+		return gmdj.Query{}, fmt.Errorf("sql: CUBE BY / ROLLUP BY statements need a grouping-sets evaluator, not Query")
+	}
+	var conjs []expr.Expr
+	for _, c := range s.GroupCols {
+		conjs = append(conjs, expr.Eq(expr.Ref("F", c), expr.Ref("B", c)))
+	}
+	if s.Where != nil {
+		conjs = append(conjs, s.Where)
+	}
+	aggs := s.Aggs
+	if len(aggs) == 0 {
+		// Pure DISTINCT projection: carry a count so the GMDJ machinery
+		// applies; callers project it away via SelectCols.
+		aggs = []agg.Spec{{Func: agg.Count, As: distinctCountCol}}
+	}
+	q := gmdj.Query{
+		Base: gmdj.BaseDef{Cols: s.GroupCols, Where: s.Where},
+		MDs: []gmdj.MD{{
+			Aggs:   [][]agg.Spec{aggs},
+			Thetas: []expr.Expr{expr.And(conjs...)},
+		}},
+	}
+	return q, nil
+}
+
+// distinctCountCol is the synthetic aggregate carried by aggregate-free
+// SELECT DISTINCT-style statements.
+const distinctCountCol = "__distinct_n"
+
+// Parse parses one statement. A trailing semicolon is tolerated.
+func Parse(input string) (*Statement, error) {
+	input = strings.TrimSpace(input)
+	input = strings.TrimSuffix(input, ";")
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	return p.parse()
+}
+
+// token kinds for the SQL splitter.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokWord
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex splits the input into words, quoted strings, and punctuation,
+// preserving original spelling (expr.Parse re-parses the fragments).
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			for {
+				if i >= len(s) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if s[i] == '\'' {
+					if i+1 < len(s) && s[i+1] == '\'' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{tokString, s[start:i], start})
+		case isWordChar(c) || c == '.':
+			start := i
+			for i < len(s) && (isWordChar(s[i]) || s[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokWord, s[start:i], start})
+		default:
+			// Two-character operators stay glued so expr.Parse sees them.
+			if i+1 < len(s) {
+				two := s[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>", "==", "&&", "||":
+					toks = append(toks, token{tokPunct, two, i})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{tokPunct, s[i : i+1], i})
+			i++
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptWord consumes the next token if it is the given keyword.
+func (p *parser) acceptWord(word string) bool {
+	t := p.peek()
+	if t.kind == tokWord && strings.EqualFold(t.text, word) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(word string) error {
+	if !p.acceptWord(word) {
+		t := p.peek()
+		return fmt.Errorf("sql: expected %s, found %q at offset %d", word, t.text, t.pos)
+	}
+	return nil
+}
+
+// atClauseKeyword reports whether the next token starts a new clause.
+func (p *parser) atClauseKeyword() bool {
+	t := p.peek()
+	if t.kind != tokWord {
+		return false
+	}
+	switch strings.ToUpper(t.text) {
+	case "FROM", "WHERE", "GROUP", "CUBE", "ROLLUP", "HAVING", "ORDER", "LIMIT":
+		return true
+	}
+	return false
+}
+
+// collectUntilClause gathers raw text until the next top-level clause
+// keyword (respecting parenthesis depth) and returns it.
+func (p *parser) collectUntilClause() string {
+	depth := 0
+	start := -1
+	end := -1
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if depth == 0 && p.atClauseKeyword() {
+			break
+		}
+		if t.kind == tokPunct {
+			if t.text == "(" {
+				depth++
+			}
+			if t.text == ")" {
+				depth--
+			}
+		}
+		if start < 0 {
+			start = t.pos
+		}
+		end = t.pos + len(t.text)
+		p.next()
+	}
+	if start < 0 {
+		return ""
+	}
+	return p.input[start:end]
+}
+
+// splitTopLevel splits raw text on top-level commas.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\'' {
+				if i+1 < len(s) && s[i+1] == '\'' {
+					i++
+					continue
+				}
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '\'':
+			inStr = true
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (p *parser) parse() (*Statement, error) {
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	selectRaw := p.collectUntilClause()
+	if strings.TrimSpace(selectRaw) == "" {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	fromTok := p.next()
+	if fromTok.kind != tokWord {
+		return nil, fmt.Errorf("sql: expected relation name after FROM, found %q", fromTok.text)
+	}
+
+	st := &Statement{Detail: fromTok.text}
+
+	if p.acceptWord("WHERE") {
+		raw := p.collectUntilClause()
+		w, err := expr.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sql: WHERE: %w", err)
+		}
+		st.Where = qualifyDetail(w)
+	}
+
+	switch {
+	case p.acceptWord("GROUP"):
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+	case p.acceptWord("CUBE"):
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		st.Cube = true
+	case p.acceptWord("ROLLUP"):
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		st.Rollup = true
+	default:
+		return nil, fmt.Errorf("sql: statement needs GROUP BY, CUBE BY, or ROLLUP BY")
+	}
+	for _, col := range splitTopLevel(p.collectUntilClause()) {
+		if col == "" || strings.ContainsAny(col, " ()") {
+			return nil, fmt.Errorf("sql: bad grouping column %q", col)
+		}
+		st.GroupCols = append(st.GroupCols, col)
+	}
+	if len(st.GroupCols) == 0 {
+		return nil, fmt.Errorf("sql: empty grouping column list")
+	}
+
+	if p.acceptWord("HAVING") {
+		raw := p.collectUntilClause()
+		h, err := expr.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sql: HAVING: %w", err)
+		}
+		st.Having = h
+	}
+	if p.acceptWord("ORDER") {
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		for _, item := range splitTopLevel(p.collectUntilClause()) {
+			fields := strings.Fields(item)
+			switch {
+			case len(fields) == 1:
+				st.OrderBy = append(st.OrderBy, OrderKey{Col: fields[0]})
+			case len(fields) == 2 && strings.EqualFold(fields[1], "DESC"):
+				st.OrderBy = append(st.OrderBy, OrderKey{Col: fields[0], Desc: true})
+			case len(fields) == 2 && strings.EqualFold(fields[1], "ASC"):
+				st.OrderBy = append(st.OrderBy, OrderKey{Col: fields[0]})
+			default:
+				return nil, fmt.Errorf("sql: bad ORDER BY item %q", item)
+			}
+		}
+		if len(st.OrderBy) == 0 {
+			return nil, fmt.Errorf("sql: empty ORDER BY list")
+		}
+	}
+	if p.acceptWord("LIMIT") {
+		nt := p.next()
+		n := 0
+		if _, err := fmt.Sscanf(nt.text, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", nt.text)
+		}
+		st.Limit = n
+	}
+	if t := p.peek(); t.kind != tokEOF && t.text != ";" {
+		return nil, fmt.Errorf("sql: unexpected %q at offset %d", t.text, t.pos)
+	}
+
+	if err := st.parseSelectList(selectRaw); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseSelectList resolves select items into grouping-column references
+// and aggregate specs.
+func (st *Statement) parseSelectList(raw string) error {
+	groupSet := map[string]bool{}
+	for _, c := range st.GroupCols {
+		groupSet[strings.ToLower(c)] = true
+	}
+	used := map[string]bool{}
+	for _, item := range splitTopLevel(raw) {
+		if item == "" {
+			return fmt.Errorf("sql: empty select item")
+		}
+		if !strings.Contains(item, "(") {
+			// Plain column, optionally aliased (alias must match — we do
+			// not rename grouping columns).
+			name := item
+			if i := indexFoldWord(item, "AS"); i >= 0 {
+				name = strings.TrimSpace(item[:i])
+			}
+			if !groupSet[strings.ToLower(name)] {
+				return fmt.Errorf("sql: select column %q is not in the grouping columns", name)
+			}
+			st.SelectCols = append(st.SelectCols, name)
+			continue
+		}
+		spec, err := parseAggItem(item, used)
+		if err != nil {
+			return err
+		}
+		if spec.Arg != nil {
+			spec.Arg = qualifyDetail(spec.Arg)
+		}
+		st.Aggs = append(st.Aggs, spec)
+		st.SelectCols = append(st.SelectCols, spec.As)
+	}
+	return nil
+}
+
+// parseAggItem parses "func(arg) [AS alias]" with alias autogeneration.
+func parseAggItem(item string, used map[string]bool) (agg.Spec, error) {
+	text := item
+	if indexFoldWord(item, "AS") < 0 {
+		// Autogenerate an alias from the call: avg(Quantity) → avg_quantity.
+		open := strings.Index(item, "(")
+		fn := strings.ToLower(strings.TrimSpace(item[:open]))
+		argPart := strings.TrimSuffix(strings.TrimSpace(item[open+1:]), ")")
+		alias := fn
+		argName := strings.ToLower(strings.TrimSpace(argPart))
+		if argName != "*" && argName != "" {
+			clean := strings.Map(func(r rune) rune {
+				switch {
+				case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+					return r
+				case r == '.':
+					return '_'
+				default:
+					return -1
+				}
+			}, argName)
+			if clean != "" {
+				alias += "_" + clean
+			}
+		}
+		base := alias
+		for i := 2; used[alias]; i++ {
+			alias = fmt.Sprintf("%s_%d", base, i)
+		}
+		text = item + " AS " + alias
+	}
+	spec, err := agg.ParseSpec(text)
+	if err != nil {
+		return agg.Spec{}, fmt.Errorf("sql: select item %q: %w", item, err)
+	}
+	if used[spec.As] {
+		return agg.Spec{}, fmt.Errorf("sql: duplicate output column %q", spec.As)
+	}
+	used[spec.As] = true
+	return spec, nil
+}
+
+// indexFoldWord finds a standalone (space-delimited) keyword,
+// case-insensitively, outside parentheses and strings.
+func indexFoldWord(s, word string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i+len(word) <= len(s); i++ {
+		c := s[i]
+		if inStr {
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '\'':
+			inStr = true
+			continue
+		case '(':
+			depth++
+			continue
+		case ')':
+			depth--
+			continue
+		}
+		if depth != 0 {
+			continue
+		}
+		if !strings.EqualFold(s[i:i+len(word)], word) {
+			continue
+		}
+		beforeOK := i == 0 || s[i-1] == ' ' || s[i-1] == '\t'
+		afterIdx := i + len(word)
+		afterOK := afterIdx == len(s) || s[afterIdx] == ' ' || s[afterIdx] == '\t'
+		if beforeOK && afterOK {
+			return i
+		}
+	}
+	return -1
+}
+
+// qualifyDetail rewrites unqualified column references to the detail
+// alias F, so conditions bind unambiguously when base and detail share
+// column names.
+func qualifyDetail(e expr.Expr) expr.Expr {
+	return expr.Rewrite(e, func(x expr.Expr) expr.Expr {
+		if c, ok := x.(expr.Col); ok && c.Qual == "" {
+			return expr.Col{Qual: "F", Name: c.Name}
+		}
+		return nil
+	})
+}

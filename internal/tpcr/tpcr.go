@@ -1,0 +1,300 @@
+// Package tpcr generates the denormalized TPC-R-style dataset the paper's
+// experiments use. The original evaluation derived a 900 MB, 6 M tuple
+// relation from the TPC(R) dbgen program — a denormalized join of
+// lineitem, orders, and customer — partitioned on NationKey (and therefore
+// on CustKey, which functionally determines it).
+//
+// This generator reproduces the properties the experiments depend on:
+//
+//   - NationKey partitions the data across sites; CustKey → NationKey and
+//     CustName → CustKey are functional dependencies, making CustName a
+//     (derived) partition attribute — the high-cardinality grouping
+//     attribute (100,000 unique values in the paper, scaled here).
+//   - PartKey has a few thousand unique values spread over all sites —
+//     the low-cardinality, non-partitioned grouping attribute.
+//   - Measures (Quantity, ExtendedPrice, ...) follow dbgen-like uniform
+//     distributions.
+//
+// Generation is deterministic in Config.Seed, and a site generating its
+// partition produces exactly the rows of the full dataset that fall in
+// its nation set, independent of the number of sites.
+package tpcr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// Config parameterizes the generator.
+type Config struct {
+	// Rows is the total number of lineitem rows in the full dataset.
+	Rows int
+	// Customers is the number of distinct customers (CustName values).
+	// The paper's high-cardinality experiments use 100,000.
+	Customers int
+	// Parts is the number of distinct PartKey values — the
+	// low-cardinality grouping attribute (paper: 2000–4000).
+	Parts int
+	// Suppliers is the number of distinct SuppKey values.
+	Suppliers int
+	// Nations is the number of nations; NationKey is the partition
+	// attribute. TPC uses 25.
+	Nations int
+	// LowCardGroups is the cardinality of the derived CustGroup column
+	// (CustKey mod LowCardGroups) — the low-cardinality grouping
+	// attribute of the experiments. When it is a multiple of Nations,
+	// CustGroup functionally determines NationKey and is therefore a
+	// partition attribute.
+	LowCardGroups int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Defaults fills zero fields with scaled-down defaults.
+func (c Config) Defaults() Config {
+	if c.Rows == 0 {
+		c.Rows = 60000
+	}
+	if c.Customers == 0 {
+		c.Customers = 1000
+	}
+	if c.Parts == 0 {
+		c.Parts = 2000
+	}
+	if c.Suppliers == 0 {
+		c.Suppliers = 100
+	}
+	if c.Nations == 0 {
+		c.Nations = 25
+	}
+	if c.LowCardGroups == 0 {
+		c.LowCardGroups = 2000
+	}
+	return c
+}
+
+var mktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+var returnFlags = []string{"A", "N", "R"}
+var lineStatus = []string{"F", "O"}
+var shipModes = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+
+// Schema returns the denormalized TPCR schema.
+func Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "OrderKey", Kind: value.KindInt},
+		relation.Column{Name: "LineNumber", Kind: value.KindInt},
+		relation.Column{Name: "CustKey", Kind: value.KindInt},
+		relation.Column{Name: "CustName", Kind: value.KindString},
+		relation.Column{Name: "CustGroup", Kind: value.KindInt},
+		relation.Column{Name: "NationKey", Kind: value.KindInt},
+		relation.Column{Name: "RegionKey", Kind: value.KindInt},
+		relation.Column{Name: "MktSegment", Kind: value.KindString},
+		relation.Column{Name: "PartKey", Kind: value.KindInt},
+		relation.Column{Name: "SuppKey", Kind: value.KindInt},
+		relation.Column{Name: "Quantity", Kind: value.KindInt},
+		relation.Column{Name: "ExtendedPrice", Kind: value.KindFloat},
+		relation.Column{Name: "Discount", Kind: value.KindFloat},
+		relation.Column{Name: "Tax", Kind: value.KindFloat},
+		relation.Column{Name: "ShipDate", Kind: value.KindInt},
+		relation.Column{Name: "OrderDate", Kind: value.KindInt},
+		relation.Column{Name: "ReturnFlag", Kind: value.KindString},
+		relation.Column{Name: "LineStatus", Kind: value.KindString},
+		relation.Column{Name: "ShipMode", Kind: value.KindString},
+	)
+}
+
+// CustNationKey is the functional dependency CustKey → NationKey.
+func CustNationKey(custKey int64, nations int) int64 {
+	return custKey % int64(nations)
+}
+
+// CustName renders the dbgen-style customer name for a key.
+func CustName(custKey int64) string {
+	return fmt.Sprintf("Customer#%09d", custKey)
+}
+
+// NationsFor returns the nation keys assigned to one of numSites sites
+// under the round-robin partitioning the experiments use.
+func NationsFor(siteIdx, numSites, nations int) []int64 {
+	var out []int64
+	for n := siteIdx; n < nations; n += numSites {
+		out = append(out, int64(n))
+	}
+	return out
+}
+
+// Generate produces the full dataset.
+func Generate(cfg Config) *relation.Relation {
+	return generate(cfg, nil)
+}
+
+// GeneratePartition produces the rows of the full dataset whose NationKey
+// belongs to site siteIdx of numSites. The union over all sites is
+// exactly Generate(cfg).
+func GeneratePartition(cfg Config, siteIdx, numSites int) (*relation.Relation, error) {
+	cfg = cfg.Defaults()
+	if numSites <= 0 || siteIdx < 0 || siteIdx >= numSites {
+		return nil, fmt.Errorf("tpcr: bad partition %d/%d", siteIdx, numSites)
+	}
+	keep := map[int64]bool{}
+	for _, n := range NationsFor(siteIdx, numSites, cfg.Nations) {
+		keep[n] = true
+	}
+	return generate(cfg, keep), nil
+}
+
+func generate(cfg Config, keepNations map[int64]bool) *relation.Relation {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := relation.New(Schema())
+
+	orderKey := int64(0)
+	lineNumber := int64(7) // forces a new order on the first row
+	var custKey, orderDate int64
+	for i := 0; i < cfg.Rows; i++ {
+		// Orders have 1..7 lineitems; a new order picks a new customer.
+		lineNumber++
+		if lineNumber > 1+int64(rng.Intn(7)) {
+			orderKey++
+			lineNumber = 1
+			custKey = int64(rng.Intn(cfg.Customers))
+			orderDate = int64(rng.Intn(2400))
+		}
+		nationKey := CustNationKey(custKey, cfg.Nations)
+		quantity := int64(1 + rng.Intn(50))
+		price := float64(quantity) * (900 + float64(rng.Intn(100000))/100)
+		row := relation.Row{
+			value.NewInt(orderKey),
+			value.NewInt(lineNumber),
+			value.NewInt(custKey),
+			value.NewString(CustName(custKey)),
+			value.NewInt(custKey % int64(cfg.LowCardGroups)),
+			value.NewInt(nationKey),
+			value.NewInt(nationKey % 5),
+			value.NewString(mktSegments[(custKey/5)%int64(len(mktSegments))]),
+			value.NewInt(int64(rng.Intn(cfg.Parts))),
+			value.NewInt(int64(rng.Intn(cfg.Suppliers))),
+			value.NewInt(quantity),
+			value.NewFloat(price),
+			value.NewFloat(float64(rng.Intn(11)) / 100),
+			value.NewFloat(float64(rng.Intn(9)) / 100),
+			value.NewInt(orderDate + int64(1+rng.Intn(121))),
+			value.NewInt(orderDate),
+			value.NewString(returnFlags[rng.Intn(len(returnFlags))]),
+			value.NewString(lineStatus[rng.Intn(len(lineStatus))]),
+			value.NewString(shipModes[rng.Intn(len(shipModes))]),
+		}
+		if keepNations != nil && !keepNations[nationKey] {
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// GenParams converts a Config into transport.GenSpec parameters.
+func GenParams(cfg Config) map[string]int64 {
+	cfg = cfg.Defaults()
+	return map[string]int64{
+		"rows":      int64(cfg.Rows),
+		"customers": int64(cfg.Customers),
+		"parts":     int64(cfg.Parts),
+		"suppliers": int64(cfg.Suppliers),
+		"nations":   int64(cfg.Nations),
+		"lowcard":   int64(cfg.LowCardGroups),
+		"seed":      cfg.Seed,
+	}
+}
+
+// ConfigFromParams is the inverse of GenParams.
+func ConfigFromParams(p map[string]int64) Config {
+	return Config{
+		Rows:          int(p["rows"]),
+		Customers:     int(p["customers"]),
+		Parts:         int(p["parts"]),
+		Suppliers:     int(p["suppliers"]),
+		Nations:       int(p["nations"]),
+		LowCardGroups: int(p["lowcard"]),
+		Seed:          p["seed"],
+	}.Defaults()
+}
+
+// Generator adapts the package to the site generator registry: sites
+// synthesize their own partition locally so no detail data ever crosses
+// the wire.
+func Generator(spec *transport.GenSpec) (*relation.Relation, error) {
+	return GeneratePartition(ConfigFromParams(spec.Params), spec.Site, spec.NumSites)
+}
+
+// FillCatalog records the TPCR distribution knowledge for numSites sites:
+// per-site NationKey domains (value sets) and the functional dependencies
+// CustKey → NationKey and CustName → CustKey.
+func FillCatalog(cat *catalog.Catalog, siteIDs []string, cfg Config) error {
+	cfg = cfg.Defaults()
+	for i, id := range siteIDs {
+		var vals []value.V
+		for _, n := range NationsFor(i, len(siteIDs), cfg.Nations) {
+			vals = append(vals, value.NewInt(n))
+		}
+		if err := cat.SetDomain(id, "NationKey", expr.DomainSet(vals...)); err != nil {
+			return err
+		}
+	}
+	cat.AddFD("CustKey", "NationKey")
+	cat.AddFD("CustName", "CustKey")
+	if cfg.LowCardGroups%cfg.Nations == 0 {
+		// CustKey mod LowCardGroups determines CustKey mod Nations.
+		cat.AddFD("CustGroup", "NationKey")
+	}
+	return nil
+}
+
+// FillValueDomains adds per-site value-set domains for CustKey, CustName,
+// and CustGroup to the catalog — the finer-grained distribution knowledge
+// Section 4.1 of the paper contemplates ("any given value ... might occur
+// at only a few sites"), which lets the optimizer derive coordinator-side
+// group reduction filters for queries grouped on those attributes. The
+// set sizes are bounded by cfg.Customers, so this suits deployments where
+// the grouping-value directory is small enough to catalog.
+func FillValueDomains(cat *catalog.Catalog, siteIDs []string, cfg Config) error {
+	cfg = cfg.Defaults()
+	n := len(siteIDs)
+	keys := make([][]value.V, n)
+	names := make([][]value.V, n)
+	groups := make([][]value.V, n)
+	seenGroup := make([]map[int64]bool, n)
+	for i := range seenGroup {
+		seenGroup[i] = map[int64]bool{}
+	}
+	for ck := int64(0); ck < int64(cfg.Customers); ck++ {
+		s := int(CustNationKey(ck, cfg.Nations)) % n
+		keys[s] = append(keys[s], value.NewInt(ck))
+		names[s] = append(names[s], value.NewString(CustName(ck)))
+		g := ck % int64(cfg.LowCardGroups)
+		if !seenGroup[s][g] {
+			seenGroup[s][g] = true
+			groups[s] = append(groups[s], value.NewInt(g))
+		}
+	}
+	for i, id := range siteIDs {
+		if err := cat.SetDomain(id, "CustKey", expr.DomainSet(keys[i]...)); err != nil {
+			return err
+		}
+		if err := cat.SetDomain(id, "CustName", expr.DomainSet(names[i]...)); err != nil {
+			return err
+		}
+		// CustGroup sets are only disjoint (and thus only safe to use
+		// for reduction per Theorem 4) when they partition; they always
+		// over-approximate correctly, so recording them is sound.
+		if err := cat.SetDomain(id, "CustGroup", expr.DomainSet(groups[i]...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"testing"
+)
+
+func BenchmarkLocalRoundTrip(b *testing.B) {
+	c := NewLocalClient("s", newEchoHandler(), CostModel{})
+	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(200)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sent, _, _, _ := c.Stats().Snapshot()
+	b.SetBytes(sent / int64(b.N))
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(200)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPingLatency(b *testing.B) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := &Request{Op: OpPing}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

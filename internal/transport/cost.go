@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// CostModel models a wide-area link between coordinator and site. The
+// paper's experiments ran on a LAN of workstations where communication is
+// a first-order cost; on a single machine real TCP over loopback is far
+// too fast to reproduce that, so the harness attributes a modeled transfer
+// time to every message based on its measured byte size.
+//
+// With Sleep false (the default) the model only accounts time, keeping
+// tests and benchmarks fast; with Sleep true it really delays, which makes
+// the wall-clock behavior of examples faithful.
+type CostModel struct {
+	// LatencyPerMsg is the fixed per-message cost (propagation + RPC
+	// overhead), applied to each request and each response.
+	LatencyPerMsg time.Duration
+	// BytesPerSec is the link bandwidth; 0 means infinite.
+	BytesPerSec float64
+	// Sleep selects real delays instead of virtual accounting.
+	Sleep bool
+}
+
+// DefaultWAN is a 10 Mbit/s, 2 ms link — the rough shape of the paper-era
+// distributed warehouse interconnect.
+var DefaultWAN = CostModel{LatencyPerMsg: 2 * time.Millisecond, BytesPerSec: 10e6 / 8}
+
+// TransferTime returns the modeled time to move n bytes one way.
+func (c CostModel) TransferTime(n int) time.Duration {
+	d := c.LatencyPerMsg
+	if c.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / c.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// WireStats accumulates per-client communication statistics. It is safe
+// for concurrent use.
+type WireStats struct {
+	mu            sync.Mutex
+	bytesSent     int64
+	bytesReceived int64
+	messages      int64
+	commTime      time.Duration
+}
+
+// AddSent records n bytes sent plus its modeled transfer time.
+func (w *WireStats) AddSent(n int, c CostModel) {
+	d := c.TransferTime(n)
+	w.mu.Lock()
+	w.bytesSent += int64(n)
+	w.messages++
+	w.commTime += d
+	w.mu.Unlock()
+	if c.Sleep {
+		time.Sleep(d)
+	}
+}
+
+// AddReceived records n bytes received plus its modeled transfer time.
+func (w *WireStats) AddReceived(n int, c CostModel) {
+	d := c.TransferTime(n)
+	w.mu.Lock()
+	w.bytesReceived += int64(n)
+	w.commTime += d
+	w.mu.Unlock()
+	if c.Sleep {
+		time.Sleep(d)
+	}
+}
+
+// Snapshot returns the current totals.
+func (w *WireStats) Snapshot() (sent, received, messages int64, commTime time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytesSent, w.bytesReceived, w.messages, w.commTime
+}
+
+// Bytes returns total bytes moved in both directions.
+func (w *WireStats) Bytes() int64 {
+	s, r, _, _ := w.Snapshot()
+	return s + r
+}
+
+// CommTime returns the accumulated modeled communication time.
+func (w *WireStats) CommTime() time.Duration {
+	_, _, _, d := w.Snapshot()
+	return d
+}
+
+// Reset zeroes the statistics.
+func (w *WireStats) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.bytesSent, w.bytesReceived, w.messages, w.commTime = 0, 0, 0, 0
+}
+
+// countingWriter counts bytes written to an underlying writer.
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes read from an underlying reader.
+type countingReader struct {
+	r interface{ Read([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,175 @@
+// Package transport implements the communication layer between the Skalla
+// coordinator and its sites: the request/response protocol, a TCP
+// transport (net + encoding/gob), an in-process transport that still
+// serializes through gob so byte accounting stays exact, and a network
+// cost model used to reproduce the paper's communication-dominated
+// behavior on a single machine.
+//
+// Expressions, aggregate specs, and conditions travel in their textual
+// wire form and are parsed at the receiving side; rows travel as plain
+// value structs. Only base-result structures and sub-aggregate results are
+// ever shipped — never detail data, per the core design of the paper.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Op is a request opcode.
+type Op int
+
+// The site protocol operations.
+const (
+	// OpPing checks liveness.
+	OpPing Op = iota
+	// OpLoad stores the shipped relation under Request.Rel at the site.
+	OpLoad
+	// OpGenerate makes the site synthesize its partition of a dataset
+	// locally (so benchmarks never ship detail data).
+	OpGenerate
+	// OpEvalBase computes the base-values query over the local detail
+	// relation and returns the result.
+	OpEvalBase
+	// OpEvalRounds evaluates one or more GMDJ rounds against the local
+	// detail relation and returns the sub-aggregate result. The base
+	// relation either arrives with the request or is computed locally
+	// (Proposition 2 fusion) when Request.BaseCols is set.
+	OpEvalRounds
+	// OpDrop removes a stored relation.
+	OpDrop
+	// OpRelInfo returns row count and schema of a stored relation.
+	OpRelInfo
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpLoad:
+		return "load"
+	case OpGenerate:
+		return "generate"
+	case OpEvalBase:
+		return "evalBase"
+	case OpEvalRounds:
+		return "evalRounds"
+	case OpDrop:
+		return "drop"
+	case OpRelInfo:
+		return "relInfo"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// RoundSpec describes one GMDJ round for a site: the textual forms of the
+// MD operator plus evaluation flags.
+type RoundSpec struct {
+	// Detail names the local detail relation R_k.
+	Detail string
+	// Aggs[i] are the aggregate spec texts of l_i ("count(*) AS cnt1").
+	Aggs [][]string
+	// Thetas[i] is the condition text of θ_i.
+	Thetas []string
+	// BaseAlias/DetailAlias are the condition qualifiers (default B / R).
+	BaseAlias   string
+	DetailAlias string
+	// Finalize appends finalized aggregate columns locally — required for
+	// chained local evaluation where later rounds reference them.
+	Finalize bool
+	// Touched tracks |RNG| > 0 per group for distribution-independent
+	// group reduction (Proposition 1).
+	Touched bool
+}
+
+// GenSpec asks a site to generate its partition of a synthetic dataset.
+type GenSpec struct {
+	// Kind selects the generator: "tpcr" or "ipflow".
+	Kind string
+	// Rel is the name to store the generated relation under.
+	Rel string
+	// Params are generator-specific integer parameters (rows, seed, ...).
+	Params map[string]int64
+	// Site and NumSites select which horizontal partition to generate.
+	Site     int
+	NumSites int
+}
+
+// Request is the single wire request envelope. Fields are used per-Op.
+type Request struct {
+	Op  Op
+	Rel string // OpLoad, OpDrop, OpRelInfo: relation name
+
+	// OpLoad payload.
+	Data *relation.Relation
+
+	// OpGenerate payload.
+	Gen *GenSpec
+
+	// OpEvalBase / OpEvalRounds: base-values definition. For
+	// OpEvalRounds, a non-empty BaseCols means "compute the base locally
+	// from the detail relation" (Proposition 2); otherwise Base carries
+	// the shipped base-result fragment.
+	BaseCols  []string
+	BaseWhere string
+	Detail    string
+	Base      *relation.Relation
+
+	// OpEvalRounds: the rounds to evaluate locally in sequence. More than
+	// one round means chained local evaluation (synchronization
+	// reduction, Theorem 5 / Corollary 1).
+	Rounds []RoundSpec
+
+	// KeepFinal keeps finalized aggregate columns in the response (used
+	// by plans that union finalized results instead of merging
+	// primitives).
+	KeepFinal bool
+
+	// Keys are the key attributes K of the base-result structure. Leaf
+	// sites do not need them; relay tiers (multi-tier coordination) use
+	// them to pre-merge their children's sub-aggregates before
+	// forwarding upstream.
+	Keys []string
+}
+
+// Response is the single wire response envelope.
+type Response struct {
+	// Err is non-empty when the operation failed.
+	Err string
+	// Rel is the result relation (eval ops) or nil.
+	Rel *relation.Relation
+	// RowCount reports affected/stored row counts for non-eval ops.
+	RowCount int
+	// ComputeNs is the site-side computation time in nanoseconds,
+	// reported so the harness can break down evaluation time like the
+	// paper's Fig. 5.
+	ComputeNs int64
+}
+
+// Error converts a Response error field back into a Go error.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("site error: %s", r.Err)
+}
+
+// Handler processes site requests; implemented by the site engine.
+type Handler interface {
+	Handle(req *Request) *Response
+}
+
+// Client is the coordinator's handle to one site.
+type Client interface {
+	// SiteID returns the site's identifier.
+	SiteID() string
+	// Call performs one request/response exchange.
+	Call(req *Request) (*Response, error)
+	// Stats returns the cumulative wire statistics of this client.
+	Stats() *WireStats
+	// Close releases the connection.
+	Close() error
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// gobRoundTrip encodes and decodes v, returning the copy.
+func gobRoundTrip[T any](t *testing.T, v *T) *T {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out := new(T)
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func TestRequestGobRoundTrip(t *testing.T) {
+	req := &Request{
+		Op:        OpEvalRounds,
+		Rel:       "flow",
+		Detail:    "flow",
+		BaseCols:  []string{"SourceAS", "DestAS"},
+		BaseWhere: "F.NumBytes > 0",
+		Base:      sampleRelation(10),
+		Keys:      []string{"SourceAS"},
+		KeepFinal: true,
+		Gen: &GenSpec{
+			Kind: "tpcr", Rel: "tpcr",
+			Params: map[string]int64{"rows": 100, "seed": 7},
+			Site:   2, NumSites: 8,
+		},
+		Rounds: []RoundSpec{{
+			Detail:      "flow",
+			Aggs:        [][]string{{"count(*) AS c", "avg(F.NumBytes) AS a"}},
+			Thetas:      []string{"F.SourceAS = B.SourceAS"},
+			BaseAlias:   "B",
+			DetailAlias: "F",
+			Finalize:    true,
+			Touched:     true,
+		}},
+	}
+	back := gobRoundTrip(t, req)
+	if back.Op != req.Op || back.Rel != req.Rel || back.BaseWhere != req.BaseWhere ||
+		back.KeepFinal != req.KeepFinal {
+		t.Errorf("scalar fields lost: %+v", back)
+	}
+	if !reflect.DeepEqual(back.BaseCols, req.BaseCols) || !reflect.DeepEqual(back.Keys, req.Keys) {
+		t.Error("slices lost")
+	}
+	if !reflect.DeepEqual(back.Rounds, req.Rounds) {
+		t.Errorf("rounds lost: %+v", back.Rounds)
+	}
+	if !reflect.DeepEqual(back.Gen, req.Gen) {
+		t.Errorf("gen lost: %+v", back.Gen)
+	}
+	if back.Base.Len() != req.Base.Len() {
+		t.Error("base relation lost")
+	}
+}
+
+func TestResponseGobRoundTrip(t *testing.T) {
+	resp := &Response{Err: "boom", Rel: sampleRelation(5), RowCount: 5, ComputeNs: 1234}
+	back := gobRoundTrip(t, resp)
+	if back.Err != "boom" || back.RowCount != 5 || back.ComputeNs != 1234 || back.Rel.Len() != 5 {
+		t.Errorf("response lost: %+v", back)
+	}
+}
+
+// TestValueGobProperty: arbitrary values survive the wire exactly.
+func TestValueGobProperty(t *testing.T) {
+	f := func(kind uint8, i int64, fl float64, s string) bool {
+		var v value.V
+		switch kind % 5 {
+		case 0:
+			v = value.Null
+		case 1:
+			v = value.NewBool(i%2 == 0)
+		case 2:
+			v = value.NewInt(i)
+		case 3:
+			v = value.NewFloat(fl)
+		case 4:
+			v = value.NewString(s)
+		}
+		row := relation.Row{v}
+		rel := relation.New(relation.MustSchema(relation.Column{Name: "x", Kind: v.K}))
+		rel.Rows = append(rel.Rows, row)
+		req := &Request{Op: OpLoad, Rel: "t", Data: rel}
+		back := gobRoundTrip(t, req)
+		got := back.Data.Rows[0][0]
+		if v.IsNull() {
+			return got.IsNull()
+		}
+		// NaN never equals itself; compare bit pattern via kind+string.
+		if v.K == value.KindFloat && fl != fl {
+			return got.K == value.KindFloat && got.F != got.F
+		}
+		return value.Equal(got, v)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchemaLookupAfterWire: the schema's private index rebuilds after
+// decoding on the far side.
+func TestSchemaLookupAfterWire(t *testing.T) {
+	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(3)}
+	back := gobRoundTrip(t, req)
+	if i, ok := back.Data.Schema.Lookup("s"); !ok || i != 2 {
+		t.Errorf("lookup after wire: %d %v", i, ok)
+	}
+}
+
+// TestLargeRelationWire pushes a bigger payload through to catch stream
+// framing issues.
+func TestLargeRelationWire(t *testing.T) {
+	rel := sampleRelation(20000)
+	req := &Request{Op: OpLoad, Rel: "big", Data: rel}
+	back := gobRoundTrip(t, req)
+	if back.Data.Len() != rel.Len() {
+		t.Fatalf("large relation: %d rows, want %d", back.Data.Len(), rel.Len())
+	}
+	if !value.Equal(back.Data.Rows[19999][0], rel.Rows[19999][0]) {
+		t.Error("tail row corrupted")
+	}
+}

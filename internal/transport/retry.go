@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reconnector wraps a site connection with transparent reconnect-and-retry
+// on transport failures (broken TCP connections, site restarts). Site-side
+// errors (Response.Err) are deterministic results of the request and are
+// never retried — only transport-level Call errors are.
+//
+// Wire statistics aggregate across reconnections, so coordinators see one
+// continuous accounting stream per site.
+type Reconnector struct {
+	id       string
+	dial     func() (Client, error)
+	attempts int
+	backoff  time.Duration
+
+	mu    sync.Mutex
+	cur   Client
+	stats WireStats
+}
+
+// NewReconnector returns a client that dials lazily and retries each call
+// up to attempts times (minimum 1). backoff is the pause between retries.
+func NewReconnector(id string, dial func() (Client, error), attempts int, backoff time.Duration) *Reconnector {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Reconnector{id: id, dial: dial, attempts: attempts, backoff: backoff}
+}
+
+// NewReconnectingTCP is a Reconnector dialing a fixed TCP address.
+func NewReconnectingTCP(id, addr string, cost CostModel, attempts int, backoff time.Duration) *Reconnector {
+	return NewReconnector(id, func() (Client, error) {
+		return DialTCP(id, addr, cost)
+	}, attempts, backoff)
+}
+
+// SiteID implements Client.
+func (r *Reconnector) SiteID() string { return r.id }
+
+// Stats implements Client, returning the aggregated statistics.
+func (r *Reconnector) Stats() *WireStats { return &r.stats }
+
+// Close implements Client.
+func (r *Reconnector) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return nil
+	}
+	err := r.cur.Close()
+	r.cur = nil
+	return err
+}
+
+// Call implements Client with reconnect-and-retry.
+func (r *Reconnector) Call(req *Request) (*Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 && r.backoff > 0 {
+			time.Sleep(r.backoff)
+		}
+		if r.cur == nil {
+			c, err := r.dial()
+			if err != nil {
+				lastErr = fmt.Errorf("transport: dial %s: %w", r.id, err)
+				continue
+			}
+			r.cur = c
+		}
+		s0, r0, _, t0 := r.cur.Stats().Snapshot()
+		resp, err := r.cur.Call(req)
+		s1, r1, _, t1 := r.cur.Stats().Snapshot()
+		// Fold the inner connection's traffic into the aggregate,
+		// preserving comm-time accounting without re-sleeping.
+		r.addDelta(s1-s0, r1-r0, t1-t0)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// The connection is suspect after a transport error: drop it so
+		// the next attempt redials.
+		r.cur.Close()
+		r.cur = nil
+	}
+	return nil, fmt.Errorf("transport: %s failed after %d attempt(s): %w", r.id, r.attempts, lastErr)
+}
+
+// addDelta records traffic observed on the inner connection.
+func (r *Reconnector) addDelta(sent, recv int64, comm time.Duration) {
+	r.stats.mu.Lock()
+	r.stats.bytesSent += sent
+	r.stats.bytesReceived += recv
+	if sent > 0 {
+		r.stats.messages++
+	}
+	r.stats.commTime += comm
+	r.stats.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// flakyClient fails its first failN calls at the transport level.
+type flakyClient struct {
+	id     string
+	failN  int
+	calls  int
+	closed int
+	stats  WireStats
+}
+
+func (f *flakyClient) SiteID() string    { return f.id }
+func (f *flakyClient) Stats() *WireStats { return &f.stats }
+func (f *flakyClient) Close() error      { f.closed++; return nil }
+
+func (f *flakyClient) Call(req *Request) (*Response, error) {
+	f.calls++
+	f.stats.AddSent(10, CostModel{})
+	if f.calls <= f.failN {
+		return nil, errors.New("connection reset")
+	}
+	f.stats.AddReceived(20, CostModel{})
+	if req.Op == OpRelInfo {
+		return &Response{Err: "no such relation"}, nil
+	}
+	return &Response{RowCount: 1}, nil
+}
+
+func TestReconnectorRetries(t *testing.T) {
+	inner := &flakyClient{id: "s", failN: 2}
+	dials := 0
+	rc := NewReconnector("s", func() (Client, error) {
+		dials++
+		return inner, nil
+	}, 3, 0)
+	resp, err := rc.Call(&Request{Op: OpPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowCount != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if inner.calls != 3 {
+		t.Errorf("calls = %d, want 3", inner.calls)
+	}
+	if dials != 3 { // redial after each transport failure
+		t.Errorf("dials = %d, want 3", dials)
+	}
+	// Aggregated stats span all attempts.
+	sent, recv, _, _ := rc.Stats().Snapshot()
+	if sent != 30 || recv != 20 {
+		t.Errorf("aggregated stats: sent=%d recv=%d", sent, recv)
+	}
+}
+
+func TestReconnectorExhaustsAttempts(t *testing.T) {
+	inner := &flakyClient{id: "s", failN: 99}
+	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 2, 0)
+	if _, err := rc.Call(&Request{Op: OpPing}); err == nil {
+		t.Fatal("expected failure after attempts exhausted")
+	}
+	if inner.calls != 2 {
+		t.Errorf("calls = %d, want 2", inner.calls)
+	}
+}
+
+func TestReconnectorDoesNotRetrySiteErrors(t *testing.T) {
+	inner := &flakyClient{id: "s"}
+	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 3, 0)
+	resp, err := rc.Call(&Request{Op: OpRelInfo, Rel: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error() == nil {
+		t.Fatal("site error lost")
+	}
+	if inner.calls != 1 {
+		t.Errorf("site-side error retried: %d calls", inner.calls)
+	}
+}
+
+func TestReconnectorDialFailure(t *testing.T) {
+	fails := 0
+	rc := NewReconnector("s", func() (Client, error) {
+		fails++
+		return nil, fmt.Errorf("refused")
+	}, 2, 0)
+	if _, err := rc.Call(&Request{Op: OpPing}); err == nil {
+		t.Fatal("dial failures should surface")
+	}
+	if fails != 2 {
+		t.Errorf("dial attempts = %d", fails)
+	}
+	if err := rc.Close(); err != nil {
+		t.Errorf("close without connection: %v", err)
+	}
+}
+
+func TestReconnectorOverTCPRestart(t *testing.T) {
+	// Start a server, connect, kill it, restart on the same address, and
+	// verify the reconnector survives.
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReconnectingTCP("s", addr, CostModel{}, 5, 0)
+	defer rc.Close()
+	if _, err := rc.Call(&Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2 := NewServer(newEchoHandler())
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := rc.Call(&Request{Op: OpPing}); err != nil {
+		t.Fatalf("reconnect after restart: %v", err)
+	}
+}

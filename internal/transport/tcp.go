@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server serves site requests over TCP. Each connection runs a
+// decode-handle-encode loop; connections are independent, so one server
+// can serve several coordinators.
+type Server struct {
+	handler  Handler
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf logs server-side errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// NewServer returns a server for the handler, not yet listening.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: map[net.Conn]struct{}{}, Logf: log.Printf}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return l.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.Logf("transport: accept: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.Logf("transport: decode request: %v", err)
+			}
+			return
+		}
+		resp := s.handler.Handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			s.Logf("transport: encode response: %v", err)
+			return
+		}
+	}
+}
+
+// Close stops the listener and all open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient is a Client over a TCP connection.
+type TCPClient struct {
+	id   string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	cw   *countingWriter
+	cr   *countingReader
+	cost CostModel
+
+	mu    sync.Mutex
+	stats WireStats
+}
+
+// DialTCP connects to a site server.
+func DialTCP(id, addr string, cost CostModel) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	cw := &countingWriter{w: conn}
+	cr := &countingReader{r: conn}
+	return &TCPClient{
+		id: id, conn: conn,
+		enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cr),
+		cw: cw, cr: cr, cost: cost,
+	}, nil
+}
+
+// SiteID implements Client.
+func (c *TCPClient) SiteID() string { return c.id }
+
+// Stats implements Client.
+func (c *TCPClient) Stats() *WireStats { return &c.stats }
+
+// Close implements Client.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+// Call implements Client. Calls on one client are serialized; the
+// coordinator uses one client per site and fans out with goroutines.
+func (c *TCPClient) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.cw.n
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: send to %s: %w", c.id, err)
+	}
+	c.stats.AddSent(int(c.cw.n-before), c.cost)
+
+	beforeR := c.cr.n
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: receive from %s: %w", c.id, err)
+	}
+	c.stats.AddReceived(int(c.cr.n-beforeR), c.cost)
+	return &resp, nil
+}

@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// echoHandler answers pings and echoes loaded relations back.
+type echoHandler struct {
+	mu   sync.Mutex
+	rels map[string]*relation.Relation
+}
+
+func newEchoHandler() *echoHandler {
+	return &echoHandler{rels: map[string]*relation.Relation{}}
+}
+
+func (h *echoHandler) Handle(req *Request) *Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch req.Op {
+	case OpPing:
+		return &Response{}
+	case OpLoad:
+		h.rels[req.Rel] = req.Data
+		return &Response{RowCount: req.Data.Len()}
+	case OpRelInfo:
+		r, ok := h.rels[req.Rel]
+		if !ok {
+			return &Response{Err: "no such relation"}
+		}
+		return &Response{Rel: r, RowCount: r.Len()}
+	default:
+		return &Response{Err: fmt.Sprintf("unsupported op %s", req.Op)}
+	}
+}
+
+func sampleRelation(n int) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Column{Name: "k", Kind: value.KindInt},
+		relation.Column{Name: "v", Kind: value.KindFloat},
+		relation.Column{Name: "s", Kind: value.KindString},
+	)
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		r.MustAppend(value.NewInt(int64(i)), value.NewFloat(float64(i)/2), value.NewString(fmt.Sprintf("row-%d", i)))
+	}
+	if n > 0 {
+		r.Rows[0][1] = value.Null // exercise NULL over the wire
+	}
+	return r
+}
+
+func exerciseClient(t *testing.T, c Client) {
+	t.Helper()
+	resp, err := c.Call(&Request{Op: OpPing})
+	if err != nil || resp.Error() != nil {
+		t.Fatalf("ping: %v / %v", err, resp.Error())
+	}
+	rel := sampleRelation(50)
+	resp, err = c.Call(&Request{Op: OpLoad, Rel: "t", Data: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowCount != 50 {
+		t.Errorf("load count = %d", resp.RowCount)
+	}
+	resp, err = c.Call(&Request{Op: OpRelInfo, Rel: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := resp.Rel
+	if back == nil || back.Len() != 50 {
+		t.Fatalf("echo returned %v", back)
+	}
+	// Schema survives the wire including lookup capability.
+	if i, ok := back.Schema.Lookup("v"); !ok || i != 1 {
+		t.Error("schema lookup broken after wire round trip")
+	}
+	if !back.Rows[0][1].IsNull() {
+		t.Error("NULL lost over the wire")
+	}
+	if back.Rows[7][2].S != "row-7" {
+		t.Errorf("string value corrupted: %v", back.Rows[7][2])
+	}
+	// Error responses convert to errors.
+	resp, err = c.Call(&Request{Op: OpRelInfo, Rel: "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error() == nil || !strings.Contains(resp.Error().Error(), "no such relation") {
+		t.Errorf("error field: %v", resp.Error())
+	}
+	// Stats accumulated.
+	sent, recv, msgs, _ := c.Stats().Snapshot()
+	if sent <= 0 || recv <= 0 || msgs < 4 {
+		t.Errorf("stats: sent=%d recv=%d msgs=%d", sent, recv, msgs)
+	}
+}
+
+func TestLocalClient(t *testing.T) {
+	c := NewLocalClient("s1", newEchoHandler(), CostModel{})
+	if c.SiteID() != "s1" {
+		t.Error("SiteID")
+	}
+	exerciseClient(t, c)
+	if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPClient(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialTCP("s1", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exerciseClient(t, c)
+}
+
+// TestLocalAndTCPByteParity: the in-process transport must account the
+// same wire bytes as real TCP for the same traffic.
+func TestLocalAndTCPByteParity(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tcp, err := DialTCP("t", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	local := NewLocalClient("l", newEchoHandler(), CostModel{})
+
+	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(100)}
+	if _, err := tcp.Call(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Call(req); err != nil {
+		t.Fatal(err)
+	}
+	ts, _, _, _ := tcp.Stats().Snapshot()
+	ls, _, _, _ := local.Stats().Snapshot()
+	// gob stream framing is identical; allow tiny slack for type
+	// registration ordering.
+	diff := ts - ls
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > ts/100+16 {
+		t.Errorf("byte accounting differs: tcp=%d local=%d", ts, ls)
+	}
+}
+
+func TestTCPMultipleClients(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialTCP(fmt.Sprintf("c%d", i), addr, CostModel{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := c.Call(&Request{Op: OpPing}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Error("second close errored:", err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{LatencyPerMsg: time.Millisecond, BytesPerSec: 1000}
+	if got := c.TransferTime(1000); got != time.Millisecond+time.Second {
+		t.Errorf("TransferTime = %v", got)
+	}
+	if got := (CostModel{}).TransferTime(1 << 20); got != 0 {
+		t.Errorf("zero model transfer = %v", got)
+	}
+	if DefaultWAN.TransferTime(0) <= 0 {
+		t.Error("DefaultWAN has no latency")
+	}
+}
+
+func TestWireStats(t *testing.T) {
+	var w WireStats
+	cm := CostModel{LatencyPerMsg: time.Millisecond}
+	w.AddSent(100, cm)
+	w.AddReceived(200, cm)
+	s, r, m, d := w.Snapshot()
+	if s != 100 || r != 200 || m != 1 || d != 2*time.Millisecond {
+		t.Errorf("snapshot = %d %d %d %v", s, r, m, d)
+	}
+	if w.Bytes() != 300 {
+		t.Errorf("Bytes = %d", w.Bytes())
+	}
+	if w.CommTime() != 2*time.Millisecond {
+		t.Errorf("CommTime = %v", w.CommTime())
+	}
+	w.Reset()
+	if w.Bytes() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCostModelSleep(t *testing.T) {
+	var w WireStats
+	cm := CostModel{LatencyPerMsg: 20 * time.Millisecond, Sleep: true}
+	start := time.Now()
+	w.AddSent(1, cm)
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("sleep mode did not sleep: %v", elapsed)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpPing: "ping", OpLoad: "load", OpGenerate: "generate",
+		OpEvalBase: "evalBase", OpEvalRounds: "evalRounds",
+		OpDrop: "drop", OpRelInfo: "relInfo", Op(99): "Op(99)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package value implements the typed scalar values used throughout the
+// Skalla engine: relation columns, expression results, and aggregate
+// accumulator states are all built from value.V.
+//
+// The type system is deliberately small — NULL, 64-bit integers, 64-bit
+// floats, booleans, and strings — which matches the attribute types needed
+// by the paper's TPC-R and IP-flow schemas. Values are plain structs with
+// exported fields so they serialize directly with encoding/gob.
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the runtime type of a value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind is a numeric type.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// V is a single scalar value. The zero value of V is NULL.
+//
+// Exactly one payload field is meaningful, selected by K: I for KindInt and
+// KindBool (0 or 1), F for KindFloat, S for KindString.
+type V struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null is the NULL value.
+var Null = V{}
+
+// NewInt returns an integer value.
+func NewInt(i int64) V { return V{K: KindInt, I: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) V { return V{K: KindFloat, F: f} }
+
+// NewString returns a string value.
+func NewString(s string) V { return V{K: KindString, S: s} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) V {
+	if b {
+		return V{K: KindBool, I: 1}
+	}
+	return V{K: KindBool}
+}
+
+// IsNull reports whether v is NULL.
+func (v V) IsNull() bool { return v.K == KindNull }
+
+// Bool reports the truthiness of v: true booleans, non-zero numbers.
+// NULL and strings are never truthy.
+func (v V) Bool() bool {
+	switch v.K {
+	case KindBool, KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// AsFloat converts a numeric or boolean value to float64.
+// It returns an error for NULL and string values.
+func (v V) AsFloat() (float64, error) {
+	switch v.K {
+	case KindInt, KindBool:
+		return float64(v.I), nil
+	case KindFloat:
+		return v.F, nil
+	default:
+		return 0, fmt.Errorf("value: cannot convert %s to float", v.K)
+	}
+}
+
+// AsInt converts a numeric or boolean value to int64, truncating floats.
+// It returns an error for NULL and string values.
+func (v V) AsInt() (int64, error) {
+	switch v.K {
+	case KindInt, KindBool:
+		return v.I, nil
+	case KindFloat:
+		return int64(v.F), nil
+	default:
+		return 0, fmt.Errorf("value: cannot convert %s to int", v.K)
+	}
+}
+
+// String renders the value for display and for the text wire format.
+func (v V) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v.K))
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// (including bool) compare by magnitude across kinds; strings compare
+// lexicographically. Comparing a string with a number is an error.
+func Compare(a, b V) (int, error) {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0, nil
+		case a.K == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if a.K == KindString || b.K == KindString {
+		if a.K != KindString || b.K != KindString {
+			return 0, fmt.Errorf("value: cannot compare %s with %s", a.K, b.K)
+		}
+		switch {
+		case a.S < b.S:
+			return -1, nil
+		case a.S > b.S:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	// Numeric (or bool) comparison. Compare as ints when both sides are
+	// integral to avoid float rounding on large int64 values.
+	if a.K != KindFloat && b.K != KindFloat {
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch {
+	case af < bf:
+		return -1, nil
+	case af > bf:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Equal reports whether two values compare equal. NULL equals only NULL.
+// Mismatched string/number comparisons are unequal rather than an error.
+func Equal(a, b V) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Less reports whether a sorts strictly before b, using the same order as
+// Compare; incomparable pairs order by kind so sorting is total.
+func Less(a, b V) bool {
+	c, err := Compare(a, b)
+	if err != nil {
+		return a.K < b.K
+	}
+	return c < 0
+}
+
+// Hash returns a 64-bit hash of the value, suitable for hash grouping.
+// Numerically equal int and float values hash identically.
+func (v V) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.K {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindBool, KindInt:
+		// Integral values hash via their float form when exactly
+		// representable so 1 and 1.0 land in the same bucket.
+		f := float64(v.I)
+		if int64(f) == v.I {
+			buf[0] = 2
+			putUint64(buf[1:], math.Float64bits(f))
+			h.Write(buf[:9])
+		} else {
+			buf[0] = 1
+			putUint64(buf[1:], uint64(v.I))
+			h.Write(buf[:9])
+		}
+	case KindFloat:
+		buf[0] = 2
+		putUint64(buf[1:], math.Float64bits(v.F))
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, u uint64) {
+	_ = b[7]
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+	b[4] = byte(u >> 32)
+	b[5] = byte(u >> 40)
+	b[6] = byte(u >> 48)
+	b[7] = byte(u >> 56)
+}
+
+// Key returns a compact string usable as a Go map key, distinguishing
+// kind classes but identifying numerically equal ints and floats.
+func (v V) Key() string {
+	switch v.K {
+	case KindNull:
+		return "\x00"
+	case KindBool, KindInt:
+		return "\x01" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		if f := v.F; f == math.Trunc(f) && !math.IsInf(f, 0) &&
+			f >= math.MinInt64 && f <= math.MaxInt64 {
+			return "\x01" + strconv.FormatInt(int64(f), 10)
+		}
+		return "\x02" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "\x03" + v.S
+	default:
+		return "\x04"
+	}
+}
+
+// Arithmetic implements SQL-style numeric arithmetic: NULL propagates, int
+// op int yields int (except division, which yields float), and any float
+// operand promotes the result to float.
+
+// Add returns a + b.
+func Add(a, b V) (V, error) { return arith(a, b, "+") }
+
+// Sub returns a - b.
+func Sub(a, b V) (V, error) { return arith(a, b, "-") }
+
+// Mul returns a * b.
+func Mul(a, b V) (V, error) { return arith(a, b, "*") }
+
+// Div returns a / b as a float; division by zero yields NULL.
+func Div(a, b V) (V, error) { return arith(a, b, "/") }
+
+// Mod returns a % b for integer operands; modulo by zero yields NULL.
+func Mod(a, b V) (V, error) { return arith(a, b, "%") }
+
+// Neg returns -a.
+func Neg(a V) (V, error) {
+	switch a.K {
+	case KindNull:
+		return Null, nil
+	case KindInt:
+		return NewInt(-a.I), nil
+	case KindFloat:
+		return NewFloat(-a.F), nil
+	default:
+		return Null, fmt.Errorf("value: cannot negate %s", a.K)
+	}
+}
+
+func arith(a, b V, op string) (V, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if !a.K.Numeric() && a.K != KindBool || !b.K.Numeric() && b.K != KindBool {
+		return Null, fmt.Errorf("value: %s %s %s is not numeric", a.K, op, b.K)
+	}
+	if op == "%" {
+		ai, err := a.AsInt()
+		if err != nil {
+			return Null, err
+		}
+		bi, err := b.AsInt()
+		if err != nil {
+			return Null, err
+		}
+		if bi == 0 {
+			return Null, nil
+		}
+		return NewInt(ai % bi), nil
+	}
+	if op == "/" {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		if bf == 0 {
+			return Null, nil
+		}
+		return NewFloat(af / bf), nil
+	}
+	if a.K == KindFloat || b.K == KindFloat {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch op {
+		case "+":
+			return NewFloat(af + bf), nil
+		case "-":
+			return NewFloat(af - bf), nil
+		case "*":
+			return NewFloat(af * bf), nil
+		}
+	}
+	ai, bi := a.I, b.I
+	switch op {
+	case "+":
+		return NewInt(ai + bi), nil
+	case "-":
+		return NewInt(ai - bi), nil
+	case "*":
+		return NewInt(ai * bi), nil
+	}
+	return Null, fmt.Errorf("value: unknown operator %q", op)
+}
+
+// Parse interprets a literal string as a value: "NULL", booleans, integer
+// and float literals; anything else is a string value.
+func Parse(s string) V {
+	switch s {
+	case "NULL", "null":
+		return Null
+	case "true":
+		return NewBool(true)
+	case "false":
+		return NewBool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return NewFloat(f)
+	}
+	return NewString(s)
+}

@@ -1,0 +1,228 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindBool: "BOOL", KindInt: "INT",
+		KindFloat: "FLOAT", KindString: "STRING",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.K != KindInt || v.I != 42 {
+		t.Errorf("NewInt(42) = %+v", v)
+	}
+	if v := NewFloat(2.5); v.K != KindFloat || v.F != 2.5 {
+		t.Errorf("NewFloat(2.5) = %+v", v)
+	}
+	if v := NewString("x"); v.K != KindString || v.S != "x" {
+		t.Errorf("NewString = %+v", v)
+	}
+	if v := NewBool(true); !v.Bool() {
+		t.Error("NewBool(true) not truthy")
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Error("NewBool(false) truthy")
+	}
+	if !Null.IsNull() || (V{}).IsNull() != true {
+		t.Error("zero value is not NULL")
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if f, err := NewInt(3).AsFloat(); err != nil || f != 3 {
+		t.Errorf("AsFloat(int 3) = %v, %v", f, err)
+	}
+	if i, err := NewFloat(3.9).AsInt(); err != nil || i != 3 {
+		t.Errorf("AsInt(3.9) = %v, %v", i, err)
+	}
+	if _, err := NewString("a").AsFloat(); err == nil {
+		t.Error("AsFloat(string) should error")
+	}
+	if _, err := Null.AsInt(); err == nil {
+		t.Error("AsInt(null) should error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b V
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewBool(true), NewInt(1), 0},
+		{NewInt(math.MaxInt64), NewInt(math.MaxInt64 - 1), 1},
+	}
+	for _, tc := range tests {
+		got, err := Compare(tc.a, tc.b)
+		if err != nil {
+			t.Errorf("Compare(%v, %v) error: %v", tc.a, tc.b, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("Compare(string, int) should error")
+	}
+}
+
+func TestEqualAndLess(t *testing.T) {
+	if !Equal(NewInt(1), NewFloat(1)) {
+		t.Error("1 != 1.0")
+	}
+	if Equal(NewString("1"), NewInt(1)) {
+		t.Error("string '1' equals int 1")
+	}
+	if !Less(NewInt(1), NewInt(2)) || Less(NewInt(2), NewInt(1)) {
+		t.Error("Less on ints wrong")
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	if NewInt(7).Hash() != NewFloat(7).Hash() {
+		t.Error("int 7 and float 7.0 hash differently")
+	}
+	if NewInt(7).Key() != NewFloat(7).Key() {
+		t.Error("int 7 and float 7.0 key differently")
+	}
+	if NewString("7").Key() == NewInt(7).Key() {
+		t.Error("string '7' and int 7 share a key")
+	}
+	if Null.Key() == NewInt(0).Key() {
+		t.Error("NULL and 0 share a key")
+	}
+}
+
+func TestHashEqualImpliesSameHash(t *testing.T) {
+	f := func(i int64) bool {
+		a, b := NewInt(i), NewInt(i)
+		return a.Hash() == b.Hash() && a.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  func() (V, error)
+		want V
+	}{
+		{"int add", func() (V, error) { return Add(NewInt(2), NewInt(3)) }, NewInt(5)},
+		{"mixed add", func() (V, error) { return Add(NewInt(2), NewFloat(0.5)) }, NewFloat(2.5)},
+		{"sub", func() (V, error) { return Sub(NewInt(2), NewInt(5)) }, NewInt(-3)},
+		{"mul", func() (V, error) { return Mul(NewInt(4), NewInt(3)) }, NewInt(12)},
+		{"div is float", func() (V, error) { return Div(NewInt(3), NewInt(2)) }, NewFloat(1.5)},
+		{"div by zero", func() (V, error) { return Div(NewInt(3), NewInt(0)) }, Null},
+		{"mod", func() (V, error) { return Mod(NewInt(7), NewInt(3)) }, NewInt(1)},
+		{"mod by zero", func() (V, error) { return Mod(NewInt(7), NewInt(0)) }, Null},
+		{"null propagates", func() (V, error) { return Add(Null, NewInt(1)) }, Null},
+		{"neg int", func() (V, error) { return Neg(NewInt(5)) }, NewInt(-5)},
+		{"neg float", func() (V, error) { return Neg(NewFloat(1.5)) }, NewFloat(-1.5)},
+	}
+	for _, tc := range tests {
+		got, err := tc.got()
+		if err != nil {
+			t.Errorf("%s: error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("string arithmetic should error")
+	}
+	if _, err := Neg(NewString("a")); err == nil {
+		t.Error("string negation should error")
+	}
+}
+
+func TestArithmeticProperties(t *testing.T) {
+	commutative := func(a, b int32) bool {
+		x, err1 := Add(NewInt(int64(a)), NewInt(int64(b)))
+		y, err2 := Add(NewInt(int64(b)), NewInt(int64(a)))
+		return err1 == nil && err2 == nil && x == y
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error("addition not commutative:", err)
+	}
+	compareAntisym := func(a, b int32) bool {
+		c1, _ := Compare(NewInt(int64(a)), NewInt(int64(b)))
+		c2, _ := Compare(NewInt(int64(b)), NewInt(int64(a)))
+		return c1 == -c2
+	}
+	if err := quick.Check(compareAntisym, nil); err != nil {
+		t.Error("compare not antisymmetric:", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		v    V
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(-3), "-3"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), "hi"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in   string
+		want V
+	}{
+		{"NULL", Null},
+		{"true", NewBool(true)},
+		{"false", NewBool(false)},
+		{"42", NewInt(42)},
+		{"-7", NewInt(-7)},
+		{"2.5", NewFloat(2.5)},
+		{"hello", NewString("hello")},
+	}
+	for _, tc := range tests {
+		if got := Parse(tc.in); got != tc.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		v := NewInt(i)
+		return Parse(v.String()) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

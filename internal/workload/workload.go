@@ -1,0 +1,283 @@
+// Package workload drives concurrent OLAP query mixes against a Skalla
+// cluster and reports throughput and latency percentiles — the load
+// characterization a production distributed warehouse needs beyond the
+// paper's single-query experiments.
+//
+// A workload is a weighted mix of query templates; each worker runs on
+// its own cluster session (independent connections over the shared
+// sites), draws templates by weight, and records per-template latencies.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/skalla"
+)
+
+// Template is one query shape in the mix.
+type Template struct {
+	// Name labels the template in the report.
+	Name string
+	// Weight is the relative draw probability (default 1).
+	Weight int
+	// Query builds the query; rng lets templates vary parameters (e.g.
+	// filter constants) across draws.
+	Query func(rng *rand.Rand) skalla.Query
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Detail names the fact relation at the sites.
+	Detail string
+	// Workers is the number of concurrent query streams (default 4).
+	Workers int
+	// Iterations is the total number of queries to run (default 100).
+	Iterations int
+	// Opts are the optimizer options for every query.
+	Opts skalla.Options
+	// Seed drives template choice and parameter variation.
+	Seed int64
+}
+
+// Stats accumulates latency observations for one template (or the total).
+type Stats struct {
+	Count     int
+	Errors    int
+	latencies []time.Duration
+	total     time.Duration
+}
+
+func (s *Stats) add(d time.Duration, err error) {
+	s.Count++
+	if err != nil {
+		s.Errors++
+		return
+	}
+	s.latencies = append(s.latencies, d)
+	s.total += d
+}
+
+func (s *Stats) merge(o *Stats) {
+	s.Count += o.Count
+	s.Errors += o.Errors
+	s.latencies = append(s.latencies, o.latencies...)
+	s.total += o.total
+}
+
+// Mean returns the mean latency of successful queries.
+func (s *Stats) Mean() time.Duration {
+	n := len(s.latencies)
+	if n == 0 {
+		return 0
+	}
+	return s.total / time.Duration(n)
+}
+
+// Percentile returns the p-th (0..100) latency percentile.
+func (s *Stats) Percentile(p float64) time.Duration {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Result is a completed run.
+type Result struct {
+	Wall     time.Duration
+	PerQuery map[string]*Stats
+	Total    *Stats
+	Workers  int
+	FirstErr error
+}
+
+// QPS returns successful queries per second over the run.
+func (r *Result) QPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	ok := len(r.Total.latencies)
+	return float64(ok) / r.Wall.Seconds()
+}
+
+// Run executes the mix. Queries spread over Workers concurrent sessions;
+// iteration counts split evenly (remainder to the first workers).
+func Run(cluster *skalla.Cluster, templates []Template, cfg Config) (*Result, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("workload: no templates")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 100
+	}
+	if cfg.Detail == "" {
+		return nil, fmt.Errorf("workload: no detail relation")
+	}
+	totalWeight := 0
+	for i := range templates {
+		if templates[i].Weight <= 0 {
+			templates[i].Weight = 1
+		}
+		totalWeight += templates[i].Weight
+	}
+
+	type workerOut struct {
+		per map[string]*Stats
+		err error
+	}
+	outs := make([]workerOut, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		iters := cfg.Iterations / cfg.Workers
+		if w < cfg.Iterations%cfg.Workers {
+			iters++
+		}
+		wg.Add(1)
+		go func(w, iters int) {
+			defer wg.Done()
+			out := workerOut{per: map[string]*Stats{}}
+			defer func() { outs[w] = out }()
+
+			session, err := cluster.Session()
+			if err != nil {
+				// Remote clusters: share the parent's connections
+				// (correct, just serialized).
+				session = cluster
+			} else {
+				defer session.Close()
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for i := 0; i < iters; i++ {
+				tpl := pick(templates, totalWeight, rng)
+				st, ok := out.per[tpl.Name]
+				if !ok {
+					st = &Stats{}
+					out.per[tpl.Name] = st
+				}
+				q := tpl.Query(rng)
+				t0 := time.Now()
+				_, err := session.Query(q, cfg.Detail, cfg.Opts)
+				st.add(time.Since(t0), err)
+				if err != nil && out.err == nil {
+					out.err = fmt.Errorf("workload: %s: %w", tpl.Name, err)
+				}
+			}
+		}(w, iters)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Wall: time.Since(start), Workers: cfg.Workers,
+		PerQuery: map[string]*Stats{}, Total: &Stats{},
+	}
+	for _, out := range outs {
+		if out.err != nil && res.FirstErr == nil {
+			res.FirstErr = out.err
+		}
+		for name, st := range out.per {
+			agg, ok := res.PerQuery[name]
+			if !ok {
+				agg = &Stats{}
+				res.PerQuery[name] = agg
+			}
+			agg.merge(st)
+			res.Total.merge(st)
+		}
+	}
+	return res, nil
+}
+
+func pick(templates []Template, totalWeight int, rng *rand.Rand) *Template {
+	n := rng.Intn(totalWeight)
+	for i := range templates {
+		n -= templates[i].Weight
+		if n < 0 {
+			return &templates[i]
+		}
+	}
+	return &templates[len(templates)-1]
+}
+
+// String renders the report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %d queries over %d workers in %s (%.1f q/s, %d errors)\n",
+		r.Total.Count, r.Workers, r.Wall.Round(time.Millisecond), r.QPS(), r.Total.Errors)
+	names := make([]string, 0, len(r.PerQuery))
+	for n := range r.PerQuery {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-24s %7s %7s %10s %10s %10s %10s\n",
+		"template", "count", "errors", "mean", "p50", "p95", "p99")
+	rows := append(names, "TOTAL")
+	for _, n := range rows {
+		st := r.Total
+		if n != "TOTAL" {
+			st = r.PerQuery[n]
+		}
+		fmt.Fprintf(&b, "%-24s %7d %7d %10s %10s %10s %10s\n",
+			n, st.Count, st.Errors,
+			st.Mean().Round(time.Microsecond),
+			st.Percentile(50).Round(time.Microsecond),
+			st.Percentile(95).Round(time.Microsecond),
+			st.Percentile(99).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// TPCRMix returns a representative mix over the TPCR dataset: a light
+// per-segment report, a heavier per-customer report, a correlated
+// two-GMDJ analysis, and a parameterized filtered scan.
+func TPCRMix() []Template {
+	return []Template{
+		{
+			Name: "segment-report", Weight: 4,
+			Query: func(*rand.Rand) skalla.Query {
+				q, _ := skalla.GroupBy([]string{"MktSegment"},
+					skalla.Aggs("count(*) AS lines", "avg(F.ExtendedPrice) AS avg_price"))
+				return q
+			},
+		},
+		{
+			Name: "customer-report", Weight: 2,
+			Query: func(*rand.Rand) skalla.Query {
+				q, _ := skalla.GroupBy([]string{"CustName"},
+					skalla.Aggs("count(*) AS lines", "sum(F.Quantity) AS qty"))
+				return q
+			},
+		},
+		{
+			Name: "correlated-analysis", Weight: 1,
+			Query: func(*rand.Rand) skalla.Query {
+				return skalla.NewQuery("CustName").
+					MD(skalla.Aggs("count(*) AS n", "avg(F.Quantity) AS aq"),
+						"F.CustName = B.CustName").
+					MD(skalla.Aggs("count(*) AS big"),
+						"F.CustName = B.CustName AND F.Quantity >= B.aq").
+					MustBuild()
+			},
+		},
+		{
+			Name: "filtered-region", Weight: 3,
+			Query: func(rng *rand.Rand) skalla.Query {
+				region := rng.Intn(5)
+				return skalla.NewQuery("NationKey").
+					Where(fmt.Sprintf("F.RegionKey = %d", region)).
+					MD(skalla.Aggs("count(*) AS lines", "sum(F.ExtendedPrice) AS revenue"),
+						fmt.Sprintf("F.NationKey = B.NationKey AND F.RegionKey = %d", region)).
+					MustBuild()
+			},
+		},
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tpcr"
+	"repro/skalla"
+)
+
+func testCluster(t *testing.T) *skalla.Cluster {
+	t.Helper()
+	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	cfg := tpcr.Config{Rows: 3000, Customers: 60, Seed: 2}
+	if _, err := cluster.Generate("tpcr", "tpcr", tpcr.GenParams(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpcr.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+func TestRunMix(t *testing.T) {
+	cluster := testCluster(t)
+	res, err := Run(cluster, TPCRMix(), Config{
+		Detail: "tpcr", Workers: 3, Iterations: 30,
+		Opts: skalla.AllOptimizations, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstErr != nil {
+		t.Fatalf("query errors: %v", res.FirstErr)
+	}
+	if res.Total.Count != 30 || res.Total.Errors != 0 {
+		t.Errorf("total: %+v", res.Total)
+	}
+	if res.QPS() <= 0 {
+		t.Error("no throughput")
+	}
+	// Every weighted template should have been drawn at least once with
+	// 30 iterations and weights 4/2/1/3.
+	if len(res.PerQuery) < 3 {
+		t.Errorf("templates drawn: %d", len(res.PerQuery))
+	}
+	report := res.String()
+	for _, want := range []string{"TOTAL", "p95", "q/s"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunErrorsSurfaceButDoNotAbort(t *testing.T) {
+	cluster := testCluster(t)
+	bad := []Template{{
+		Name: "bad",
+		Query: func(*rand.Rand) skalla.Query {
+			q, _ := skalla.GroupBy([]string{"Nope"}, skalla.Aggs("count(*) AS c"))
+			return q
+		},
+	}}
+	res, err := Run(cluster, bad, Config{Detail: "tpcr", Workers: 2, Iterations: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstErr == nil || res.Total.Errors != 6 {
+		t.Errorf("errors not recorded: %+v first=%v", res.Total, res.FirstErr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cluster := testCluster(t)
+	if _, err := Run(cluster, nil, Config{Detail: "tpcr"}); err == nil {
+		t.Error("empty template list accepted")
+	}
+	if _, err := Run(cluster, TPCRMix(), Config{}); err == nil {
+		t.Error("missing detail relation accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := &Stats{}
+	for i := 1; i <= 100; i++ {
+		s.add(time.Duration(i)*time.Millisecond, nil)
+	}
+	if s.Mean() != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if p := s.Percentile(50); p < 49*time.Millisecond || p > 51*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := s.Percentile(99); p < 98*time.Millisecond || p > 100*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	empty := &Stats{}
+	if empty.Mean() != 0 || empty.Percentile(95) != 0 {
+		t.Error("empty stats not zero")
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	// Same seed → same template draw sequence (per worker).
+	tmpl := TPCRMix()
+	total := 0
+	for i := range tmpl {
+		total += tmpl[i].Weight
+	}
+	rng1 := rand.New(rand.NewSource(9))
+	rng2 := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		if pick(tmpl, total, rng1).Name != pick(tmpl, total, rng2).Name {
+			t.Fatal("draws not deterministic")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full local verification: build, vet, format check, tests (with race
+# detector), examples, and a quick bench pass.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed: $unformatted" >&2
+    exit 1
+fi
+
+echo "== build + vet =="
+go build ./...
+go vet ./...
+
+echo "== tests (race) =="
+go test -race ./...
+
+echo "== examples =="
+for ex in quickstart ipflows tpcr cube multitier sql; do
+    echo "-- examples/$ex"
+    go run "./examples/$ex" > /dev/null
+done
+
+echo "== quick bench pass =="
+go test -run xxx -bench . -benchtime 1x . > /dev/null
+
+echo "all checks passed"

@@ -1,0 +1,127 @@
+package skalla_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+	"repro/skalla"
+)
+
+// demoCluster builds a deterministic two-site warehouse for the examples.
+func demoCluster() *skalla.Cluster {
+	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := relation.MustSchema(
+		relation.Column{Name: "Region", Kind: value.KindString},
+		relation.Column{Name: "Sales", Kind: value.KindInt},
+	)
+	parts := []*relation.Relation{relation.New(schema), relation.New(schema)}
+	data := []struct {
+		r string
+		s int64
+	}{
+		{"east", 10}, {"east", 20}, {"west", 7}, {"west", 3}, {"east", 5},
+	}
+	for i, d := range data {
+		parts[i%2].MustAppend(value.NewString(d.r), value.NewInt(d.s))
+	}
+	if err := cluster.Load("sales", parts); err != nil {
+		log.Fatal(err)
+	}
+	return cluster
+}
+
+// ExampleCluster_Query evaluates a distributed GROUP BY built with the
+// query builder.
+func ExampleCluster_Query() {
+	cluster := demoCluster()
+	defer cluster.Close()
+
+	q, err := skalla.GroupBy([]string{"Region"},
+		skalla.Aggs("count(*) AS n", "sum(F.Sales) AS total"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cluster.Query(q, "sales", skalla.AllOptimizations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Relation.SortBy("Region")
+	for _, row := range res.Relation.Rows {
+		fmt.Printf("%s: n=%v total=%v\n", row[0], row[1], row[2])
+	}
+	// Output:
+	// east: n=3 total=35
+	// west: n=2 total=10
+}
+
+// ExampleCluster_SQL runs the same analysis through the SQL front-end.
+func ExampleCluster_SQL() {
+	cluster := demoCluster()
+	defer cluster.Close()
+
+	rel, err := cluster.SQL(
+		"SELECT Region, sum(Sales) AS total FROM sales GROUP BY Region HAVING total > 20",
+		skalla.AllOptimizations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel.SortBy("Region")
+	for _, row := range rel.Rows {
+		fmt.Printf("%s: %v\n", row[0], row[1])
+	}
+	// Output:
+	// east: 35
+}
+
+// ExampleNewQuery shows a correlated aggregate query: the second GMDJ's
+// condition references the first's output (the per-region average).
+func ExampleNewQuery() {
+	cluster := demoCluster()
+	defer cluster.Close()
+
+	q := skalla.NewQuery("Region").
+		MD(skalla.Aggs("avg(F.Sales) AS mean"), "F.Region = B.Region").
+		MD(skalla.Aggs("count(*) AS above"), "F.Region = B.Region AND F.Sales >= B.mean").
+		MustBuild()
+	res, err := cluster.Query(q, "sales", skalla.AllOptimizations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Relation.SortBy("Region")
+	for _, row := range res.Relation.Rows {
+		fmt.Printf("%s: %v of its rows at or above its mean\n", row[0], row[2])
+	}
+	// Output:
+	// east: 1 of its rows at or above its mean
+	// west: 1 of its rows at or above its mean
+}
+
+// ExampleCube computes a one-dimensional data cube (group rows plus the
+// grand total) in a single distributed round trip.
+func ExampleCube() {
+	cluster := demoCluster()
+	defer cluster.Close()
+
+	cube, err := skalla.Cube(cluster, "sales", []string{"Region"},
+		skalla.Aggs("sum(F.Sales) AS total"), skalla.AllOptimizations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube.SortBy("Region")
+	for _, row := range cube.Rows {
+		name := "ALL"
+		if !row[0].IsNull() {
+			name = row[0].S
+		}
+		fmt.Printf("%s: %v\n", name, row[1])
+	}
+	// Output:
+	// ALL: 45
+	// east: 35
+	// west: 10
+}

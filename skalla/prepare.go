@@ -1,0 +1,94 @@
+package skalla
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/transport"
+)
+
+// Prepared is a planned query that can execute repeatedly without
+// re-planning: the Egil optimizer runs once, the plan is reused. Useful
+// for dashboard-style workloads that issue the same OLAP query against
+// changing site data.
+type Prepared struct {
+	cluster *Cluster
+	plan    *Plan
+}
+
+// Prepare plans a query for repeated execution under the given options.
+// The plan captures the current catalog knowledge and detail schemas;
+// re-prepare after changing either.
+func (c *Cluster) Prepare(q Query, detail string, opts Options) (*Prepared, error) {
+	schemas := map[string]*relation.Schema{}
+	for _, name := range q.DetailNames(detail) {
+		s, err := c.coord.DetailSchema(name)
+		if err != nil {
+			return nil, err
+		}
+		schemas[name] = s
+	}
+	plan, err := core.Egil{Catalog: c.cat, Options: opts}.BuildPlanSchemas(q, detail, schemas)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{cluster: c, plan: plan}, nil
+}
+
+// Plan returns the underlying distributed plan.
+func (p *Prepared) Plan() *Plan { return p.plan }
+
+// Execute runs the prepared plan against the cluster's current data.
+func (p *Prepared) Execute() (*Result, error) {
+	rel, stats, err := p.cluster.coord.Execute(p.plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Relation: rel, Stats: stats, Plan: p.plan}, nil
+}
+
+// SiteStatus reports one site's state, as seen by the coordinator.
+type SiteStatus struct {
+	ID        string
+	Reachable bool
+	Err       string
+	// Relations maps relation name to row count for the relations the
+	// caller asked about.
+	Relations map[string]int
+}
+
+// Status pings every site and reports reachability plus the row counts of
+// the named relations (missing relations are omitted from the map).
+func (c *Cluster) Status(relations ...string) []SiteStatus {
+	out := make([]SiteStatus, len(c.clients))
+	for i, cl := range c.clients {
+		st := SiteStatus{ID: cl.SiteID(), Relations: map[string]int{}}
+		resp, err := cl.Call(&transport.Request{Op: transport.OpPing})
+		switch {
+		case err != nil:
+			st.Err = err.Error()
+		case resp.Error() != nil:
+			st.Err = resp.Error().Error()
+		default:
+			st.Reachable = true
+			for _, rel := range relations {
+				info, err := cl.Call(&transport.Request{Op: transport.OpRelInfo, Rel: rel})
+				if err != nil || info.Error() != nil {
+					continue
+				}
+				st.Relations[rel] = info.RowCount
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// String renders a status line per site.
+func (s SiteStatus) String() string {
+	if !s.Reachable {
+		return fmt.Sprintf("%s: unreachable (%s)", s.ID, s.Err)
+	}
+	return fmt.Sprintf("%s: ok %v", s.ID, s.Relations)
+}

@@ -1,0 +1,126 @@
+package skalla
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/gmdj"
+)
+
+// Builder constructs GMDJ queries fluently. Errors are accumulated and
+// reported by Build, so call chains stay clean.
+type Builder struct {
+	q   gmdj.Query
+	err error
+}
+
+// NewQuery starts a query whose base-values relation is the distinct
+// projection of the given detail columns (they become the key K).
+func NewQuery(baseCols ...string) *Builder {
+	return &Builder{q: gmdj.Query{Base: gmdj.BaseDef{Cols: baseCols}}}
+}
+
+// Where restricts the detail rows that define the base-values relation.
+// The condition references the detail relation with alias F or R.
+func (b *Builder) Where(cond string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	e, err := expr.Parse(cond)
+	if err != nil {
+		b.err = fmt.Errorf("skalla: base filter: %w", err)
+		return b
+	}
+	b.q.Base.Where = e
+	return b
+}
+
+// AggList is one aggregate list l_i of a GMDJ operator.
+type AggList []agg.Spec
+
+// Aggs parses aggregate specifications like "count(*) AS cnt1" or
+// "avg(F.NumBytes) AS avg_nb"; it panics on malformed input (specs are
+// almost always literals — use agg.ParseSpec directly for dynamic ones).
+func Aggs(specs ...string) AggList {
+	out := make(AggList, len(specs))
+	for i, s := range specs {
+		out[i] = agg.MustParseSpec(s)
+	}
+	return out
+}
+
+// MD appends a GMDJ operator with a single (aggregate-list, condition)
+// pair. The condition references the base with alias B and the detail
+// relation with alias F or R; it may reference aggregates computed by
+// earlier MDs through B (e.g. "F.NumBytes >= B.sum1 / B.cnt1").
+func (b *Builder) MD(aggs AggList, cond string) *Builder {
+	return b.MDMulti([]AggList{aggs}, []string{cond})
+}
+
+// MDMulti appends a GMDJ operator with several (aggregate-list,
+// condition) pairs — the coalesced form with multiple grouping variables.
+func (b *Builder) MDMulti(aggLists []AggList, conds []string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(aggLists) != len(conds) {
+		b.err = fmt.Errorf("skalla: %d aggregate lists for %d conditions", len(aggLists), len(conds))
+		return b
+	}
+	md := gmdj.MD{}
+	for i, cond := range conds {
+		theta, err := expr.Parse(cond)
+		if err != nil {
+			b.err = fmt.Errorf("skalla: condition %d: %w", i+1, err)
+			return b
+		}
+		md.Thetas = append(md.Thetas, theta)
+		md.Aggs = append(md.Aggs, aggLists[i])
+	}
+	b.q.MDs = append(b.q.MDs, md)
+	return b
+}
+
+// Build returns the query or the first accumulated error.
+func (b *Builder) Build() (Query, error) {
+	if b.err != nil {
+		return Query{}, b.err
+	}
+	if len(b.q.MDs) == 0 {
+		return Query{}, fmt.Errorf("skalla: query has no GMDJ operators")
+	}
+	return b.q, nil
+}
+
+// MustBuild is Build but panics on error; for tests and literal queries.
+func (b *Builder) MustBuild() Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// GroupBy builds the GMDJ form of a plain SQL GROUP BY aggregate query:
+//
+//	SELECT cols..., aggs... FROM detail GROUP BY cols...
+//
+// It is the simplest OLAP query shape; the returned query has a single
+// MD whose condition equates every grouping column.
+func GroupBy(cols []string, aggs AggList) (Query, error) {
+	if len(cols) == 0 {
+		return Query{}, fmt.Errorf("skalla: GroupBy needs grouping columns")
+	}
+	b := NewQuery(cols...)
+	var conjs []expr.Expr
+	for _, c := range cols {
+		conjs = append(conjs, expr.Eq(expr.Ref("F", c), expr.Ref("B", c)))
+	}
+	theta := expr.And(conjs...)
+	b.q.MDs = append(b.q.MDs, gmdj.MD{
+		Aggs:   [][]agg.Spec{aggs},
+		Thetas: []expr.Expr{theta},
+	})
+	return b.Build()
+}

@@ -1,0 +1,344 @@
+// Package skalla is the public API of the Skalla distributed OLAP system,
+// a reproduction of "Efficient OLAP Query Processing in Distributed Data
+// Warehouses" (Akinde, Böhlen, Johnson, Lakshmanan, Srivastava, 2002).
+//
+// A Cluster is a distributed data warehouse: local warehouse sites each
+// holding a horizontal partition of a detail (fact) relation, plus a
+// coordinator. OLAP queries are expressed as GMDJ expressions — built with
+// NewQuery — and evaluated in rounds: sites compute sub-aggregates against
+// their local partitions and the coordinator synchronizes them; detail
+// tuples never leave their site.
+//
+// Quickstart:
+//
+//	cluster, _ := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: 4})
+//	defer cluster.Close()
+//	cluster.Load("flow", parts) // or cluster.Generate(...)
+//	q, _ := skalla.NewQuery("SourceAS", "DestAS").
+//		MD(skalla.Aggs("count(*) AS cnt1", "sum(F.NumBytes) AS sum1"),
+//			"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS").
+//		Build()
+//	res, _ := cluster.Query(q, "flow", skalla.AllOptimizations)
+//	fmt.Println(res.Relation)
+//	fmt.Println(res.Stats)
+package skalla
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/gmdj"
+	"repro/internal/ipflow"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/tpcr"
+	"repro/internal/transport"
+)
+
+// Re-exported types, so most applications only import this package.
+type (
+	// Options selects the distributed optimizations (see core.Options).
+	Options = core.Options
+	// Plan is a distributed evaluation plan.
+	Plan = core.Plan
+	// ExecStats reports bytes, rounds, and time of one execution.
+	ExecStats = core.ExecStats
+	// Query is a complex GMDJ expression.
+	Query = gmdj.Query
+	// Relation is an in-memory relation.
+	Relation = relation.Relation
+	// Schema describes a relation's columns.
+	Schema = relation.Schema
+	// Catalog holds distribution knowledge.
+	Catalog = catalog.Catalog
+	// CostModel models the coordinator↔site links.
+	CostModel = transport.CostModel
+)
+
+// AllOptimizations enables every optimization of the paper.
+var AllOptimizations = core.DefaultOptions
+
+// NoOptimizations is the unoptimized baseline evaluation.
+var NoOptimizations = Options{}
+
+// DefaultWAN is a 10 Mbit/s, 2 ms cost model approximating the paper-era
+// interconnect.
+var DefaultWAN = transport.DefaultWAN
+
+var registerOnce sync.Once
+
+// registerGenerators installs the built-in dataset generators.
+func registerGenerators() {
+	registerOnce.Do(func() {
+		site.RegisterGenerator("tpcr", tpcr.Generator)
+		site.RegisterGenerator("ipflow", ipflow.Generator)
+	})
+}
+
+// ClusterConfig configures a local (in-process) cluster.
+type ClusterConfig struct {
+	// Sites is the number of warehouse sites (default 4).
+	Sites int
+	// Cost models each coordinator↔site link; the zero value accounts
+	// nothing and sleeps never.
+	Cost CostModel
+	// UseTCP runs each site behind a real TCP server on loopback instead
+	// of the in-process transport. Byte accounting is identical; TCP
+	// mainly serves integration testing and demos.
+	UseTCP bool
+}
+
+// Cluster is a running distributed data warehouse.
+type Cluster struct {
+	ids     []string
+	clients []transport.Client
+	coord   *core.Coordinator
+	cat     *catalog.Catalog
+	engines []*site.Engine      // in-process sites (nil entries when remote)
+	servers []*transport.Server // owned TCP servers, closed with the cluster
+
+	// leafClients is set for multi-tier clusters: direct handles to the
+	// leaf sites, used by Load (relays cannot split shipped relations).
+	leafClients []transport.Client
+}
+
+// NewLocalCluster starts an in-process cluster with cfg.Sites sites.
+func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
+	registerGenerators()
+	if cfg.Sites == 0 {
+		cfg.Sites = 4
+	}
+	if cfg.Sites < 0 {
+		return nil, fmt.Errorf("skalla: invalid site count %d", cfg.Sites)
+	}
+	c := &Cluster{}
+	for i := 0; i < cfg.Sites; i++ {
+		id := fmt.Sprintf("site%d", i)
+		eng := site.NewEngine(id)
+		c.ids = append(c.ids, id)
+		c.engines = append(c.engines, eng)
+		if cfg.UseTCP {
+			srv := transport.NewServer(eng)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("skalla: start site %s: %w", id, err)
+			}
+			c.servers = append(c.servers, srv)
+			cl, err := transport.DialTCP(id, addr, cfg.Cost)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("skalla: connect site %s: %w", id, err)
+			}
+			c.clients = append(c.clients, cl)
+		} else {
+			c.clients = append(c.clients, transport.NewLocalClient(id, eng, cfg.Cost))
+		}
+	}
+	c.coord = core.NewCoordinator(c.clients...)
+	c.cat = catalog.New(c.ids...)
+	return c, nil
+}
+
+// Connect builds a cluster over already-running remote site servers (one
+// address per site, as started by cmd/skalla-site). Connections
+// transparently reconnect and retry on transport failures (e.g. a site
+// restart), so transient outages do not kill long coordinator sessions.
+func Connect(addrs []string, cost CostModel) (*Cluster, error) {
+	registerGenerators()
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("skalla: no site addresses")
+	}
+	c := &Cluster{}
+	for i, addr := range addrs {
+		id := fmt.Sprintf("site%d", i)
+		cl := transport.NewReconnectingTCP(id, addr, cost, 3, 100*time.Millisecond)
+		// Validate reachability eagerly so misconfigured addresses fail
+		// at connect time, not at first query.
+		if _, err := cl.Call(&transport.Request{Op: transport.OpPing}); err != nil {
+			cl.Close()
+			c.Close()
+			return nil, fmt.Errorf("skalla: connect %s: %w", addr, err)
+		}
+		c.ids = append(c.ids, id)
+		c.clients = append(c.clients, cl)
+		c.engines = append(c.engines, nil)
+	}
+	c.coord = core.NewCoordinator(c.clients...)
+	c.cat = catalog.New(c.ids...)
+	return c, nil
+}
+
+// Close releases all connections and stops owned servers.
+func (c *Cluster) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, srv := range c.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NumSites returns the number of sites.
+func (c *Cluster) NumSites() int { return len(c.clients) }
+
+// SiteIDs returns the site identifiers.
+func (c *Cluster) SiteIDs() []string { return append([]string(nil), c.ids...) }
+
+// Catalog returns the cluster's distribution-knowledge catalog, which
+// callers populate (e.g. via tpcr.FillCatalog) to enable the
+// distribution-aware optimizations.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// UseCatalog replaces the cluster's distribution knowledge, e.g. with a
+// catalog loaded from a JSON file (catalog.LoadFile) describing a real
+// deployment's partitioning.
+func (c *Cluster) UseCatalog(cat *Catalog) {
+	if cat != nil {
+		c.cat = cat
+	}
+}
+
+// Coordinator exposes the underlying coordinator for advanced use
+// (custom plans, statistics access).
+func (c *Cluster) Coordinator() *core.Coordinator { return c.coord }
+
+// Subset returns a view of the cluster restricted to its first n sites —
+// used by the speed-up experiments that vary participating sites. The
+// subset shares clients and catalog with the parent; closing the parent
+// closes the subset.
+func (c *Cluster) Subset(n int) (*Cluster, error) {
+	if n <= 0 || n > len(c.clients) {
+		return nil, fmt.Errorf("skalla: subset of %d from %d sites", n, len(c.clients))
+	}
+	sub := &Cluster{
+		ids:     c.ids[:n],
+		clients: c.clients[:n],
+		engines: c.engines[:n],
+		cat:     c.cat,
+	}
+	sub.coord = core.NewCoordinator(sub.clients...)
+	return sub, nil
+}
+
+// Load ships one partition per site and stores it under the given
+// relation name. len(parts) must equal the number of sites (leaves for a
+// multi-tier cluster). (Loading moves detail data and is meant for small
+// examples; production-shaped deployments Generate data at the sites or
+// ingest it locally.)
+func (c *Cluster) Load(rel string, parts []*relation.Relation) error {
+	targets := c.clients
+	if len(c.leafClients) > 0 {
+		targets = c.leafClients
+	}
+	if len(parts) != len(targets) {
+		return fmt.Errorf("skalla: %d partitions for %d sites", len(parts), len(targets))
+	}
+	for i, cl := range targets {
+		resp, err := cl.Call(&transport.Request{Op: transport.OpLoad, Rel: rel, Data: parts[i]})
+		if err != nil {
+			return fmt.Errorf("skalla: load to %s: %w", cl.SiteID(), err)
+		}
+		if err := resp.Error(); err != nil {
+			return fmt.Errorf("skalla: load to %s: %w", cl.SiteID(), err)
+		}
+	}
+	return nil
+}
+
+// Generate has every site synthesize its own partition of a registered
+// dataset ("tpcr" or "ipflow") locally — no detail data crosses the wire.
+// It returns the per-site row counts.
+func (c *Cluster) Generate(rel, kind string, params map[string]int64) ([]int, error) {
+	counts := make([]int, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl transport.Client) {
+			defer wg.Done()
+			resp, err := cl.Call(&transport.Request{
+				Op: transport.OpGenerate,
+				Gen: &transport.GenSpec{
+					Kind: kind, Rel: rel, Params: params,
+					Site: i, NumSites: len(c.clients),
+				},
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := resp.Error(); err != nil {
+				errs[i] = err
+				return
+			}
+			counts[i] = resp.RowCount
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("skalla: generate at %s: %w", c.ids[i], err)
+		}
+	}
+	return counts, nil
+}
+
+// Result bundles the outcome of one distributed query execution.
+type Result struct {
+	// Relation is the final base-result structure X.
+	Relation *relation.Relation
+	// Stats reports traffic and time per round.
+	Stats *ExecStats
+	// Plan is the distributed plan that ran, with optimizer notes.
+	Plan *Plan
+}
+
+// Query plans and executes a GMDJ query against the named detail
+// relation under the given optimization options.
+func (c *Cluster) Query(q Query, detail string, opts Options) (*Result, error) {
+	rel, stats, plan, err := c.coord.Run(q, detail, core.Egil{Catalog: c.cat, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Relation: rel, Stats: stats, Plan: plan}, nil
+}
+
+// Explain plans the query without executing it.
+func (c *Cluster) Explain(q Query, detail string, opts Options) (*Plan, error) {
+	schema, err := c.coord.DetailSchema(detail)
+	if err != nil {
+		return nil, err
+	}
+	return core.Egil{Catalog: c.cat, Options: opts}.BuildPlan(q, detail, schema)
+}
+
+// Session returns a cluster view with its own connections to the same
+// sites, for concurrent use: queries on different sessions do not
+// serialize on shared connections and keep independent traffic statistics.
+// Sessions share the parent's catalog and in-process site engines; closing
+// a session closes only its own connections. Only in-process clusters
+// support sessions (remote clusters should Connect again instead).
+func (c *Cluster) Session() (*Cluster, error) {
+	if len(c.engines) == 0 || c.engines[0] == nil {
+		return nil, fmt.Errorf("skalla: sessions require an in-process cluster; use Connect for remote sites")
+	}
+	if len(c.leafClients) > 0 {
+		return nil, fmt.Errorf("skalla: sessions over multi-tier clusters are not supported")
+	}
+	s := &Cluster{ids: c.ids, engines: c.engines, cat: c.cat}
+	for i, eng := range c.engines {
+		s.clients = append(s.clients, transport.NewLocalClient(c.ids[i], eng, CostModel{}))
+	}
+	s.coord = core.NewCoordinator(s.clients...)
+	return s, nil
+}

@@ -1,0 +1,469 @@
+package skalla
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/tpcr"
+	"repro/internal/value"
+)
+
+func example1() Query {
+	return NewQuery("SourceAS", "DestAS").
+		MD(Aggs("count(*) AS cnt1", "sum(F.NumBytes) AS sum1"),
+			"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS").
+		MD(Aggs("count(*) AS cnt2"),
+			"F.SourceAS = B.SourceAS AND F.DestAS = B.DestAS AND F.NumBytes >= B.sum1 / B.cnt1").
+		MustBuild()
+}
+
+func flowParts(nSites int) ([]*relation.Relation, *relation.Relation) {
+	s := relation.MustSchema(
+		relation.Column{Name: "SourceAS", Kind: value.KindInt},
+		relation.Column{Name: "DestAS", Kind: value.KindInt},
+		relation.Column{Name: "NumBytes", Kind: value.KindInt},
+	)
+	whole := relation.New(s)
+	parts := make([]*relation.Relation, nSites)
+	for i := range parts {
+		parts[i] = relation.New(s)
+	}
+	data := [][3]int64{
+		{1, 10, 100}, {1, 10, 300}, {2, 10, 50}, {1, 20, 500}, {3, 30, 250}, {2, 10, 150},
+	}
+	for i, d := range data {
+		row := relation.Row{value.NewInt(d[0]), value.NewInt(d[1]), value.NewInt(d[2])}
+		whole.Rows = append(whole.Rows, row)
+		parts[i%nSites].Rows = append(parts[i%nSites].Rows, row)
+	}
+	return parts, whole
+}
+
+func TestLocalClusterEndToEnd(t *testing.T) {
+	for _, useTCP := range []bool{false, true} {
+		cluster, err := NewLocalCluster(ClusterConfig{Sites: 3, UseTCP: useTCP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, whole := flowParts(3)
+		if err := cluster.Load("flow", parts); err != nil {
+			t.Fatal(err)
+		}
+		want, err := gmdj.EvalQuery(whole, example1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cluster.Query(example1(), "flow", AllOptimizations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Relation
+		got.SortBy("SourceAS", "DestAS")
+		want.SortBy("SourceAS", "DestAS")
+		if got.Len() != want.Len() {
+			t.Fatalf("tcp=%v: %d rows, want %d", useTCP, got.Len(), want.Len())
+		}
+		for i := range want.Rows {
+			for j := range want.Rows[i] {
+				if !value.Equal(got.Rows[i][j], want.Rows[i][j]) &&
+					!(got.Rows[i][j].IsNull() && want.Rows[i][j].IsNull()) {
+					t.Errorf("tcp=%v row %d col %d: %v != %v", useTCP, i, j, got.Rows[i][j], want.Rows[i][j])
+				}
+			}
+		}
+		if res.Stats.Bytes() <= 0 {
+			t.Error("no traffic accounted")
+		}
+		if err := cluster.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+}
+
+func TestGenerateAndQueryTPCR(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cfg := tpcr.Config{Rows: 4000, Customers: 50, Seed: 3}
+	counts, err := cluster.Generate("tpcr", "tpcr", tpcr.GenParams(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	whole := tpcr.Generate(cfg)
+	if total != whole.Len() {
+		t.Errorf("generated %d rows across sites, want %d", total, whole.Len())
+	}
+	if err := tpcr.FillCatalog(cluster.Catalog(), cluster.SiteIDs(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := GroupBy([]string{"CustName"}, Aggs("count(*) AS orders", "avg(F.ExtendedPrice) AS avg_price"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Query(q, "tpcr", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != want.Len() {
+		t.Errorf("distributed %d groups, centralized %d", res.Relation.Len(), want.Len())
+	}
+	// CustName is a partition attribute: sync reduction should make this
+	// a single round.
+	if res.Plan.Rounds() != 1 {
+		t.Errorf("expected single round, got %d\n%s", res.Plan.Rounds(), res.Plan.Explain())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, _ := flowParts(4)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cluster.Subset(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumSites() != 2 {
+		t.Errorf("subset sites = %d", sub.NumSites())
+	}
+	// The subset sees only 2 sites' data.
+	res, err := sub.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() == 0 {
+		t.Error("subset query returned nothing")
+	}
+	if _, err := cluster.Subset(0); err == nil {
+		t.Error("subset(0) accepted")
+	}
+	if _, err := cluster.Subset(9); err == nil {
+		t.Error("oversized subset accepted")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, _ := flowParts(2)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cluster.Explain(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Explain(), "3 round(s)") {
+		t.Errorf("explain:\n%s", plan.Explain())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewQuery("a").Build(); err == nil {
+		t.Error("query without MDs accepted")
+	}
+	if _, err := NewQuery("a").MD(Aggs("count(*) AS c"), "((").Build(); err == nil {
+		t.Error("bad condition accepted")
+	}
+	if _, err := NewQuery("a").Where("((").MD(Aggs("count(*) AS c"), "TRUE").Build(); err == nil {
+		t.Error("bad filter accepted")
+	}
+	if _, err := NewQuery("a").MDMulti([]AggList{Aggs("count(*) AS c")}, []string{"TRUE", "TRUE"}).Build(); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := GroupBy(nil, Aggs("count(*) AS c")); err == nil {
+		t.Error("GroupBy without columns accepted")
+	}
+	// Error sticks through later calls.
+	b := NewQuery("a").MD(Aggs("count(*) AS c"), "((").MD(Aggs("count(*) AS d"), "TRUE")
+	if _, err := b.Build(); err == nil {
+		t.Error("accumulated error lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic")
+		}
+	}()
+	NewQuery("a").MustBuild()
+}
+
+func TestLoadErrors(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, _ := flowParts(3)
+	if err := cluster.Load("flow", parts); err == nil {
+		t.Error("partition count mismatch accepted")
+	}
+	if _, err := cluster.Generate("x", "nope", nil); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := Connect(nil, CostModel{}); err == nil {
+		t.Error("Connect with no addresses accepted")
+	}
+}
+
+func TestWhereAndGroupBy(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, whole := flowParts(2)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery("SourceAS").Where("F.NumBytes >= 200").
+		MD(Aggs("count(*) AS c"), "F.SourceAS = B.SourceAS").MustBuild()
+	res, err := cluster.Query(q, "flow", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation.Len() != want.Len() {
+		t.Errorf("filtered base: %d groups, want %d", res.Relation.Len(), want.Len())
+	}
+}
+
+// TestConditionalAggregation exercises CASE expressions as aggregate
+// arguments across the distributed pipeline — the classic "pivot by
+// condition" OLAP idiom.
+func TestConditionalAggregation(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, whole := flowParts(3)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery("SourceAS").
+		MD(Aggs(
+			"sum(CASE WHEN F.DestAS = 10 THEN F.NumBytes ELSE 0 END) AS to10",
+			"sum(CASE WHEN F.DestAS != 10 THEN F.NumBytes ELSE 0 END) AS other",
+			"max(abs(F.NumBytes - 200)) AS spread",
+		), "F.SourceAS = B.SourceAS").
+		MustBuild()
+	res, err := cluster.Query(q, "flow", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Relation.SortBy("SourceAS")
+	want.SortBy("SourceAS")
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !value.Equal(res.Relation.Rows[i][j], want.Rows[i][j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, res.Relation.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	// Sanity: to10 + other accounts for all bytes of AS 1.
+	var all, got int64
+	for _, row := range whole.Rows {
+		if row[0].I == 1 {
+			all += row[2].I
+		}
+	}
+	for _, row := range res.Relation.Rows {
+		if row[0].I == 1 {
+			a, _ := row[1].AsInt()
+			b, _ := row[2].AsInt()
+			got = a + b
+		}
+	}
+	if all != got {
+		t.Errorf("conditional split lost bytes: %d != %d", got, all)
+	}
+}
+
+func TestPreparedQuery(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, whole := flowParts(3)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cluster.Prepare(example1(), "flow", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Executing twice reuses the plan and keeps producing correct results.
+	for run := 0; run < 2; run++ {
+		res, err := p.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Relation.Len() != want.Len() {
+			t.Errorf("run %d: %d rows, want %d", run, res.Relation.Len(), want.Len())
+		}
+		if res.Plan != p.Plan() {
+			t.Error("plan not reused")
+		}
+	}
+	// Prepare fails cleanly on unknown relations.
+	if _, err := cluster.Prepare(example1(), "nosuch", NoOptimizations); err == nil {
+		t.Error("prepare against missing relation accepted")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, _ := flowParts(2)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	sts := cluster.Status("flow", "missing")
+	if len(sts) != 2 {
+		t.Fatalf("status entries = %d", len(sts))
+	}
+	for _, st := range sts {
+		if !st.Reachable {
+			t.Errorf("%s unreachable: %s", st.ID, st.Err)
+		}
+		if _, ok := st.Relations["flow"]; !ok {
+			t.Errorf("%s missing flow row count", st.ID)
+		}
+		if _, ok := st.Relations["missing"]; ok {
+			t.Errorf("%s reported a count for a missing relation", st.ID)
+		}
+		if !strings.Contains(st.String(), "ok") {
+			t.Errorf("status string: %s", st)
+		}
+	}
+}
+
+// TestConcurrentSessions: parallel sessions over the same sites must all
+// produce the centralized result.
+func TestConcurrentSessions(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, whole := flowParts(3)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			session, err := cluster.Session()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer session.Close()
+			for i := 0; i < 5; i++ {
+				res, err := session.Query(example1(), "flow", AllOptimizations)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Relation.Len() != want.Len() {
+					errs <- fmt.Errorf("row count %d != %d", res.Relation.Len(), want.Len())
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sessions are unsupported on remote and multi-tier clusters.
+	tree, err := NewTreeCluster(TreeConfig{Leaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if _, err := tree.Session(); err == nil {
+		t.Error("tree session accepted")
+	}
+}
+
+// TestExactDistinctDistributed: exact COUNT DISTINCT merges correctly
+// across sites (duplicates spanning partitions collapse).
+func TestExactDistinctDistributed(t *testing.T) {
+	cluster, err := NewLocalCluster(ClusterConfig{Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	parts, whole := flowParts(3)
+	if err := cluster.Load("flow", parts); err != nil {
+		t.Fatal(err)
+	}
+	q := NewQuery("SourceAS").
+		MD(Aggs("countdx(F.DestAS) AS dests"), "F.SourceAS = B.SourceAS").
+		MustBuild()
+	res, err := cluster.Query(q, "flow", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: distinct DestAS per SourceAS over the whole relation.
+	want := map[int64]map[int64]bool{}
+	for _, row := range whole.Rows {
+		m, ok := want[row[0].I]
+		if !ok {
+			m = map[int64]bool{}
+			want[row[0].I] = m
+		}
+		m[row[1].I] = true
+	}
+	for _, row := range res.Relation.Rows {
+		if got := row[1].I; got != int64(len(want[row[0].I])) {
+			t.Errorf("SourceAS %d: %d distinct dests, want %d", row[0].I, got, len(want[row[0].I]))
+		}
+	}
+}

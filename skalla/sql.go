@@ -1,0 +1,121 @@
+package skalla
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+	sqlfe "repro/internal/sql"
+)
+
+// SQL parses and executes a SQL statement against the cluster:
+//
+//	SELECT <cols, aggregates> FROM <rel>
+//	[WHERE ...] {GROUP BY ... | CUBE BY ...} [HAVING ...]
+//
+// GROUP BY statements compile to a distributed GMDJ query; CUBE BY
+// statements run the distributed cube. HAVING is evaluated on the
+// synchronized result at the coordinator (it references super-aggregates,
+// which exist nowhere else). The output columns follow the select list.
+func (c *Cluster) SQL(query string, opts Options) (*Relation, error) {
+	st, err := sqlfe.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+
+	var rel *Relation
+	switch {
+	case st.Cube || st.Rollup:
+		var sets [][]string
+		if st.Cube {
+			for mask := 0; mask < 1<<len(st.GroupCols); mask++ {
+				var set []string
+				for di := range st.GroupCols {
+					if mask&(1<<di) != 0 {
+						set = append(set, st.GroupCols[di])
+					}
+				}
+				sets = append(sets, set)
+			}
+		} else {
+			for n := len(st.GroupCols); n >= 0; n-- {
+				sets = append(sets, append([]string(nil), st.GroupCols[:n]...))
+			}
+		}
+		rel, err = groupingSets(c, st.Detail, st.GroupCols, sets, AggList(st.Aggs), st.Where, opts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		q, err := st.Query()
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.Query(q, st.Detail, opts)
+		if err != nil {
+			return nil, err
+		}
+		rel = res.Relation
+	}
+
+	if st.Having != nil {
+		rel, err = filterHaving(rel, st.Having)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rel, err = projectColumns(rel, st.SelectCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.OrderBy) > 0 {
+		keys := make([]relation.SortKey, len(st.OrderBy))
+		for i, o := range st.OrderBy {
+			keys[i] = relation.SortKey{Name: o.Col, Desc: o.Desc}
+		}
+		if err := rel.SortKeys(keys...); err != nil {
+			return nil, fmt.Errorf("skalla: ORDER BY: %w", err)
+		}
+	}
+	if st.Limit > 0 && rel.Len() > st.Limit {
+		rel.Rows = rel.Rows[:st.Limit]
+	}
+	return rel, nil
+}
+
+// filterHaving keeps the result rows satisfying the HAVING predicate.
+func filterHaving(rel *Relation, having expr.Expr) (*Relation, error) {
+	bound, err := expr.Bind(having, expr.Binding{Detail: rel.Schema})
+	if err != nil {
+		return nil, fmt.Errorf("skalla: HAVING: %w", err)
+	}
+	out := relation.New(rel.Schema)
+	for _, row := range rel.Rows {
+		ok, err := bound.EvalBool(nil, row)
+		if err != nil {
+			return nil, fmt.Errorf("skalla: HAVING: %w", err)
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// projectColumns reorders (and narrows) the result to the select list.
+func projectColumns(rel *Relation, cols []string) (*Relation, error) {
+	schema, idx, err := rel.Schema.Project(cols)
+	if err != nil {
+		return nil, fmt.Errorf("skalla: select list: %w", err)
+	}
+	out := relation.New(schema)
+	out.Rows = make([]relation.Row, len(rel.Rows))
+	for i, row := range rel.Rows {
+		nr := make(relation.Row, len(idx))
+		for j, p := range idx {
+			nr[j] = row[p]
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package skalla
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gmdj"
+	"repro/internal/value"
+)
+
+func TestSQLGroupBy(t *testing.T) {
+	cluster, whole := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, count(*) AS n, sum(Sales) AS total FROM sales GROUP BY Region",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := GroupBy([]string{"Region"}, Aggs("count(*) AS n", "sum(Sales) AS total"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.SortBy("Region")
+	want.SortBy("Region")
+	if got.Len() != want.Len() {
+		t.Fatalf("rows %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !value.Equal(got.Rows[i][j], want.Rows[i][j]) {
+				t.Errorf("row %d col %d: %v != %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestSQLWhereAndHaving(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, count(*) AS n FROM sales WHERE Product = 'pen' GROUP BY Region HAVING n >= 2",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pens: east 2 (10, 20), west 1 (7) → only east survives HAVING.
+	if got.Len() != 1 || got.Rows[0][0].S != "east" || got.Rows[0][1].I != 2 {
+		t.Errorf("result:\n%s", got)
+	}
+}
+
+func TestSQLSelectOrderAndProjection(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT max(Sales) AS hi, Region FROM sales GROUP BY Region",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column order follows the select list.
+	if got.Schema.Cols[0].Name != "hi" || got.Schema.Cols[1].Name != "Region" {
+		t.Errorf("schema: %s", got.Schema)
+	}
+}
+
+func TestSQLDistinct(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL("SELECT Region, Product FROM sales GROUP BY Region, Product", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 || got.Schema.Len() != 2 {
+		t.Errorf("distinct projection:\n%s", got)
+	}
+}
+
+func TestSQLCube(t *testing.T) {
+	cluster, whole := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, Product, avg(Sales) AS mean FROM sales CUBE BY Region, Product",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 9 {
+		t.Fatalf("cube rows = %d, want 9", got.Len())
+	}
+	// Grand total mean equals the direct mean.
+	var sum float64
+	for _, row := range whole.Rows {
+		f, _ := row[2].AsFloat()
+		sum += f
+	}
+	wantMean := sum / float64(whole.Len())
+	found := false
+	for _, row := range got.Rows {
+		if row[0].IsNull() && row[1].IsNull() {
+			found = true
+			if m, _ := row[2].AsFloat(); math.Abs(m-wantMean) > 1e-9 {
+				t.Errorf("grand mean %v, want %v", m, wantMean)
+			}
+		}
+	}
+	if !found {
+		t.Error("grand total row missing")
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	bad := []string{
+		"SELECT oops FROM sales GROUP BY Region",              // parse-time
+		"SELECT Region, count(*) FROM nosuch GROUP BY Region", // unknown relation
+		"SELECT Region, sum(Nope) FROM sales GROUP BY Region", // unknown column
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region HAVING bogus > 1",
+	}
+	for _, q := range bad {
+		if _, err := cluster.SQL(q, NoOptimizations); err == nil {
+			t.Errorf("SQL(%q) should fail", q)
+		}
+	}
+}
+
+func TestSQLRollup(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, Product, sum(Sales) AS total FROM sales ROLLUP BY Region, Product",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prefixes of (Region, Product): 4 + 2 + 1 = 7 rows.
+	if got.Len() != 7 {
+		t.Fatalf("rollup rows = %d, want 7\n%s", got.Len(), got)
+	}
+	// Grand total = 54.
+	found := false
+	for _, row := range got.Rows {
+		if row[0].IsNull() && row[1].IsNull() {
+			found = true
+			if v, _ := row[2].AsInt(); v != 54 {
+				t.Errorf("grand total = %d, want 54", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("grand total row missing")
+	}
+}
+
+// TestSQLCubeWithWhere: the WHERE filter must restrict the cube's detail
+// rows and groups (regression: the cube path once dropped WHERE).
+func TestSQLCubeWithWhere(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, sum(Sales) AS total FROM sales WHERE Product = 'pen' CUBE BY Region",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pens only: east 30, west 7, total 37; cube = 2 region rows + ALL.
+	if got.Len() != 3 {
+		t.Fatalf("rows = %d, want 3\n%s", got.Len(), got)
+	}
+	for _, row := range got.Rows {
+		v, _ := row[1].AsInt()
+		switch {
+		case row[0].IsNull() && v != 37:
+			t.Errorf("ALL total = %d, want 37", v)
+		case !row[0].IsNull() && row[0].S == "east" && v != 30:
+			t.Errorf("east = %d, want 30", v)
+		case !row[0].IsNull() && row[0].S == "west" && v != 7:
+			t.Errorf("west = %d, want 7", v)
+		}
+	}
+}
+
+func TestSQLOrderByAndLimit(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	got, err := cluster.SQL(
+		"SELECT Region, Product, sum(Sales) AS total FROM sales GROUP BY Region, Product ORDER BY total DESC, Region LIMIT 2",
+		AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("limit: %d rows\n%s", got.Len(), got)
+	}
+	// Totals: east/pen 30, west/ink 12, east/ink 5, west/pen 7.
+	if v, _ := got.Rows[0][2].AsInt(); v != 30 {
+		t.Errorf("first row total = %d, want 30", v)
+	}
+	if v, _ := got.Rows[1][2].AsInt(); v != 12 {
+		t.Errorf("second row total = %d, want 12", v)
+	}
+	// ASC keyword and mixed directions parse.
+	if _, err := cluster.SQL(
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region ORDER BY n ASC, Region DESC",
+		NoOptimizations); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	for _, q := range []string{
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region ORDER BY",
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region ORDER BY n sideways",
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region LIMIT 0",
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region LIMIT x",
+		"SELECT Region, count(*) AS n FROM sales GROUP BY Region ORDER BY nope",
+	} {
+		if _, err := cluster.SQL(q, NoOptimizations); err == nil {
+			t.Errorf("SQL(%q) should fail", q)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package skalla
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/site"
+	"repro/internal/transport"
+)
+
+// TreeConfig configures a multi-tier (spanning-tree) cluster — the
+// paper's future-work architecture (§6): leaf warehouse sites are grouped
+// under relay tiers that pre-merge sub-aggregates, and the coordinator
+// talks only to the relays.
+type TreeConfig struct {
+	// Leaves is the number of warehouse sites holding data.
+	Leaves int
+	// Fanout is the number of leaves per relay (default 2).
+	Fanout int
+	// Cost models every link (coordinator↔relay and relay↔leaf).
+	Cost CostModel
+}
+
+// NewTreeCluster starts an in-process multi-tier cluster. The returned
+// Cluster's sites are the relays; Load addresses the leaves directly
+// (relays cannot split shipped relations), while Generate and Query flow
+// through the tree.
+func NewTreeCluster(cfg TreeConfig) (*Cluster, error) {
+	registerGenerators()
+	if cfg.Leaves <= 0 {
+		return nil, fmt.Errorf("skalla: tree cluster needs leaves")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	c := &Cluster{}
+	var leafClients []transport.Client
+	for i := 0; i < cfg.Leaves; i++ {
+		eng := site.NewEngine(fmt.Sprintf("leaf%d", i))
+		c.engines = append(c.engines, eng)
+		leafClients = append(leafClients, transport.NewLocalClient(eng.ID(), eng, cfg.Cost))
+	}
+	c.leafClients = leafClients
+
+	for off := 0; off < cfg.Leaves; off += cfg.Fanout {
+		end := off + cfg.Fanout
+		if end > cfg.Leaves {
+			end = cfg.Leaves
+		}
+		relay, err := core.NewRelay(leafClients[off:end], off, cfg.Leaves)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("skalla: %w", err)
+		}
+		id := fmt.Sprintf("relay%d", off/cfg.Fanout)
+		c.ids = append(c.ids, id)
+		c.clients = append(c.clients, transport.NewLocalClient(id, relay, cfg.Cost))
+	}
+	c.coord = core.NewCoordinator(c.clients...)
+	c.cat = catalog.New(c.ids...)
+	return c, nil
+}
+
+// NumLeaves returns the number of leaf sites (0 for flat clusters).
+func (c *Cluster) NumLeaves() int { return len(c.leafClients) }
