@@ -42,7 +42,7 @@ func (m *mdFlags) Set(v string) error {
 }
 
 func main() {
-	sites := flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses")
+	sites := flag.String("sites", "127.0.0.1:7001", "comma-separated site addresses; replicas of one site joined with | (addr1|addr2)")
 	detail := flag.String("detail", "tpcr", "detail relation name at the sites")
 	generate := flag.String("generate", "", "have sites generate data first: tpcr or ipflow")
 	rows := flag.Int("rows", 60000, "rows for -generate")
@@ -59,6 +59,9 @@ func main() {
 	status := flag.Bool("status", false, "print per-site reachability and row counts, then exit")
 	catalogFile := flag.String("catalog", "", "distribution-knowledge JSON: loaded if present; written after -generate")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (-1 for all)")
+	timeout := flag.Duration("timeout", 0, "per-site call timeout (0 = none), e.g. 5s")
+	retries := flag.Int("retries", 3, "call attempts per site endpoint before failing over")
+	allowPartial := flag.Bool("allow-partial", false, "return partial results when sites are lost instead of failing")
 	flag.Parse()
 
 	opts, err := parseOpts(*opt)
@@ -66,7 +69,12 @@ func main() {
 		log.Fatalf("skalla-coord: %v", err)
 	}
 
-	cluster, err := skalla.Connect(strings.Split(*sites, ","), skalla.CostModel{})
+	cluster, err := skalla.ConnectWith(skalla.ConnectConfig{
+		Sites:        strings.Split(*sites, ","),
+		Attempts:     *retries,
+		CallTimeout:  *timeout,
+		AllowPartial: *allowPartial,
+	})
 	if err != nil {
 		log.Fatalf("skalla-coord: %v", err)
 	}
@@ -146,6 +154,11 @@ func main() {
 	fmt.Print(res.Relation.Format(*maxRows))
 	fmt.Println()
 	fmt.Print(res.Stats)
+	if res.Stats.Partial() {
+		// Coverage details are already in the stats table above.
+		fmt.Fprintf(os.Stderr, "WARNING: partial result — lost sites: %s\n",
+			strings.Join(res.Stats.LostSites(), ", "))
+	}
 }
 
 // runREPL reads SQL statements from stdin and executes them against the

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/transport"
+)
+
+func newTestCatalog(nSites int) *catalog.Catalog {
+	ids := make([]string, nSites)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("site%d", i)
+	}
+	return catalog.New(ids...)
+}
+
+// chaosCluster builds an in-process cluster whose site clients are each
+// wrapped in a seeded chaos injector, rows split round-robin. It returns
+// the injectors (indexed by site) for scripting faults and the whole
+// relation for computing expected results.
+func chaosCluster(t *testing.T, rows []relation.Row, nSites int, seed int64) (*Coordinator, []*transport.Chaos, *relation.Relation) {
+	t.Helper()
+	whole := relation.New(flowSchema())
+	whole.Rows = rows
+	parts := make([]*relation.Relation, nSites)
+	for i := range parts {
+		parts[i] = relation.New(flowSchema())
+	}
+	for i, row := range rows {
+		parts[i%nSites].Rows = append(parts[i%nSites].Rows, row)
+	}
+	chaos := make([]*transport.Chaos, nSites)
+	clients := make([]transport.Client, nSites)
+	for i := 0; i < nSites; i++ {
+		id := fmt.Sprintf("site%d", i)
+		eng := site.NewEngine(id)
+		eng.Load("flow", parts[i])
+		chaos[i] = transport.NewChaos(transport.NewLocalClient(id, eng, transport.CostModel{}), seed+int64(i))
+		clients[i] = chaos[i]
+	}
+	return NewCoordinator(clients...), chaos, whole
+}
+
+// retryingChaosCluster additionally wraps every chaos client in a
+// reconnector, so transient injected faults are retried like real
+// transport failures.
+func retryingChaosCluster(t *testing.T, rows []relation.Row, nSites int, attempts int) (*Coordinator, []*transport.Chaos, *relation.Relation) {
+	t.Helper()
+	inner, chaos, whole := chaosCluster(t, rows, nSites, 1)
+	clients := make([]transport.Client, nSites)
+	for i, cl := range inner.Clients() {
+		cl := cl
+		clients[i] = transport.NewReconnector(cl.SiteID(), func() (transport.Client, error) { return cl, nil }, attempts, 0)
+	}
+	return NewCoordinator(clients...), chaos, whole
+}
+
+// TestExecuteSurvivesOneShotSiteErrors: transient transport failures on
+// several sites mid-query are absorbed by retries; the result is
+// identical to the no-fault run.
+func TestExecuteSurvivesOneShotSiteErrors(t *testing.T) {
+	rows := testRows(240, 3)
+	q := example1()
+	coord, chaos, whole := retryingChaosCluster(t, rows, 3, 3)
+	// One-shot failures scattered across ops and sites: the schema fetch,
+	// a base-round call, and two evalRounds calls.
+	chaos[0].FailNext(transport.OpRelInfo, 1)
+	chaos[1].FailNext(transport.OpEvalBase, 1)
+	chaos[1].FailNext(transport.OpEvalRounds, 2)
+	chaos[2].FailNext(transport.OpEvalRounds, 1)
+
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: newTestCatalog(3)})
+	if err != nil {
+		t.Fatalf("query under one-shot faults: %v", err)
+	}
+	assertSameRelation(t, "one-shot faults", got, want, q.Keys())
+	if stats.Partial() {
+		t.Errorf("retried faults must not degrade the result: lost %v", stats.LostSites())
+	}
+	if chaos[1].Injected() != 3 {
+		t.Errorf("site1 injected %d faults, want 3", chaos[1].Injected())
+	}
+}
+
+// TestReplicaFailoverMidQuery: a logical site whose primary endpoint dies
+// after the base round transparently fails over to its replica; the
+// multi-round query completes with results identical to the no-fault run.
+func TestReplicaFailoverMidQuery(t *testing.T) {
+	rows := testRows(240, 4)
+	q := example1()
+	nSites := 3
+	whole := relation.New(flowSchema())
+	whole.Rows = rows
+	parts := make([]*relation.Relation, nSites)
+	for i := range parts {
+		parts[i] = relation.New(flowSchema())
+	}
+	for i, row := range rows {
+		parts[i%nSites].Rows = append(parts[i%nSites].Rows, row)
+	}
+
+	var failover *transport.Reconnector
+	clients := make([]transport.Client, nSites)
+	for i := 0; i < nSites; i++ {
+		id := fmt.Sprintf("site%d", i)
+		mkReplica := func() transport.Client {
+			eng := site.NewEngine(id)
+			eng.Load("flow", parts[i].Clone())
+			return transport.NewLocalClient(id, eng, transport.CostModel{})
+		}
+		if i != 1 {
+			clients[i] = mkReplica()
+			continue
+		}
+		// Site 1 is a replica set: the primary answers the base round and
+		// then fails every evalRounds call; the secondary holds the same
+		// partition.
+		primary := transport.NewChaos(mkReplica(), 11)
+		primary.FailNext(transport.OpEvalRounds, 1000)
+		secondary := mkReplica()
+		failover = transport.NewReplicaSet(id, []func() (transport.Client, error){
+			func() (transport.Client, error) { return primary, nil },
+			func() (transport.Client, error) { return secondary, nil },
+		}, 2, 0)
+		clients[i] = failover
+	}
+	coord := NewCoordinator(clients...)
+
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: newTestCatalog(nSites)})
+	if err != nil {
+		t.Fatalf("query with mid-query replica failover: %v", err)
+	}
+	assertSameRelation(t, "replica failover", got, want, q.Keys())
+	if stats.Partial() {
+		t.Errorf("failover must not degrade the result: lost %v", stats.LostSites())
+	}
+	if failover.Endpoint() != 1 {
+		t.Errorf("endpoint = %d, want 1 (failed over to the replica)", failover.Endpoint())
+	}
+}
+
+// TestDeadlineExpiryOnHungSite: a site that accepts a round request and
+// never answers cannot stall the query — the per-call timeout expires and
+// the query fails promptly (strict mode) naming the site.
+func TestDeadlineExpiryOnHungSite(t *testing.T) {
+	rows := testRows(120, 5)
+	coord, chaos, _ := chaosCluster(t, rows, 3, 1)
+	coord.CallTimeout = 50 * time.Millisecond
+	chaos[2].HangNext(transport.OpEvalRounds)
+
+	start := time.Now()
+	_, _, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: newTestCatalog(3)})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if !strings.Contains(err.Error(), "site2") {
+		t.Errorf("error does not name the hung site: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("hung site stalled the query for %v", elapsed)
+	}
+}
+
+// TestFirstErrorCancelsSiblings: in strict mode the first site failure
+// cancels the in-flight calls of its siblings — here a sibling hung with
+// no timeout at all, which only first-error cancellation can release.
+func TestFirstErrorCancelsSiblings(t *testing.T) {
+	rows := testRows(120, 6)
+	coord, chaos, _ := chaosCluster(t, rows, 3, 1)
+	chaos[0].FailNext(transport.OpEvalRounds, 1)
+	chaos[1].HangNext(transport.OpEvalRounds)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: newTestCatalog(3)})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure")
+		}
+		// The root cause, not the cancellation fallout, is reported.
+		if !errors.Is(err, transport.ErrInjected) {
+			t.Errorf("err = %v, want the injected root cause", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first-error cancellation did not release the hung sibling")
+	}
+}
+
+// TestDegradedPartialResult: with AllowPartial, losing a site (and all
+// its retries) yields a partial result covering the surviving sites, with
+// the loss named per round in ExecStats.
+func TestDegradedPartialResult(t *testing.T) {
+	rows := testRows(240, 7)
+	q := example1()
+	nSites := 3
+	coord, chaos, _ := chaosCluster(t, rows, nSites, 1)
+	coord.AllowPartial = true
+	chaos[2].FailNext(transport.OpAny, 1000) // site2 is down for the whole query
+
+	// Expected: the centralized evaluation over the surviving partitions.
+	survivors := relation.New(flowSchema())
+	for i, row := range rows {
+		if i%nSites != 2 {
+			survivors.Rows = append(survivors.Rows, row)
+		}
+	}
+	want, err := gmdj.EvalQuery(survivors, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: newTestCatalog(nSites)})
+	if err != nil {
+		t.Fatalf("degraded query failed instead of returning a partial result: %v", err)
+	}
+	assertSameRelation(t, "degraded", got, want, q.Keys())
+
+	if !stats.Partial() {
+		t.Fatal("stats do not mark the result partial")
+	}
+	if lost := stats.LostSites(); len(lost) != 1 || lost[0] != "site2" {
+		t.Errorf("LostSites = %v, want [site2]", lost)
+	}
+	if len(stats.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	for _, r := range stats.Rounds {
+		if len(r.Lost) != 1 || r.Lost[0].Site != "site2" || r.Lost[0].Err == "" {
+			t.Errorf("round %s: Lost = %v, want site2 with an error", r.Name, r.Lost)
+		}
+		if len(r.Responded) != 2 {
+			t.Errorf("round %s: Responded = %v, want the two survivors", r.Name, r.Responded)
+		}
+	}
+	if cov := stats.Coverage(); !strings.Contains(cov, "site2") || !strings.Contains(cov, "2/3") {
+		t.Errorf("coverage rendering: %q", cov)
+	}
+	if !strings.Contains(stats.String(), "PARTIAL RESULT") {
+		t.Error("stats table does not flag the partial result")
+	}
+}
+
+// TestDegradedAllSitesLost: degraded mode still fails when nothing
+// survives — a partial result needs at least one fragment.
+func TestDegradedAllSitesLost(t *testing.T) {
+	rows := testRows(60, 8)
+	coord, chaos, _ := chaosCluster(t, rows, 2, 1)
+	coord.AllowPartial = true
+	for _, ch := range chaos {
+		ch.FailNext(transport.OpEvalBase, 1000)
+		ch.FailNext(transport.OpEvalRounds, 1000)
+	}
+	_, _, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: newTestCatalog(2)})
+	if err == nil {
+		t.Fatal("query with zero surviving sites must fail even in degraded mode")
+	}
+}
+
+// TestStrictModeStillFails: without AllowPartial a lost site aborts the
+// query (the pre-existing strict behavior is the default).
+func TestStrictModeStillFails(t *testing.T) {
+	rows := testRows(60, 9)
+	coord, chaos, _ := chaosCluster(t, rows, 3, 1)
+	chaos[1].FailNext(transport.OpEvalRounds, 1000)
+	_, _, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: newTestCatalog(3)})
+	if !errors.Is(err, transport.ErrInjected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+}
+
+// TestExecuteContextCancel: cancelling the caller's context aborts the
+// whole execution promptly, even with a site hung and no timeouts set.
+func TestExecuteContextCancel(t *testing.T) {
+	rows := testRows(120, 10)
+	coord, chaos, _ := chaosCluster(t, rows, 3, 1)
+	chaos[0].HangNext(transport.OpEvalRounds)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := coord.Run(ctx, example1(), "flow", Egil{Catalog: newTestCatalog(3)})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancel did not abort the execution")
+	}
+}

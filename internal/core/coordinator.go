@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -18,8 +20,25 @@ import (
 // base-result structure X, ships it (or per-site reductions of it) to the
 // sites each round, and synchronizes the returned sub-aggregates into X
 // keyed on the base relation key K (Theorem 1).
+//
+// Fault tolerance: every site exchange runs under a context. CallTimeout
+// bounds each per-site round-trip so a hung site cannot stall a query
+// forever, and in strict mode (the default) the first site failure
+// cancels the in-flight calls to its siblings — their partial work is
+// useless once the round is doomed. With AllowPartial set, failures are
+// tolerated instead: the round proceeds with the fragments that arrived
+// and the loss is recorded per round in ExecStats (Responded/Lost), so
+// callers receive a partial result with explicit coverage metadata rather
+// than an error.
 type Coordinator struct {
 	clients []transport.Client
+
+	// CallTimeout bounds each site round-trip; 0 means no per-call bound
+	// (the Execute context still applies).
+	CallTimeout time.Duration
+	// AllowPartial degrades gracefully when sites fail: the query answers
+	// from the surviving sites and ExecStats reports the coverage.
+	AllowPartial bool
 }
 
 // NewCoordinator returns a coordinator over the given site clients. The
@@ -34,32 +53,51 @@ func (c *Coordinator) Clients() []transport.Client { return c.clients }
 // NumSites returns the number of participating sites.
 func (c *Coordinator) NumSites() int { return len(c.clients) }
 
-// DetailSchema fetches the schema of the named relation from the first
-// site, for planning.
-func (c *Coordinator) DetailSchema(name string) (*relation.Schema, error) {
+// DetailSchema fetches the schema of the named relation for planning. It
+// asks the sites in order and returns the first answer, so a down first
+// site does not block planning while any site can describe the relation.
+func (c *Coordinator) DetailSchema(ctx context.Context, name string) (*relation.Schema, error) {
 	if len(c.clients) == 0 {
 		return nil, fmt.Errorf("core: coordinator has no sites")
 	}
-	resp, err := c.clients[0].Call(&transport.Request{Op: transport.OpRelInfo, Rel: name})
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for _, cl := range c.clients {
+		callCtx, done := c.callContext(ctx)
+		resp, err := cl.Call(callCtx, &transport.Request{Op: transport.OpRelInfo, Rel: name})
+		done()
+		if err == nil {
+			err = resp.Error()
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("core: site %s: %w", cl.SiteID(), err)
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			continue
+		}
+		if resp.Rel == nil || resp.Rel.Schema == nil {
+			return nil, fmt.Errorf("core: site returned no schema for %q", name)
+		}
+		return resp.Rel.Schema, nil
 	}
-	if err := resp.Error(); err != nil {
-		return nil, err
+	return nil, lastErr
+}
+
+// callContext derives the per-call context from ctx under CallTimeout.
+func (c *Coordinator) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.CallTimeout > 0 {
+		return context.WithTimeout(ctx, c.CallTimeout)
 	}
-	if resp.Rel == nil || resp.Rel.Schema == nil {
-		return nil, fmt.Errorf("core: site returned no schema for %q", name)
-	}
-	return resp.Rel.Schema, nil
+	return ctx, func() {}
 }
 
 // Run plans and executes a query in one call: it fetches the schemas of
 // every detail relation the query references, builds the plan with the
 // given optimizer, and executes it.
-func (c *Coordinator) Run(q gmdj.Query, detailName string, egil Egil) (*relation.Relation, *ExecStats, *Plan, error) {
+func (c *Coordinator) Run(ctx context.Context, q gmdj.Query, detailName string, egil Egil) (*relation.Relation, *ExecStats, *Plan, error) {
 	schemas := map[string]*relation.Schema{}
 	for _, name := range q.DetailNames(detailName) {
-		schema, err := c.DetailSchema(name)
+		schema, err := c.DetailSchema(ctx, name)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -69,7 +107,7 @@ func (c *Coordinator) Run(q gmdj.Query, detailName string, egil Egil) (*relation
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	res, stats, err := c.Execute(plan)
+	res, stats, err := c.Execute(ctx, plan)
 	return res, stats, plan, err
 }
 
@@ -84,8 +122,9 @@ type siteResult struct {
 	computeNs int64
 }
 
-// Execute runs the plan and returns the final base-result structure X.
-func (c *Coordinator) Execute(plan *Plan) (*relation.Relation, *ExecStats, error) {
+// Execute runs the plan under ctx and returns the final base-result
+// structure X. Cancelling ctx aborts all in-flight site calls.
+func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relation, *ExecStats, error) {
 	if len(c.clients) == 0 {
 		return nil, nil, fmt.Errorf("core: coordinator has no sites")
 	}
@@ -98,7 +137,7 @@ func (c *Coordinator) Execute(plan *Plan) (*relation.Relation, *ExecStats, error
 	// Round 0: compute and synchronize the base-values relation.
 	if plan.BaseRound {
 		rs := RoundStats{Name: "base"}
-		results, err := c.fanout(func(cl transport.Client) (*transport.Request, error) {
+		results, err := c.fanout(ctx, &rs, func(cl transport.Client) (*transport.Request, error) {
 			return &transport.Request{
 				Op:        transport.OpEvalBase,
 				Detail:    plan.Detail,
@@ -177,7 +216,7 @@ func (c *Coordinator) Execute(plan *Plan) (*relation.Relation, *ExecStats, error
 		// Stream fragments into the synchronizer as sites finish: the
 		// coordinator merges early arrivals while slower sites still
 		// compute (the incremental synchronization §3.2 describes).
-		stream := c.fanoutStream(func(cl transport.Client) (*transport.Request, error) {
+		stream := c.fanoutStream(ctx, func(cl transport.Client) (*transport.Request, error) {
 			req := &transport.Request{Op: transport.OpEvalRounds, Rounds: rounds, Keys: plan.Keys}
 			if step.FuseBase {
 				req.Detail = plan.Detail
@@ -203,53 +242,72 @@ func (c *Coordinator) Execute(plan *Plan) (*relation.Relation, *ExecStats, error
 	return x, stats, nil
 }
 
-// fanout sends one request per site in parallel and collects all results.
-func (c *Coordinator) fanout(build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
+// fanout sends one request per site in parallel and collects all results,
+// recording coverage in rs. In strict mode any site failure aborts (and
+// cancels the siblings); with AllowPartial the survivors' results are
+// returned and the losses recorded, failing only when nothing survived.
+func (c *Coordinator) fanout(ctx context.Context, rs *RoundStats, build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
 	var results []*siteResult
 	var firstErr error
-	for sr := range c.fanoutStream(build) {
-		switch {
-		case sr.err != nil && firstErr == nil:
-			firstErr = sr.err
-		case sr.err == nil:
-			results = append(results, sr.res)
+	for sr := range c.fanoutStream(ctx, build) {
+		if sr.err != nil {
+			firstErr = betterErr(firstErr, sr.err)
+			rs.Lost = append(rs.Lost, LostSite{Site: sr.site, Err: sr.err.Error()})
+			continue
 		}
+		rs.Responded = append(rs.Responded, sr.site)
+		results = append(results, sr.res)
 	}
-	if firstErr != nil {
+	if !c.AllowPartial && firstErr != nil {
 		return nil, firstErr
+	}
+	if len(results) == 0 && firstErr != nil {
+		return nil, fmt.Errorf("core: all sites lost: %w", firstErr)
 	}
 	return results, nil
 }
 
 // streamItem is one arrival on a fan-out stream.
 type streamItem struct {
-	res *siteResult
-	err error
+	site string
+	res  *siteResult
+	err  error
 }
 
 // fanoutStream sends one request per site in parallel and delivers each
 // site's result the moment it arrives. The channel closes after all
-// sites have answered (successfully or not).
-func (c *Coordinator) fanoutStream(build func(cl transport.Client) (*transport.Request, error)) <-chan streamItem {
+// sites have answered (successfully or not). Each call is bounded by
+// CallTimeout; in strict mode the first failure cancels the in-flight
+// calls of the remaining sites, so a doomed round aborts promptly instead
+// of waiting for its slowest member.
+func (c *Coordinator) fanoutStream(ctx context.Context, build func(cl transport.Client) (*transport.Request, error)) <-chan streamItem {
+	roundCtx, cancelRound := context.WithCancel(ctx)
 	out := make(chan streamItem, len(c.clients))
 	var wg sync.WaitGroup
 	for _, cl := range c.clients {
 		wg.Add(1)
 		go func(cl transport.Client) {
 			defer wg.Done()
+			fail := func(err error) {
+				if !c.AllowPartial {
+					cancelRound()
+				}
+				out <- streamItem{site: cl.SiteID(), err: err}
+			}
 			req, err := build(cl)
 			if err != nil {
-				out <- streamItem{err: err}
+				fail(err)
 				return
 			}
+			callCtx, done := c.callContext(roundCtx)
+			defer done()
 			s0, r0, _, t0 := cl.Stats().Snapshot()
-			resp, err := cl.Call(req)
-			if err != nil {
-				out <- streamItem{err: fmt.Errorf("core: site %s: %w", cl.SiteID(), err)}
-				return
+			resp, err := cl.Call(callCtx, req)
+			if err == nil {
+				err = resp.Error()
 			}
-			if err := resp.Error(); err != nil {
-				out <- streamItem{err: fmt.Errorf("core: site %s: %w", cl.SiteID(), err)}
+			if err != nil {
+				fail(fmt.Errorf("core: site %s: %w", cl.SiteID(), err))
 				return
 			}
 			s1, r1, _, t1 := cl.Stats().Snapshot()
@@ -261,14 +319,29 @@ func (c *Coordinator) fanoutStream(build func(cl transport.Client) (*transport.R
 			if req.Base != nil {
 				res.shipped = int64(req.Base.Len())
 			}
-			out <- streamItem{res: res}
+			out <- streamItem{site: cl.SiteID(), res: res}
 		}(cl)
 	}
 	go func() {
 		wg.Wait()
+		cancelRound()
 		close(out)
 	}()
 	return out
+}
+
+// betterErr keeps the most informative of two round errors: cancellation
+// fallout ("context canceled" from a sibling aborted by first-error
+// cancellation) never shadows the root cause.
+func betterErr(cur, next error) error {
+	switch {
+	case cur == nil:
+		return next
+	case errors.Is(cur, context.Canceled) && !errors.Is(next, context.Canceled):
+		return next
+	default:
+		return cur
+	}
 }
 
 // accountRound folds one site's wire and compute statistics into the
@@ -413,27 +486,37 @@ func (c *Coordinator) synchronize(x *relation.Relation, stream <-chan streamItem
 		return nil
 	}
 
-	// Consume arrivals; merge each as soon as it lands.
+	// Consume arrivals; merge each as soon as it lands. Site failures are
+	// fatal in strict mode but only coverage loss in degraded mode; merge
+	// failures (corrupt or inconsistent fragments) are always fatal.
+	var mergeErr error
 	for sr := range stream {
 		if sr.err != nil {
-			if firstErr == nil {
-				firstErr = sr.err
-			}
+			firstErr = betterErr(firstErr, sr.err)
+			rs.Lost = append(rs.Lost, LostSite{Site: sr.site, Err: sr.err.Error()})
 			continue
 		}
 		t0 := time.Now()
 		accountRound(rs, sr.res)
-		if firstErr == nil {
+		if mergeErr == nil && (c.AllowPartial || firstErr == nil) {
 			if err := mergeFragment(sr.res); err != nil {
-				firstErr = err
+				mergeErr = err
+			} else {
+				rs.Responded = append(rs.Responded, sr.site)
 			}
 		}
 		mergeTime += time.Since(t0)
 	}
-	if firstErr != nil {
+	if mergeErr != nil {
+		return nil, mergeTime, mergeErr
+	}
+	if firstErr != nil && !c.AllowPartial {
 		return nil, mergeTime, firstErr
 	}
 	if !ready {
+		if firstErr != nil {
+			return nil, mergeTime, fmt.Errorf("all sites lost: %w", firstErr)
+		}
 		return nil, mergeTime, fmt.Errorf("no fragments arrived")
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -192,7 +193,7 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 		}
 		for _, opts := range allOptions() {
 			label := fmt.Sprintf("partitioned=%v/%s", partitioned, optLabel(opts))
-			got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+			got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 			if err != nil {
 				t.Fatalf("%s: %v", label, err)
 			}
@@ -205,7 +206,7 @@ func TestDistributedMatchesCentralized(t *testing.T) {
 // describes for Example 1 / Example 5.
 func TestPlanShapes(t *testing.T) {
 	coord, cat, _ := cluster(t, testRows(100, 2), 4, true)
-	schema, err := coord.DetailSchema("flow")
+	schema, err := coord.DetailSchema(context.Background(), "flow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestGroupReductionReducesTraffic(t *testing.T) {
 	coord, cat, _ := cluster(t, rows, 4, true)
 
 	run := func(opts Options) *ExecStats {
-		_, stats, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+		_, stats, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,7 +311,7 @@ func TestCoordFilterReducesShippedGroups(t *testing.T) {
 	coord, cat, _ := cluster(t, rows, 4, true)
 
 	run := func(opts Options) *ExecStats {
-		_, stats, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+		_, stats, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -357,7 +358,7 @@ func TestUntouchedGroupsSurvive(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, opts := range []Options{{}, {GroupReduceSites: true}, DefaultOptions} {
-		got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+		got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 		if err != nil {
 			t.Fatalf("%s: %v", optLabel(opts), err)
 		}
@@ -391,7 +392,7 @@ func TestRandomizedDistributedEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: DefaultOptions})
+		got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: DefaultOptions})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -422,7 +423,7 @@ func TestAvgAndExtremaDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: DefaultOptions})
+	got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: DefaultOptions})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,20 +432,20 @@ func TestAvgAndExtremaDistributed(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	coord, cat, _ := cluster(t, testRows(10, 6), 2, true)
-	if _, _, _, err := coord.Run(example1(), "nosuch", Egil{Catalog: cat}); err == nil {
+	if _, _, _, err := coord.Run(context.Background(), example1(), "nosuch", Egil{Catalog: cat}); err == nil {
 		t.Error("unknown detail relation accepted")
 	}
 	empty := NewCoordinator()
-	if _, _, err := empty.Execute(&Plan{}); err == nil {
+	if _, _, err := empty.Execute(context.Background(), &Plan{}); err == nil {
 		t.Error("empty coordinator accepted")
 	}
-	if _, err := empty.DetailSchema("flow"); err == nil {
+	if _, err := empty.DetailSchema(context.Background(), "flow"); err == nil {
 		t.Error("DetailSchema on empty coordinator accepted")
 	}
 	// Invalid query (bad column) must fail at planning.
 	q := example1()
 	q.Base.Cols = []string{"Bogus"}
-	if _, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat}); err == nil {
+	if _, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat}); err == nil {
 		t.Error("bad base column accepted")
 	}
 }
@@ -452,7 +453,7 @@ func TestErrors(t *testing.T) {
 // TestExplain smoke-tests plan explain output.
 func TestExplain(t *testing.T) {
 	coord, cat, _ := cluster(t, testRows(50, 7), 2, true)
-	schema, err := coord.DetailSchema("flow")
+	schema, err := coord.DetailSchema(context.Background(), "flow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +472,7 @@ func TestExplain(t *testing.T) {
 // TestStatsAccounting sanity-checks the execution statistics.
 func TestStatsAccounting(t *testing.T) {
 	coord, cat, _ := cluster(t, testRows(200, 8), 4, true)
-	_, stats, plan, err := coord.Run(example1(), "flow", Egil{Catalog: cat})
+	_, stats, plan, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: cat})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,7 +517,7 @@ func TestMultiDetailQuery(t *testing.T) {
 				part.Rows = append(part.Rows, row)
 			}
 		}
-		resp, err := cl.Call(&transport.Request{Op: transport.OpLoad, Rel: "alerts", Data: part})
+		resp, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpLoad, Rel: "alerts", Data: part})
 		if err != nil || resp.Error() != nil {
 			t.Fatalf("load alerts: %v %v", err, resp.Error())
 		}
@@ -543,7 +544,7 @@ func TestMultiDetailQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, opts := range []Options{{}, DefaultOptions} {
-		got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+		got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 		if err != nil {
 			t.Fatalf("%s: %v", optLabel(opts), err)
 		}
@@ -551,7 +552,7 @@ func TestMultiDetailQuery(t *testing.T) {
 	}
 	// Missing second relation surfaces as a planning error.
 	q.MDs[1].Detail = "nosuch"
-	if _, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat}); err == nil {
+	if _, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat}); err == nil {
 		t.Error("unknown second detail relation accepted")
 	}
 }
@@ -580,7 +581,7 @@ func TestFilterDroppedWhenReferencingChainOutputs(t *testing.T) {
 		},
 	}
 	egil := Egil{Catalog: cat, Options: DefaultOptions}
-	schema, err := coord.DetailSchema("flow")
+	schema, err := coord.DetailSchema(context.Background(), "flow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -605,7 +606,7 @@ func TestFilterDroppedWhenReferencingChainOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, _, err := coord.Run(q, "flow", egil)
+	got, _, _, err := coord.Run(context.Background(), q, "flow", egil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -670,7 +671,7 @@ func TestRandomizedQueryShapes(t *testing.T) {
 			t.Fatalf("trial %d centralized: %v", trial, err)
 		}
 		for _, opts := range []Options{{}, DefaultOptions} {
-			got, _, _, err := coord.Run(q, "flow", Egil{Catalog: cat, Options: opts})
+			got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat, Options: opts})
 			if err != nil {
 				t.Fatalf("trial %d (%s): %v", trial, optLabel(opts), err)
 			}
@@ -706,7 +707,7 @@ func TestEmptyData(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, opts := range []Options{{}, DefaultOptions} {
-		got, _, _, err := coord.Run(q, "flow", Egil{Catalog: catalog.New(), Options: opts})
+		got, _, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New(), Options: opts})
 		if err != nil {
 			t.Fatalf("skewed data (%s): %v", optLabel(opts), err)
 		}
@@ -721,7 +722,7 @@ func TestEmptyData(t *testing.T) {
 	}
 	empty := NewCoordinator(clients...)
 	for _, opts := range []Options{{}, DefaultOptions} {
-		got, _, _, err := empty.Run(q, "flow", Egil{Catalog: catalog.New(), Options: opts})
+		got, _, _, err := empty.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New(), Options: opts})
 		if err != nil {
 			t.Fatalf("empty warehouse (%s): %v", optLabel(opts), err)
 		}
@@ -766,7 +767,7 @@ func TestPaperExample2EndToEnd(t *testing.T) {
 				"B.DestAS + B.SourceAS < F.SourceAS * 2")},
 		}},
 	}
-	schema, err := coord.DetailSchema("flow")
+	schema, err := coord.DetailSchema(context.Background(), "flow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -790,14 +791,14 @@ func TestPaperExample2EndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, _, err := coord.Run(q, "flow", egil)
+	got, stats, _, err := coord.Run(context.Background(), q, "flow", egil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	assertSameRelation(t, "example 2", got, want, q.Keys())
 
 	// And the filter actually reduced shipping vs the unfiltered run.
-	_, statsOff, _, err := coord.Run(q, "flow", Egil{Catalog: cat})
+	_, statsOff, _, err := coord.Run(context.Background(), q, "flow", Egil{Catalog: cat})
 	if err != nil {
 		t.Fatal(err)
 	}

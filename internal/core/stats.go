@@ -6,10 +6,28 @@ import (
 	"time"
 )
 
+// LostSite records a site that contributed nothing to a round: it (and
+// all its replicas, when it is a replica set) failed or timed out.
+type LostSite struct {
+	// Site is the logical site identifier.
+	Site string
+	// Err is the failure that lost the site.
+	Err string
+}
+
+// String renders "site (error)".
+func (l LostSite) String() string { return fmt.Sprintf("%s (%s)", l.Site, l.Err) }
+
 // RoundStats records one synchronization round of a plan execution.
 type RoundStats struct {
 	// Name labels the round ("base", "step 1", ...).
 	Name string
+	// Responded lists the sites whose fragments were merged this round.
+	Responded []string
+	// Lost lists the sites that contributed nothing this round. Non-empty
+	// only in degraded (allow-partial) executions — otherwise a lost site
+	// aborts the query.
+	Lost []LostSite
 	// BytesToSites / BytesFromSites are exact wire sizes.
 	BytesToSites   int64
 	BytesFromSites int64
@@ -31,6 +49,54 @@ type ExecStats struct {
 	Rounds []RoundStats
 	// Wall is the measured end-to-end wall-clock time of Execute.
 	Wall time.Duration
+}
+
+// Partial reports whether any round lost a site, i.e. the result is a
+// degraded partial answer covering only the responding sites.
+func (s *ExecStats) Partial() bool {
+	for _, r := range s.Rounds {
+		if len(r.Lost) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// LostSites returns the distinct logical sites lost in any round, in
+// first-loss order.
+func (s *ExecStats) LostSites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range s.Rounds {
+		for _, l := range r.Lost {
+			if !seen[l.Site] {
+				seen[l.Site] = true
+				out = append(out, l.Site)
+			}
+		}
+	}
+	return out
+}
+
+// Coverage renders per-round coverage ("round base: 3/4 sites, lost
+// site2 (...)") for degraded executions; empty when nothing was lost.
+func (s *ExecStats) Coverage() string {
+	if !s.Partial() {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range s.Rounds {
+		if len(r.Lost) == 0 {
+			continue
+		}
+		var lost []string
+		for _, l := range r.Lost {
+			lost = append(lost, l.String())
+		}
+		fmt.Fprintf(&b, "round %s: %d/%d sites answered, lost %s\n",
+			r.Name, len(r.Responded), len(r.Responded)+len(r.Lost), strings.Join(lost, ", "))
+	}
+	return b.String()
 }
 
 // Bytes returns total bytes moved in both directions.
@@ -102,5 +168,8 @@ func (s *ExecStats) String() string {
 		s.Bytes(), s.EvalTime().Round(time.Microsecond),
 		s.SiteTime().Round(time.Microsecond), s.CoordTime().Round(time.Microsecond),
 		s.CommTime().Round(time.Microsecond), s.Wall.Round(time.Microsecond))
+	if s.Partial() {
+		fmt.Fprintf(&b, "PARTIAL RESULT — coverage:\n%s", s.Coverage())
+	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sync"
@@ -26,6 +27,11 @@ import (
 // associatively, so any intermediate tier may combine them keyed on K.
 // The parent must set Request.Keys on OpEvalRounds for the relay to merge;
 // without keys the relay degrades to pass-through unioning.
+//
+// Relays serve requests synchronously (transport.Handler carries no
+// context), so child calls run under context.Background(): when a parent
+// abandons a relay call, the relay finishes its subtree work in the
+// background and the discarded reply costs nothing upstream.
 type Relay struct {
 	children []transport.Client
 
@@ -66,7 +72,7 @@ func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
 		return &transport.Response{}, err
 
 	case transport.OpRelInfo:
-		resp, err := r.children[0].Call(req)
+		resp, err := r.children[0].Call(context.Background(), req)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +104,7 @@ func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
 				gen.Site = r.leafOffset + i
 				gen.NumSites = r.totalLeaves
 				sub.Gen = &gen
-				resp, err := child.Call(&sub)
+				resp, err := child.Call(context.Background(), &sub)
 				if err == nil {
 					err = resp.Error()
 				}
@@ -148,7 +154,7 @@ func (r *Relay) fanout(req *transport.Request) ([]*transport.Response, error) {
 		wg.Add(1)
 		go func(i int, child transport.Client) {
 			defer wg.Done()
-			resp, err := child.Call(req)
+			resp, err := child.Call(context.Background(), req)
 			if err == nil {
 				err = resp.Error()
 			}

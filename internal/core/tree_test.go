@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,11 +60,11 @@ func TestRelayTreeMatchesFlat(t *testing.T) {
 	tree, flat := treeCluster(t, rows, 4, 2)
 	egil := Egil{Catalog: catalog.New("relay0", "relay1"), Options: Options{GroupReduceSites: true}}
 
-	want, _, _, err := flat.Run(q, "flow", Egil{Catalog: catalog.New()})
+	want, _, _, err := flat.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, _, err := tree.Run(q, "flow", egil)
+	got, stats, _, err := tree.Run(context.Background(), q, "flow", egil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestRelayPreMergeShrinksUpstream(t *testing.T) {
 	q := example1()
 	tree, flat := treeCluster(t, rows, 4, 2)
 
-	_, flatStats, _, err := flat.Run(q, "flow", Egil{Catalog: catalog.New()})
+	_, flatStats, _, err := flat.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, treeStats, _, err := tree.Run(q, "flow", Egil{Catalog: catalog.New()})
+	_, treeStats, _, err := tree.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +110,14 @@ func TestRelayChainedRounds(t *testing.T) {
 	q := example1()
 	tree, flat := treeCluster(t, rows, 4, 2)
 
-	want, _, _, err := flat.Run(q, "flow", Egil{Catalog: catalog.New()})
+	want, _, _, err := flat.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Force a fused+chained single round through relays: partition
 	// knowledge is absent, so only Prop 2 fusion applies; that's enough
 	// to exercise fused-step merging at the relay.
-	got, _, plan, err := tree.Run(q, "flow", Egil{Catalog: catalog.New(), Options: Options{SyncReduce: true}})
+	got, _, plan, err := tree.Run(context.Background(), q, "flow", Egil{Catalog: catalog.New(), Options: Options{SyncReduce: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRelayGenerate(t *testing.T) {
 	cfg := tpcr.Config{Rows: 2000, Customers: 50, Seed: 3}
 	total := 0
 	for i, rc := range relays {
-		resp, err := rc.Call(&transport.Request{
+		resp, err := rc.Call(context.Background(), &transport.Request{
 			Op:  transport.OpGenerate,
 			Gen: &transport.GenSpec{Kind: "tpcr", Rel: "tpcr", Params: tpcr.GenParams(cfg), Site: i, NumSites: len(relays)},
 		})
@@ -251,7 +252,7 @@ func TestCoordinatorNumSitesAndStatsGroups(t *testing.T) {
 	if coord.NumSites() != 3 {
 		t.Errorf("NumSites = %d", coord.NumSites())
 	}
-	_, stats, _, err := coord.Run(example1(), "flow", Egil{Catalog: cat})
+	_, stats, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: cat})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func BenchmarkLocalRoundTrip(b *testing.B) {
 	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(200)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(req); err != nil {
+		if _, err := c.Call(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -32,7 +33,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(200)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(req); err != nil {
+		if _, err := c.Call(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkPingLatency(b *testing.B) {
 	req := &Request{Op: OpPing}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call(req); err != nil {
+		if _, err := c.Call(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// OpAny matches every opcode in chaos fault rules.
+const OpAny Op = -1
+
+// ErrInjected is the error returned by chaos-injected failures, so tests
+// can tell injected faults from real ones with errors.Is.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Fault describes one injectable failure. Fields compose: a fault may
+// delay and then fail, for example.
+type Fault struct {
+	// Delay sleeps before the call proceeds (honoring the context).
+	Delay time.Duration
+	// Err, when non-nil, is returned instead of forwarding the call.
+	Err error
+	// Hang blocks until the context is cancelled (or the chaos client is
+	// closed), simulating a site that accepts the request and never
+	// answers.
+	Hang bool
+	// Drop closes the underlying client before failing the call,
+	// simulating a connection torn down mid-exchange.
+	Drop bool
+}
+
+// Chaos is a deterministic fault-injection wrapper around a Client: every
+// failure mode of a real network — slow links, hung sites, dropped
+// connections, transient errors — becomes reproducible in-process, so the
+// full fault-tolerance surface is testable with plain `go test`.
+//
+// Faults come from two sources, checked in order:
+//
+//  1. A scripted per-op FIFO of one-shot faults (Inject and the FailNext /
+//     HangNext / DelayNext / DropNext helpers). OpAny queues apply to every
+//     opcode. Scripted faults make specific scenarios exact: "the second
+//     evalRounds hangs".
+//  2. Seeded random injection (SetRandom): each call draws from a
+//     rand.Rand seeded at construction, so a given seed always produces
+//     the same fault sequence for the same call sequence.
+//
+// Chaos implements Client and composes with every other wrapper; wrap the
+// innermost client (e.g. chaos around a LocalClient, inside a
+// Reconnector) to exercise retry and failover paths.
+type Chaos struct {
+	inner Client
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	queues   map[Op][]Fault
+	errRate  float64
+	delayMax time.Duration
+	calls    int
+	injected int
+	closed   chan struct{}
+}
+
+// NewChaos wraps inner with a fault injector whose random decisions are
+// driven by seed.
+func NewChaos(inner Client, seed int64) *Chaos {
+	return &Chaos{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		queues: map[Op][]Fault{},
+		closed: make(chan struct{}),
+	}
+}
+
+// Inject queues a one-shot fault for the given opcode (OpAny = every op).
+// Queued faults are consumed FIFO, one per matching call.
+func (c *Chaos) Inject(op Op, f Fault) {
+	c.mu.Lock()
+	c.queues[op] = append(c.queues[op], f)
+	c.mu.Unlock()
+}
+
+// FailNext queues n one-shot transport errors for op.
+func (c *Chaos) FailNext(op Op, n int) {
+	for i := 0; i < n; i++ {
+		c.Inject(op, Fault{Err: ErrInjected})
+	}
+}
+
+// HangNext makes the next call with op hang until its context is done.
+func (c *Chaos) HangNext(op Op) { c.Inject(op, Fault{Hang: true}) }
+
+// DelayNext delays the next call with op by d before forwarding it.
+func (c *Chaos) DelayNext(op Op, d time.Duration) { c.Inject(op, Fault{Delay: d}) }
+
+// DropNext makes the next call with op close the underlying client and
+// fail, as if the connection were torn down mid-exchange.
+func (c *Chaos) DropNext(op Op) { c.Inject(op, Fault{Drop: true, Err: ErrInjected}) }
+
+// SetRandom enables seeded random injection: each call fails with
+// probability errRate and is otherwise delayed by a uniform duration in
+// [0, delayMax) when delayMax > 0.
+func (c *Chaos) SetRandom(errRate float64, delayMax time.Duration) {
+	c.mu.Lock()
+	c.errRate = errRate
+	c.delayMax = delayMax
+	c.mu.Unlock()
+}
+
+// Calls returns how many calls the wrapper has seen.
+func (c *Chaos) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Injected returns how many calls were given a fault.
+func (c *Chaos) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// SiteID implements Client.
+func (c *Chaos) SiteID() string { return c.inner.SiteID() }
+
+// Stats implements Client.
+func (c *Chaos) Stats() *WireStats { return c.inner.Stats() }
+
+// Close implements Client, releasing hung calls.
+func (c *Chaos) Close() error {
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// next pops the fault to apply to this call, if any.
+func (c *Chaos) next(op Op) (Fault, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	for _, key := range []Op{op, OpAny} {
+		if q := c.queues[key]; len(q) > 0 {
+			f := q[0]
+			c.queues[key] = q[1:]
+			c.injected++
+			return f, true
+		}
+	}
+	var f Fault
+	var hit bool
+	if c.errRate > 0 && c.rng.Float64() < c.errRate {
+		f.Err = ErrInjected
+		hit = true
+	}
+	if c.delayMax > 0 {
+		f.Delay = time.Duration(c.rng.Int63n(int64(c.delayMax)))
+		hit = hit || f.Delay > 0
+	}
+	if hit {
+		c.injected++
+	}
+	return f, hit
+}
+
+// Call implements Client, applying at most one fault per call.
+func (c *Chaos) Call(ctx context.Context, req *Request) (*Response, error) {
+	f, ok := c.next(req.Op)
+	if !ok {
+		return c.inner.Call(ctx, req)
+	}
+	if f.Delay > 0 {
+		if err := sleepCtx(ctx, f.Delay); err != nil {
+			return nil, fmt.Errorf("chaos: %s: %w", c.SiteID(), err)
+		}
+	}
+	if f.Hang {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("chaos: %s hung: %w", c.SiteID(), ctx.Err())
+		case <-c.closed:
+			return nil, fmt.Errorf("chaos: %s hung until close: %w", c.SiteID(), ErrInjected)
+		}
+	}
+	if f.Drop {
+		c.inner.Close()
+	}
+	if f.Err != nil {
+		return nil, fmt.Errorf("chaos: %s: %w", c.SiteID(), f.Err)
+	}
+	return c.inner.Call(ctx, req)
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestChaosPassThrough(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	exerciseClient(t, c)
+	if c.Injected() != 0 {
+		t.Errorf("injected %d faults with empty script", c.Injected())
+	}
+	if c.Calls() == 0 {
+		t.Error("calls not counted")
+	}
+}
+
+func TestChaosOneShotErrors(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.FailNext(OpPing, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Call(context.Background(), &Request{Op: OpPing}); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("fault queue not drained: %v", err)
+	}
+	if c.Injected() != 2 {
+		t.Errorf("injected = %d, want 2", c.Injected())
+	}
+}
+
+func TestChaosPerOpScripting(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.FailNext(OpLoad, 1)
+	// Faults scripted for OpLoad must not affect other ops.
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("ping hit a load fault: %v", err)
+	}
+	if _, err := c.Call(context.Background(), &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(1)}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("load fault not applied: %v", err)
+	}
+}
+
+func TestChaosDelay(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.DelayNext(OpPing, 30*time.Millisecond)
+	start := time.Now()
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delay not applied: %v", d)
+	}
+}
+
+func TestChaosDelayHonorsContext(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.DelayNext(OpPing, time.Hour)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Call(ctx, &Request{Op: OpPing})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("delayed call did not honor the deadline")
+	}
+}
+
+func TestChaosHangUntilCancel(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.HangNext(OpPing)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Call(ctx, &Request{Op: OpPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("hang did not release on cancel")
+	}
+	// Subsequent calls are healthy again.
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosHangReleasedByClose(t *testing.T) {
+	c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	c.HangNext(OpPing)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), &Request{Op: OpPing})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung call not released by Close")
+	}
+}
+
+func TestChaosDropClosesInner(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tcp, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChaos(tcp, 1)
+	c.DropNext(OpPing)
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop fault: %v", err)
+	}
+	// The underlying connection really is gone.
+	if _, err := tcp.Call(context.Background(), &Request{Op: OpPing}); err == nil {
+		t.Fatal("dropped connection still usable")
+	}
+}
+
+// TestChaosSeededDeterminism: the same seed must produce the same fault
+// sequence for the same call sequence — the property every chaos test in
+// the repo relies on.
+func TestChaosSeededDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		c := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), seed)
+		c.SetRandom(0.5, 0)
+		outcomes := make([]bool, 40)
+		for i := range outcomes {
+			_, err := c.Call(context.Background(), &Request{Op: OpPing})
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 40-call fault sequences")
+	}
+	failed := 0
+	for _, f := range a {
+		if f {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Errorf("errRate 0.5 produced %d/%d failures", failed, len(a))
+	}
+}

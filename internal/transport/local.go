@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 )
@@ -32,15 +33,33 @@ func (c *LocalClient) Stats() *WireStats { return &c.stats }
 // Close implements Client; local clients hold no resources.
 func (c *LocalClient) Close() error { return nil }
 
-// Call implements Client.
-func (c *LocalClient) Call(req *Request) (*Response, error) {
+// Call implements Client. A cancellable context makes the call abandonable:
+// the handler runs on its own goroutine and the call returns as soon as the
+// context is done, exactly as a network client stops waiting for a hung
+// site (the handler goroutine finishes in the background and its reply is
+// discarded).
+func (c *LocalClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: %s: %w", c.id, err)
+	}
 	wireReq, n, err := roundTrip(req)
 	if err != nil {
 		return nil, fmt.Errorf("transport: encode request: %w", err)
 	}
 	c.stats.AddSent(n, c.cost)
 
-	resp := c.handler.Handle(wireReq)
+	var resp *Response
+	if ctx.Done() == nil {
+		resp = c.handler.Handle(wireReq)
+	} else {
+		ch := make(chan *Response, 1)
+		go func() { ch <- c.handler.Handle(wireReq) }()
+		select {
+		case resp = <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: %s: %w", c.id, ctx.Err())
+		}
+	}
 
 	wireResp, n, err := roundTrip(resp)
 	if err != nil {

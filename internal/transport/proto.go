@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relation"
@@ -166,8 +167,13 @@ type Handler interface {
 type Client interface {
 	// SiteID returns the site's identifier.
 	SiteID() string
-	// Call performs one request/response exchange.
-	Call(req *Request) (*Response, error)
+	// Call performs one request/response exchange. Cancelling ctx (or
+	// hitting its deadline) aborts the exchange: connection-oriented
+	// transports interrupt blocked I/O and the call returns an error
+	// wrapping ctx.Err(). A call aborted mid-exchange may leave the
+	// underlying connection unusable; such clients report subsequent
+	// calls as transport errors so a retrying wrapper redials.
+	Call(ctx context.Context, req *Request) (*Response, error)
 	// Stats returns the cumulative wire statistics of this client.
 	Stats() *WireStats
 	// Close releases the connection.

@@ -1,43 +1,116 @@
 package transport
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 )
 
-// Reconnector wraps a site connection with transparent reconnect-and-retry
-// on transport failures (broken TCP connections, site restarts). Site-side
-// errors (Response.Err) are deterministic results of the request and are
-// never retried — only transport-level Call errors are.
+// Reconnector wraps a logical site with transparent reconnect-and-retry on
+// transport failures (broken TCP connections, site restarts) and replica
+// failover: the logical site is backed by an ordered list of endpoints,
+// and when retries against the current endpoint are exhausted the call is
+// transparently re-issued to the next replica. Re-issuing a request to a
+// replica is safe because every protocol exchange is idempotent — only
+// partial aggregate state and queries in wire form are shipped, never
+// detail data, so repeating a round recomputes the same sub-aggregates
+// (see PROTOCOL.md, "Timeouts, cancellation, and failover").
 //
-// Wire statistics aggregate across reconnections, so coordinators see one
-// continuous accounting stream per site.
+// Site-side errors (Response.Err) are deterministic results of the request
+// and are never retried — only transport-level Call errors are. Context
+// cancellation and deadline expiry also stop retrying immediately: the
+// caller gave up, so burning further attempts (or failing over) is wasted
+// work.
+//
+// Retries back off exponentially with full jitter from a deterministic
+// per-site seed: delay n is uniform in [base·2ⁿ/2, base·2ⁿ], capped at
+// MaxBackoff. Wire statistics aggregate across reconnections and
+// failovers, so coordinators see one continuous accounting stream per
+// logical site.
 type Reconnector struct {
 	id       string
-	dial     func() (Client, error)
+	dials    []func() (Client, error)
 	attempts int
 	backoff  time.Duration
 
+	// MaxBackoff caps the exponential backoff (default 10×backoff, at
+	// least 2s). Set before the first Call.
+	MaxBackoff time.Duration
+
 	mu    sync.Mutex
 	cur   Client
+	ep    int // current endpoint index; sticky across calls
+	rng   *rand.Rand
+	sleep func(ctx context.Context, d time.Duration) error
 	stats WireStats
 }
 
-// NewReconnector returns a client that dials lazily and retries each call
-// up to attempts times (minimum 1). backoff is the pause between retries.
+// NewReconnector returns a client for a single-endpoint site that dials
+// lazily and retries each call up to attempts times (minimum 1). backoff
+// is the base pause between retries.
 func NewReconnector(id string, dial func() (Client, error), attempts int, backoff time.Duration) *Reconnector {
+	return NewReplicaSet(id, []func() (Client, error){dial}, attempts, backoff)
+}
+
+// NewReplicaSet returns a client for a logical site backed by replica
+// endpoints in preference order. Each call tries the current endpoint up
+// to attempts times, then fails over to the next replica; the working
+// endpoint stays selected for subsequent calls.
+func NewReplicaSet(id string, dials []func() (Client, error), attempts int, backoff time.Duration) *Reconnector {
 	if attempts < 1 {
 		attempts = 1
 	}
-	return &Reconnector{id: id, dial: dial, attempts: attempts, backoff: backoff}
+	if len(dials) == 0 {
+		panic("transport: replica set needs at least one endpoint")
+	}
+	maxB := 10 * backoff
+	if maxB < 2*time.Second {
+		maxB = 2 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return &Reconnector{
+		id: id, dials: dials, attempts: attempts, backoff: backoff,
+		MaxBackoff: maxB,
+		rng:        rand.New(rand.NewSource(int64(h.Sum64()))),
+		sleep:      sleepCtx,
+	}
 }
 
 // NewReconnectingTCP is a Reconnector dialing a fixed TCP address.
 func NewReconnectingTCP(id, addr string, cost CostModel, attempts int, backoff time.Duration) *Reconnector {
-	return NewReconnector(id, func() (Client, error) {
-		return DialTCP(id, addr, cost)
-	}, attempts, backoff)
+	return NewReplicaTCP(id, []string{addr}, cost, attempts, backoff)
+}
+
+// NewReplicaTCP is a Reconnector failing over across TCP addresses.
+func NewReplicaTCP(id string, addrs []string, cost CostModel, attempts int, backoff time.Duration) *Reconnector {
+	dials := make([]func() (Client, error), 0, len(addrs))
+	for _, addr := range addrs {
+		addr := addr
+		dials = append(dials, func() (Client, error) {
+			return DialTCP(id, addr, cost)
+		})
+	}
+	return NewReplicaSet(id, dials, attempts, backoff)
+}
+
+// SetSleep overrides the backoff sleep function (tests inject virtual
+// time). The function receives the jittered delay and should honor ctx.
+func (r *Reconnector) SetSleep(f func(ctx context.Context, d time.Duration) error) {
+	r.mu.Lock()
+	r.sleep = f
+	r.mu.Unlock()
+}
+
+// SetSeed reseeds the jitter source, making backoff sequences reproducible
+// across runs regardless of the site id.
+func (r *Reconnector) SetSeed(seed int64) {
+	r.mu.Lock()
+	r.rng = rand.New(rand.NewSource(seed))
+	r.mu.Unlock()
 }
 
 // SiteID implements Client.
@@ -45,6 +118,13 @@ func (r *Reconnector) SiteID() string { return r.id }
 
 // Stats implements Client, returning the aggregated statistics.
 func (r *Reconnector) Stats() *WireStats { return &r.stats }
+
+// Endpoint returns the index of the currently selected replica endpoint.
+func (r *Reconnector) Endpoint() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ep
+}
 
 // Close implements Client.
 func (r *Reconnector) Close() error {
@@ -58,25 +138,39 @@ func (r *Reconnector) Close() error {
 	return err
 }
 
-// Call implements Client with reconnect-and-retry.
-func (r *Reconnector) Call(req *Request) (*Response, error) {
+// Call implements Client with reconnect-and-retry plus replica failover.
+func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
-	for attempt := 0; attempt < r.attempts; attempt++ {
-		if attempt > 0 && r.backoff > 0 {
-			time.Sleep(r.backoff)
+	total := r.attempts * len(r.dials)
+	for i := 0; i < total; i++ {
+		attempt := i % r.attempts // attempt index at the current endpoint
+		if i > 0 {
+			if attempt == 0 {
+				// Retries at the previous endpoint are exhausted: fail
+				// over to the next replica without backing off (it is an
+				// independent endpoint, presumed healthy).
+				r.ep = (r.ep + 1) % len(r.dials)
+			} else if r.backoff > 0 {
+				if err := r.sleep(ctx, r.jitteredBackoff(attempt)); err != nil {
+					return nil, fmt.Errorf("transport: %s: %w", r.id, err)
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("transport: %s: %w", r.id, err)
 		}
 		if r.cur == nil {
 			c, err := r.dial()
 			if err != nil {
-				lastErr = fmt.Errorf("transport: dial %s: %w", r.id, err)
+				lastErr = err
 				continue
 			}
 			r.cur = c
 		}
 		s0, r0, _, t0 := r.cur.Stats().Snapshot()
-		resp, err := r.cur.Call(req)
+		resp, err := r.cur.Call(ctx, req)
 		s1, r1, _, t1 := r.cur.Stats().Snapshot()
 		// Fold the inner connection's traffic into the aggregate,
 		// preserving comm-time accounting without re-sleeping.
@@ -89,8 +183,38 @@ func (r *Reconnector) Call(req *Request) (*Response, error) {
 		// the next attempt redials.
 		r.cur.Close()
 		r.cur = nil
+		if ctx.Err() != nil {
+			// The caller cancelled or timed out; do not reinterpret that
+			// as an endpoint failure.
+			return nil, lastErr
+		}
 	}
-	return nil, fmt.Errorf("transport: %s failed after %d attempt(s): %w", r.id, r.attempts, lastErr)
+	if len(r.dials) > 1 {
+		return nil, fmt.Errorf("transport: %s failed after %d attempt(s) across %d replicas: %w",
+			r.id, total, len(r.dials), lastErr)
+	}
+	return nil, fmt.Errorf("transport: %s failed after %d attempt(s): %w", r.id, total, lastErr)
+}
+
+// dial connects to the current endpoint.
+func (r *Reconnector) dial() (Client, error) {
+	c, err := r.dials[r.ep]()
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s[%d]: %w", r.id, r.ep, err)
+	}
+	return c, nil
+}
+
+// jitteredBackoff returns the delay before retry number attempt (≥1) at
+// one endpoint: exponential in the attempt with full jitter in the upper
+// half of the window, capped at MaxBackoff.
+func (r *Reconnector) jitteredBackoff(attempt int) time.Duration {
+	d := r.backoff << uint(attempt-1)
+	if d > r.MaxBackoff || d <= 0 { // d <= 0 on shift overflow
+		d = r.MaxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(r.rng.Int63n(int64(half)+1))
 }
 
 // addDelta records traffic observed on the inner connection.
@@ -103,4 +227,19 @@ func (r *Reconnector) addDelta(sent, recv int64, comm time.Duration) {
 	}
 	r.stats.commTime += comm
 	r.stats.mu.Unlock()
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 )
 
 // flakyClient fails its first failN calls at the transport level.
@@ -19,7 +22,7 @@ func (f *flakyClient) SiteID() string    { return f.id }
 func (f *flakyClient) Stats() *WireStats { return &f.stats }
 func (f *flakyClient) Close() error      { f.closed++; return nil }
 
-func (f *flakyClient) Call(req *Request) (*Response, error) {
+func (f *flakyClient) Call(ctx context.Context, req *Request) (*Response, error) {
 	f.calls++
 	f.stats.AddSent(10, CostModel{})
 	if f.calls <= f.failN {
@@ -39,7 +42,7 @@ func TestReconnectorRetries(t *testing.T) {
 		dials++
 		return inner, nil
 	}, 3, 0)
-	resp, err := rc.Call(&Request{Op: OpPing})
+	resp, err := rc.Call(context.Background(), &Request{Op: OpPing})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +65,7 @@ func TestReconnectorRetries(t *testing.T) {
 func TestReconnectorExhaustsAttempts(t *testing.T) {
 	inner := &flakyClient{id: "s", failN: 99}
 	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 2, 0)
-	if _, err := rc.Call(&Request{Op: OpPing}); err == nil {
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err == nil {
 		t.Fatal("expected failure after attempts exhausted")
 	}
 	if inner.calls != 2 {
@@ -73,7 +76,7 @@ func TestReconnectorExhaustsAttempts(t *testing.T) {
 func TestReconnectorDoesNotRetrySiteErrors(t *testing.T) {
 	inner := &flakyClient{id: "s"}
 	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 3, 0)
-	resp, err := rc.Call(&Request{Op: OpRelInfo, Rel: "x"})
+	resp, err := rc.Call(context.Background(), &Request{Op: OpRelInfo, Rel: "x"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func TestReconnectorDialFailure(t *testing.T) {
 		fails++
 		return nil, fmt.Errorf("refused")
 	}, 2, 0)
-	if _, err := rc.Call(&Request{Op: OpPing}); err == nil {
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err == nil {
 		t.Fatal("dial failures should surface")
 	}
 	if fails != 2 {
@@ -112,7 +115,7 @@ func TestReconnectorOverTCPRestart(t *testing.T) {
 	}
 	rc := NewReconnectingTCP("s", addr, CostModel{}, 5, 0)
 	defer rc.Close()
-	if _, err := rc.Call(&Request{Op: OpPing}); err != nil {
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
@@ -122,7 +125,180 @@ func TestReconnectorOverTCPRestart(t *testing.T) {
 		t.Fatalf("rebind %s: %v", addr, err)
 	}
 	defer srv2.Close()
-	if _, err := rc.Call(&Request{Op: OpPing}); err != nil {
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
 		t.Fatalf("reconnect after restart: %v", err)
+	}
+}
+
+// recordSleep returns a sleep func that records the requested delays
+// without actually sleeping — injected virtual time for backoff tests.
+func recordSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestReconnectorBackoffJitter(t *testing.T) {
+	inner := &flakyClient{id: "s", failN: 99}
+	base := 100 * time.Millisecond
+	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 6, base)
+	rc.SetSeed(42)
+	var delays []time.Duration
+	rc.SetSleep(recordSleep(&delays))
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	if len(delays) != 5 { // one sleep before each retry after the first attempt
+		t.Fatalf("slept %d times, want 5: %v", len(delays), delays)
+	}
+	for i, d := range delays {
+		// Exponential window with full jitter in the upper half:
+		// delay i is uniform in [base·2^i/2, base·2^i], capped.
+		lo, hi := base<<uint(i)/2, base<<uint(i)
+		if hi > rc.MaxBackoff {
+			hi = rc.MaxBackoff
+			lo = hi / 2
+		}
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %v outside [%v, %v]", i, d, lo, hi)
+		}
+	}
+	// Jitter must actually vary the delays relative to the deterministic
+	// midpoint sequence.
+	allMid := true
+	for i, d := range delays {
+		if d != base<<uint(i)*3/4 {
+			allMid = false
+		}
+	}
+	if allMid {
+		t.Error("no jitter applied")
+	}
+	// Same seed, same sequence: backoff is reproducible.
+	inner2 := &flakyClient{id: "s", failN: 99}
+	rc2 := NewReconnector("s", func() (Client, error) { return inner2, nil }, 6, base)
+	rc2.SetSeed(42)
+	var delays2 []time.Duration
+	rc2.SetSleep(recordSleep(&delays2))
+	rc2.Call(context.Background(), &Request{Op: OpPing})
+	for i := range delays {
+		if delays[i] != delays2[i] {
+			t.Fatalf("same seed diverged: %v vs %v", delays, delays2)
+		}
+	}
+}
+
+func TestReconnectorBackoffCap(t *testing.T) {
+	inner := &flakyClient{id: "s", failN: 99}
+	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 20, time.Second)
+	rc.MaxBackoff = 2 * time.Second
+	var delays []time.Duration
+	rc.SetSleep(recordSleep(&delays))
+	rc.Call(context.Background(), &Request{Op: OpPing})
+	for i, d := range delays {
+		if d > 2*time.Second {
+			t.Errorf("delay %d = %v exceeds cap", i, d)
+		}
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	bad := &flakyClient{id: "a", failN: 99}
+	good := &flakyClient{id: "b"}
+	dials := [2]int{}
+	rc := NewReplicaSet("s", []func() (Client, error){
+		func() (Client, error) { dials[0]++; return bad, nil },
+		func() (Client, error) { dials[1]++; return good, nil },
+	}, 2, 0)
+	resp, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if err != nil {
+		t.Fatalf("failover failed: %v", err)
+	}
+	if resp.RowCount != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if bad.calls != 2 || good.calls != 1 {
+		t.Errorf("calls: bad=%d good=%d, want 2/1", bad.calls, good.calls)
+	}
+	if rc.Endpoint() != 1 {
+		t.Errorf("endpoint = %d, want 1 (sticky failover)", rc.Endpoint())
+	}
+	// Subsequent calls go straight to the surviving replica over the
+	// retained connection.
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if dials[0] != 2 || dials[1] != 1 {
+		t.Errorf("dials = %v, want [2 1]", dials)
+	}
+	if bad.calls != 2 {
+		t.Errorf("failed replica still being called: %d", bad.calls)
+	}
+}
+
+func TestReplicaAllDown(t *testing.T) {
+	a := &flakyClient{id: "a", failN: 99}
+	b := &flakyClient{id: "b", failN: 99}
+	rc := NewReplicaSet("s", []func() (Client, error){
+		func() (Client, error) { return a, nil },
+		func() (Client, error) { return b, nil },
+	}, 2, 0)
+	_, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if err == nil {
+		t.Fatal("expected failure with every replica down")
+	}
+	if !strings.Contains(err.Error(), "2 replicas") {
+		t.Errorf("error does not mention replicas: %v", err)
+	}
+	if a.calls != 2 || b.calls != 2 {
+		t.Errorf("calls: a=%d b=%d, want 2/2", a.calls, b.calls)
+	}
+}
+
+func TestReconnectorStopsOnCancel(t *testing.T) {
+	inner := &flakyClient{id: "s", failN: 99}
+	rc := NewReconnector("s", func() (Client, error) { return inner, nil }, 10, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	rc.SetSleep(func(sctx context.Context, d time.Duration) error {
+		cancel() // the caller gives up during the first backoff
+		return sctx.Err()
+	})
+	if _, err := rc.Call(ctx, &Request{Op: OpPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("retried after cancellation: %d calls", inner.calls)
+	}
+
+	// Already-cancelled contexts never reach the wire.
+	inner2 := &flakyClient{id: "s"}
+	rc2 := NewReconnector("s", func() (Client, error) { return inner2, nil }, 3, 0)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := rc2.Call(ctx2, &Request{Op: OpPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if inner2.calls != 0 {
+		t.Errorf("cancelled call still hit the wire: %d", inner2.calls)
+	}
+}
+
+func TestReconnectorNoRetryAfterDeadline(t *testing.T) {
+	// A hung endpoint under a per-call deadline: the reconnector must not
+	// burn its remaining attempts (or fail over) once the deadline is the
+	// reason for the failure.
+	chaos := NewChaos(NewLocalClient("s", newEchoHandler(), CostModel{}), 1)
+	chaos.HangNext(OpPing)
+	dials := 0
+	rc := NewReconnector("s", func() (Client, error) { dials++; return chaos, nil }, 5, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := rc.Call(ctx, &Request{Op: OpPing})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if dials != 1 || chaos.Calls() != 1 {
+		t.Errorf("dials=%d calls=%d, want 1/1", dials, chaos.Calls())
 	}
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server serves site requests over TCP. Each connection runs a
@@ -38,10 +40,17 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	return s.Serve(l), nil
+}
+
+// Serve starts accepting connections from an already-bound listener and
+// returns its address. It exists so tests can inject listeners with
+// controlled failure behavior.
+func (s *Server) Serve(l net.Listener) string {
 	s.listener = l
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return l.Addr().String(), nil
+	return l.Addr().String()
 }
 
 func (s *Server) acceptLoop() {
@@ -55,8 +64,11 @@ func (s *Server) acceptLoop() {
 			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.Logf("transport: accept: %v", err)
-			return
+			// Transient accept failures (EMFILE, ECONNABORTED, ...) must
+			// not kill the listener: back off briefly and keep accepting.
+			s.Logf("transport: accept: %v (retrying)", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -127,8 +139,9 @@ type TCPClient struct {
 	cr   *countingReader
 	cost CostModel
 
-	mu    sync.Mutex
-	stats WireStats
+	mu     sync.Mutex
+	broken bool
+	stats  WireStats
 }
 
 // DialTCP connects to a site server.
@@ -157,20 +170,75 @@ func (c *TCPClient) Close() error { return c.conn.Close() }
 
 // Call implements Client. Calls on one client are serialized; the
 // coordinator uses one client per site and fans out with goroutines.
-func (c *TCPClient) Call(req *Request) (*Response, error) {
+//
+// The context bounds the whole exchange via connection deadlines; a
+// cancellation or deadline mid-exchange interrupts blocked I/O. After any
+// encode/decode failure — including an abort — the gob streams are
+// desynced, so the client marks itself broken and closes the connection:
+// later calls fail fast with a transport error and a retrying wrapper
+// (Reconnector) redials a fresh connection instead of reusing a corrupt
+// stream.
+func (c *TCPClient) Call(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return nil, fmt.Errorf("transport: %s: connection is broken (previous call failed mid-stream)", c.id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: %s: %w", c.id, err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	// Watch for cancellation while I/O is in flight: SetDeadline is safe
+	// concurrently with Read/Write and wakes them immediately.
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				c.conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	}
+
 	before := c.cw.n
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: send to %s: %w", c.id, err)
+		return nil, c.fail("send to", err, ctx)
 	}
 	c.stats.AddSent(int(c.cw.n-before), c.cost)
 
 	beforeR := c.cr.n
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("transport: receive from %s: %w", c.id, err)
+		return nil, c.fail("receive from", err, ctx)
 	}
 	c.stats.AddReceived(int(c.cr.n-beforeR), c.cost)
 	return &resp, nil
+}
+
+// fail marks the client broken after a mid-stream error and closes the
+// connection. It prefers reporting the context error when the failure was
+// caused by cancellation (the raw I/O error is then just "i/o timeout"
+// from the deadline poke).
+func (c *TCPClient) fail(verb string, err error, ctx context.Context) error {
+	c.broken = true
+	c.conn.Close()
+	ctxErr := ctx.Err()
+	if ctxErr == nil {
+		// The connection deadline can fire marginally before the
+		// context's own timer; an expired deadline is still a context
+		// timeout, not a network fault.
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			ctxErr = context.DeadlineExceeded
+		}
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("transport: %s %s: %w (%v)", verb, c.id, ctxErr, err)
+	}
+	return fmt.Errorf("transport: %s %s: %w", verb, c.id, err)
 }

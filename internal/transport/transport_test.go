@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -59,19 +63,19 @@ func sampleRelation(n int) *relation.Relation {
 
 func exerciseClient(t *testing.T, c Client) {
 	t.Helper()
-	resp, err := c.Call(&Request{Op: OpPing})
+	resp, err := c.Call(context.Background(), &Request{Op: OpPing})
 	if err != nil || resp.Error() != nil {
 		t.Fatalf("ping: %v / %v", err, resp.Error())
 	}
 	rel := sampleRelation(50)
-	resp, err = c.Call(&Request{Op: OpLoad, Rel: "t", Data: rel})
+	resp, err = c.Call(context.Background(), &Request{Op: OpLoad, Rel: "t", Data: rel})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.RowCount != 50 {
 		t.Errorf("load count = %d", resp.RowCount)
 	}
-	resp, err = c.Call(&Request{Op: OpRelInfo, Rel: "t"})
+	resp, err = c.Call(context.Background(), &Request{Op: OpRelInfo, Rel: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +94,7 @@ func exerciseClient(t *testing.T, c Client) {
 		t.Errorf("string value corrupted: %v", back.Rows[7][2])
 	}
 	// Error responses convert to errors.
-	resp, err = c.Call(&Request{Op: OpRelInfo, Rel: "missing"})
+	resp, err = c.Call(context.Background(), &Request{Op: OpRelInfo, Rel: "missing"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +152,10 @@ func TestLocalAndTCPByteParity(t *testing.T) {
 	local := NewLocalClient("l", newEchoHandler(), CostModel{})
 
 	req := &Request{Op: OpLoad, Rel: "t", Data: sampleRelation(100)}
-	if _, err := tcp.Call(req); err != nil {
+	if _, err := tcp.Call(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := local.Call(req); err != nil {
+	if _, err := local.Call(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	ts, _, _, _ := tcp.Stats().Snapshot()
@@ -187,7 +191,7 @@ func TestTCPMultipleClients(t *testing.T) {
 			}
 			defer c.Close()
 			for j := 0; j < 10; j++ {
-				if _, err := c.Call(&Request{Op: OpPing}); err != nil {
+				if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -263,5 +267,188 @@ func TestOpString(t *testing.T) {
 		if got := op.String(); got != want {
 			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
 		}
+	}
+}
+
+// flakyListener injects transient Accept failures before delegating.
+type flakyListener struct {
+	net.Listener
+	mu    sync.Mutex
+	fails int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	inject := l.fails > 0
+	if inject {
+		l.fails--
+	}
+	l.mu.Unlock()
+	if inject {
+		return nil, errors.New("accept: too many open files")
+	}
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopSurvivesTransientErrors: a transient Accept failure
+// (EMFILE and friends) must not kill the listener.
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(newEchoHandler())
+	var logged int32
+	srv.Logf = func(format string, args ...any) { atomic.AddInt32(&logged, 1) }
+	addr := srv.Serve(&flakyListener{Listener: l, fails: 2})
+	defer srv.Close()
+
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("server died after transient accept error: %v", err)
+	}
+	if atomic.LoadInt32(&logged) != 2 {
+		t.Errorf("logged %d accept errors, want 2", logged)
+	}
+}
+
+// TestTCPClientBrokenAfterStreamError: once an exchange fails mid-stream
+// the gob state is desynced; the client must close the connection and
+// fail fast instead of reusing the corrupt stream.
+func TestTCPClientBrokenAfterStreamError(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // kill the server: the next exchange fails mid-stream
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err == nil {
+		t.Fatal("call against a dead server succeeded")
+	}
+	_, err = c.Call(context.Background(), &Request{Op: OpPing})
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("want fail-fast broken-connection error, got %v", err)
+	}
+}
+
+// blockingHandler blocks every request until released.
+type blockingHandler struct{ release chan struct{} }
+
+func (h *blockingHandler) Handle(req *Request) *Response {
+	<-h.release
+	return &Response{}
+}
+
+// TestTCPCallDeadline: a context deadline must bound a call against a
+// site that accepted the request and never answers, and the aborted
+// connection must be marked broken (the reply could still arrive later
+// and desync the stream).
+func TestTCPCallDeadline(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{})}
+	srv := NewServer(h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(h.release) // LIFO: release the handler before Close waits
+
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Call(ctx, &Request{Op: OpPing})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline not enforced: took %v", elapsed)
+	}
+	if _, err := c.Call(context.Background(), &Request{Op: OpPing}); err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("aborted connection not marked broken: %v", err)
+	}
+}
+
+// TestTCPCallCancel: cancellation (not just deadlines) interrupts
+// blocked I/O.
+func TestTCPCallCancel(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{})}
+	srv := NewServer(h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(h.release) // LIFO: release the handler before Close waits
+
+	c, err := DialTCP("s", addr, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Call(ctx, &Request{Op: OpPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+// TestReconnectorRedialsAfterBrokenStream: the broken-connection marking
+// and the reconnector compose — a retry gets a fresh connection.
+func TestReconnectorRedialsAfterBrokenStream(t *testing.T) {
+	srv := NewServer(newEchoHandler())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewReconnectingTCP("s", addr, CostModel{}, 3, 0)
+	defer rc.Close()
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := NewServer(newEchoHandler())
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer srv2.Close()
+	// First attempt fails on the stale (now broken) connection; the
+	// retry redials and succeeds.
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("reconnector did not recover from broken stream: %v", err)
+	}
+}
+
+func TestLocalCallCancel(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{})}
+	defer close(h.release)
+	c := NewLocalClient("s", h, CostModel{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Call(ctx, &Request{Op: OpPing}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("local call did not honor the deadline")
 	}
 }

@@ -13,6 +13,9 @@ fi
 
 echo "== build + vet =="
 go build ./...
+# Vet the fault-tolerance layer first for a fast, targeted failure
+# signal, then the whole tree.
+go vet ./internal/transport/... ./internal/core/... ./skalla/... ./cmd/...
 go vet ./...
 
 echo "== tests (race) =="

@@ -1,0 +1,159 @@
+package skalla
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// startFlowSite starts n TCP servers (replicas) over one shared engine
+// loaded with part, returning their addresses joined with the replica
+// separator plus the servers for individual shutdown.
+func startFlowSite(t *testing.T, id string, part *relation.Relation, n int) (string, []*transport.Server) {
+	t.Helper()
+	eng := site.NewEngine(id)
+	eng.Load("flow", part)
+	addrs := make([]string, n)
+	servers := make([]*transport.Server, n)
+	for i := 0; i < n; i++ {
+		srv := transport.NewServer(eng)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i], servers[i] = addr, srv
+		t.Cleanup(func() { srv.Close() })
+	}
+	return strings.Join(addrs, "|"), servers
+}
+
+func assertSameResult(t *testing.T, label string, got, want *relation.Relation) {
+	t.Helper()
+	got.SortBy("SourceAS", "DestAS")
+	want.SortBy("SourceAS", "DestAS")
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !value.Equal(got.Rows[i][j], want.Rows[i][j]) &&
+				!(got.Rows[i][j].IsNull() && want.Rows[i][j].IsNull()) {
+				t.Errorf("%s: row %d col %d: %v != %v", label, i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestConnectWithReplicaFailover: each site is addressed as
+// "primary|secondary"; killing a primary mid-session transparently fails
+// the session over to the secondary with identical query results.
+func TestConnectWithReplicaFailover(t *testing.T) {
+	parts, whole := flowParts(2)
+	var sites []string
+	var servers [][]*transport.Server
+	for i := range parts {
+		entry, srvs := startFlowSite(t, fmt.Sprintf("site%d", i), parts[i], 2)
+		sites = append(sites, entry)
+		servers = append(servers, srvs)
+	}
+	cluster, err := ConnectWith(ConnectConfig{
+		Sites:       sites,
+		Attempts:    2,
+		Backoff:     time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	want, err := gmdj.EvalQuery(whole, example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "before failover", res.Relation, want)
+
+	// Kill site1's primary; the next query must ride the secondary.
+	servers[1][0].Close()
+	res, err = cluster.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatalf("query after primary loss: %v", err)
+	}
+	assertSameResult(t, "after failover", res.Relation, want)
+	if res.Stats.Partial() {
+		t.Errorf("failover degraded the result: lost %v", res.Stats.LostSites())
+	}
+}
+
+// TestConnectWithDegradedPartial: with AllowPartial a dead site yields a
+// partial result over the survivors, named in the stats.
+func TestConnectWithDegradedPartial(t *testing.T) {
+	parts, _ := flowParts(2)
+	var sites []string
+	var servers [][]*transport.Server
+	for i := range parts {
+		entry, srvs := startFlowSite(t, fmt.Sprintf("site%d", i), parts[i], 1)
+		sites = append(sites, entry)
+		servers = append(servers, srvs)
+	}
+	cluster, err := ConnectWith(ConnectConfig{
+		Sites:        sites,
+		Attempts:     1,
+		Backoff:      time.Millisecond,
+		CallTimeout:  10 * time.Second,
+		AllowPartial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	servers[1][0].Close() // site1 is gone, no replica
+
+	want, err := gmdj.EvalQuery(parts[0], example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	assertSameResult(t, "degraded", res.Relation, want)
+	if !res.Stats.Partial() {
+		t.Fatal("stats do not mark the result partial")
+	}
+	if lost := res.Stats.LostSites(); len(lost) != 1 || lost[0] != "site1" {
+		t.Errorf("LostSites = %v, want [site1]", lost)
+	}
+}
+
+// TestConnectWithErrors: malformed replica entries and unreachable strict
+// sites fail at connect time.
+func TestConnectWithErrors(t *testing.T) {
+	if _, err := ConnectWith(ConnectConfig{Sites: []string{"127.0.0.1:1| "}}); err == nil {
+		t.Error("empty replica address accepted")
+	}
+	if _, err := ConnectWith(ConnectConfig{Sites: nil}); err == nil {
+		t.Error("empty site list accepted")
+	}
+	// Port 1 is refused immediately: strict connect must fail fast.
+	_, err := ConnectWith(ConnectConfig{
+		Sites:    []string{"127.0.0.1:1"},
+		Attempts: 1,
+		Backoff:  time.Millisecond,
+	})
+	if err == nil {
+		t.Error("unreachable strict site accepted at connect time")
+	}
+}

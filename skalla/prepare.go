@@ -1,6 +1,7 @@
 package skalla
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,7 +24,7 @@ type Prepared struct {
 func (c *Cluster) Prepare(q Query, detail string, opts Options) (*Prepared, error) {
 	schemas := map[string]*relation.Schema{}
 	for _, name := range q.DetailNames(detail) {
-		s, err := c.coord.DetailSchema(name)
+		s, err := c.coord.DetailSchema(context.Background(), name)
 		if err != nil {
 			return nil, err
 		}
@@ -41,7 +42,13 @@ func (p *Prepared) Plan() *Plan { return p.plan }
 
 // Execute runs the prepared plan against the cluster's current data.
 func (p *Prepared) Execute() (*Result, error) {
-	rel, stats, err := p.cluster.coord.Execute(p.plan)
+	return p.ExecuteContext(context.Background())
+}
+
+// ExecuteContext runs the prepared plan under a context; cancelling it
+// aborts all in-flight site calls.
+func (p *Prepared) ExecuteContext(ctx context.Context) (*Result, error) {
+	rel, stats, err := p.cluster.coord.Execute(ctx, p.plan)
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +71,7 @@ func (c *Cluster) Status(relations ...string) []SiteStatus {
 	out := make([]SiteStatus, len(c.clients))
 	for i, cl := range c.clients {
 		st := SiteStatus{ID: cl.SiteID(), Relations: map[string]int{}}
-		resp, err := cl.Call(&transport.Request{Op: transport.OpPing})
+		resp, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpPing})
 		switch {
 		case err != nil:
 			st.Err = err.Error()
@@ -73,7 +80,7 @@ func (c *Cluster) Status(relations ...string) []SiteStatus {
 		default:
 			st.Reachable = true
 			for _, rel := range relations {
-				info, err := cl.Call(&transport.Request{Op: transport.OpRelInfo, Rel: rel})
+				info, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpRelInfo, Rel: rel})
 				if err != nil || info.Error() != nil {
 					continue
 				}

@@ -24,7 +24,9 @@
 package skalla
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -89,6 +91,11 @@ type ClusterConfig struct {
 	// of the in-process transport. Byte accounting is identical; TCP
 	// mainly serves integration testing and demos.
 	UseTCP bool
+	// CallTimeout bounds every coordinator↔site round-trip (0 = none).
+	CallTimeout time.Duration
+	// AllowPartial returns degraded partial results (with coverage
+	// metadata in ExecStats) instead of failing when sites are lost.
+	AllowPartial bool
 }
 
 // Cluster is a running distributed data warehouse.
@@ -139,35 +146,98 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 	c.coord = core.NewCoordinator(c.clients...)
+	c.coord.CallTimeout = cfg.CallTimeout
+	c.coord.AllowPartial = cfg.AllowPartial
 	c.cat = catalog.New(c.ids...)
 	return c, nil
+}
+
+// ConnectConfig configures a cluster over already-running remote site
+// servers (cmd/skalla-site).
+type ConnectConfig struct {
+	// Sites lists one entry per logical site. An entry is a single
+	// address or several replica addresses separated by '|'
+	// ("10.0.0.1:7001|10.0.1.1:7001"): replicas are tried in order, and
+	// after Attempts transport failures against one the coordinator
+	// transparently fails over to the next. Replicas must hold the same
+	// partition; re-issuing a round is safe because rounds ship only
+	// partial aggregate state (see PROTOCOL.md).
+	Sites []string
+	// Cost models the coordinator↔site links.
+	Cost CostModel
+	// Attempts is the per-endpoint retry budget (default 3).
+	Attempts int
+	// Backoff is the base retry backoff, growing exponentially with
+	// jitter (default 100ms).
+	Backoff time.Duration
+	// CallTimeout bounds every site round-trip (0 = none), so a hung
+	// site cannot stall a query forever.
+	CallTimeout time.Duration
+	// AllowPartial returns degraded partial results (with coverage
+	// metadata in ExecStats) instead of failing when a site and all its
+	// replicas are down. It also tolerates unreachable sites at connect
+	// time.
+	AllowPartial bool
 }
 
 // Connect builds a cluster over already-running remote site servers (one
 // address per site, as started by cmd/skalla-site). Connections
 // transparently reconnect and retry on transport failures (e.g. a site
 // restart), so transient outages do not kill long coordinator sessions.
+// For replica failover, timeouts, and degraded mode, use ConnectWith.
 func Connect(addrs []string, cost CostModel) (*Cluster, error) {
+	return ConnectWith(ConnectConfig{Sites: addrs, Cost: cost})
+}
+
+// ConnectWith builds a cluster over remote site servers with full
+// fault-tolerance control: per-endpoint retries with jittered exponential
+// backoff, replica failover, per-call timeouts, and degraded partial
+// results.
+func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 	registerGenerators()
-	if len(addrs) == 0 {
+	if len(cfg.Sites) == 0 {
 		return nil, fmt.Errorf("skalla: no site addresses")
 	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
 	c := &Cluster{}
-	for i, addr := range addrs {
+	for i, entry := range cfg.Sites {
 		id := fmt.Sprintf("site%d", i)
-		cl := transport.NewReconnectingTCP(id, addr, cost, 3, 100*time.Millisecond)
+		addrs := strings.Split(entry, "|")
+		for j, a := range addrs {
+			addrs[j] = strings.TrimSpace(a)
+			if addrs[j] == "" {
+				c.Close()
+				return nil, fmt.Errorf("skalla: empty address in site entry %q", entry)
+			}
+		}
+		cl := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
 		// Validate reachability eagerly so misconfigured addresses fail
-		// at connect time, not at first query.
-		if _, err := cl.Call(&transport.Request{Op: transport.OpPing}); err != nil {
+		// at connect time, not at first query — unless partial results
+		// are allowed, in which case a down site is tolerable now and
+		// reported as lost coverage later.
+		pingCtx, done := context.Background(), func() {}
+		if cfg.CallTimeout > 0 {
+			pingCtx, done = context.WithTimeout(context.Background(), cfg.CallTimeout)
+		}
+		_, err := cl.Call(pingCtx, &transport.Request{Op: transport.OpPing})
+		done()
+		if err != nil && !cfg.AllowPartial {
 			cl.Close()
 			c.Close()
-			return nil, fmt.Errorf("skalla: connect %s: %w", addr, err)
+			return nil, fmt.Errorf("skalla: connect %s: %w", entry, err)
 		}
 		c.ids = append(c.ids, id)
 		c.clients = append(c.clients, cl)
 		c.engines = append(c.engines, nil)
 	}
 	c.coord = core.NewCoordinator(c.clients...)
+	c.coord.CallTimeout = cfg.CallTimeout
+	c.coord.AllowPartial = cfg.AllowPartial
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -227,6 +297,8 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 		cat:     c.cat,
 	}
 	sub.coord = core.NewCoordinator(sub.clients...)
+	sub.coord.CallTimeout = c.coord.CallTimeout
+	sub.coord.AllowPartial = c.coord.AllowPartial
 	return sub, nil
 }
 
@@ -244,7 +316,7 @@ func (c *Cluster) Load(rel string, parts []*relation.Relation) error {
 		return fmt.Errorf("skalla: %d partitions for %d sites", len(parts), len(targets))
 	}
 	for i, cl := range targets {
-		resp, err := cl.Call(&transport.Request{Op: transport.OpLoad, Rel: rel, Data: parts[i]})
+		resp, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpLoad, Rel: rel, Data: parts[i]})
 		if err != nil {
 			return fmt.Errorf("skalla: load to %s: %w", cl.SiteID(), err)
 		}
@@ -266,7 +338,7 @@ func (c *Cluster) Generate(rel, kind string, params map[string]int64) ([]int, er
 		wg.Add(1)
 		go func(i int, cl transport.Client) {
 			defer wg.Done()
-			resp, err := cl.Call(&transport.Request{
+			resp, err := cl.Call(context.Background(), &transport.Request{
 				Op: transport.OpGenerate,
 				Gen: &transport.GenSpec{
 					Kind: kind, Rel: rel, Params: params,
@@ -306,7 +378,14 @@ type Result struct {
 // Query plans and executes a GMDJ query against the named detail
 // relation under the given optimization options.
 func (c *Cluster) Query(q Query, detail string, opts Options) (*Result, error) {
-	rel, stats, plan, err := c.coord.Run(q, detail, core.Egil{Catalog: c.cat, Options: opts})
+	return c.QueryContext(context.Background(), q, detail, opts)
+}
+
+// QueryContext is Query under a context: cancelling ctx (or hitting its
+// deadline) aborts all in-flight site calls and returns promptly. The
+// cluster's CallTimeout and AllowPartial settings apply on top.
+func (c *Cluster) QueryContext(ctx context.Context, q Query, detail string, opts Options) (*Result, error) {
+	rel, stats, plan, err := c.coord.Run(ctx, q, detail, core.Egil{Catalog: c.cat, Options: opts})
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +394,7 @@ func (c *Cluster) Query(q Query, detail string, opts Options) (*Result, error) {
 
 // Explain plans the query without executing it.
 func (c *Cluster) Explain(q Query, detail string, opts Options) (*Plan, error) {
-	schema, err := c.coord.DetailSchema(detail)
+	schema, err := c.coord.DetailSchema(context.Background(), detail)
 	if err != nil {
 		return nil, err
 	}
@@ -340,5 +419,7 @@ func (c *Cluster) Session() (*Cluster, error) {
 		s.clients = append(s.clients, transport.NewLocalClient(c.ids[i], eng, CostModel{}))
 	}
 	s.coord = core.NewCoordinator(s.clients...)
+	s.coord.CallTimeout = c.coord.CallTimeout
+	s.coord.AllowPartial = c.coord.AllowPartial
 	return s, nil
 }
