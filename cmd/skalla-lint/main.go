@@ -1,0 +1,84 @@
+// Command skalla-lint is the multichecker driver for Skalla's first-party
+// static-analysis suite (internal/lint): it loads the module's packages,
+// runs every analyzer, and prints surviving findings one per line as
+// file:line:col: [analyzer] message. The exit status is 0 when the tree
+// is clean, 1 when there are findings, 2 on operational errors.
+//
+// Usage:
+//
+//	skalla-lint [-list] [-only name[,name...]] [packages]
+//
+// With no package patterns it analyzes ./... from the module root. Each
+// rule, its invariant, and the //lint:ignore suppression syntax are
+// documented in LINT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("skalla-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "skalla-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skalla-lint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skalla-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String(loader.Fset))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "skalla-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -12,6 +12,8 @@
 // Theorem 2 traffic bound.
 package agg
 
+//lint:deterministic aggregate primitive states must be identical across runs and sites
+
 import (
 	"fmt"
 	"math"

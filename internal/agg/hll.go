@@ -1,11 +1,14 @@
 package agg
 
+//lint:deterministic shipped sketch/set states must encode to identical wire bytes
+
 import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/value"
 )
@@ -96,11 +99,20 @@ func decodeHLL(v value.V) (*hll, error) {
 const maxExactDistinct = 100000
 
 // encodeSet packs a distinct-value set for shipping: length-prefixed
-// value keys, which are unambiguous for arbitrary key bytes.
+// value keys, which are unambiguous for arbitrary key bytes. Keys are
+// sorted so identical sets always encode to identical wire bytes — map
+// iteration order would otherwise make states compare unequal and byte
+// accounting run-dependent.
 func encodeSet(set map[string]struct{}) value.V {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		//lint:ignore detrand keys are sorted immediately below, before any bytes are emitted
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var b []byte
 	var lenBuf [10]byte
-	for k := range set {
+	for _, k := range keys {
 		n := binary.PutUvarint(lenBuf[:], uint64(len(k)))
 		b = append(b, lenBuf[:n]...)
 		b = append(b, k...)

@@ -1,5 +1,7 @@
 package core
 
+//lint:wrap-errors coordinator errors must preserve site/transport causes for errors.Is/As
+
 import (
 	"context"
 	"errors"

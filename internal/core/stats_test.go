@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// partialStats builds an ExecStats fixture: round "base" loses site2,
+// round "step 1" loses site2 again plus site0, round "step 2" is full.
+func partialStats() *ExecStats {
+	return &ExecStats{Rounds: []RoundStats{
+		{
+			Name:      "base",
+			Responded: []string{"site0", "site1"},
+			Lost:      []LostSite{{Site: "site2", Err: "dial refused"}},
+		},
+		{
+			Name:      "step 1",
+			Responded: []string{"site1"},
+			Lost: []LostSite{
+				{Site: "site2", Err: "dial refused"},
+				{Site: "site0", Err: "timeout"},
+			},
+		},
+		{
+			Name:      "step 2",
+			Responded: []string{"site0", "site1", "site2"},
+		},
+	}}
+}
+
+func TestExecStatsPartialAccounting(t *testing.T) {
+	s := partialStats()
+	if !s.Partial() {
+		t.Fatal("stats with lost sites not marked partial")
+	}
+
+	// LostSites dedups across rounds and keeps first-loss order: site2 was
+	// lost in round 1, site0 only in round 2.
+	if lost := s.LostSites(); len(lost) != 2 || lost[0] != "site2" || lost[1] != "site0" {
+		t.Errorf("LostSites = %v, want [site2 site0]", lost)
+	}
+
+	cov := s.Coverage()
+	// Per-round coverage counts Responded against Responded+Lost, so a
+	// round's denominator reflects that round's own losses.
+	if !strings.Contains(cov, "round base: 2/3 sites answered") {
+		t.Errorf("coverage misses base round accounting:\n%s", cov)
+	}
+	if !strings.Contains(cov, "round step 1: 1/3 sites answered") {
+		t.Errorf("coverage misses step 1 accounting:\n%s", cov)
+	}
+	// A fully-answered round must not appear in the coverage report.
+	if strings.Contains(cov, "step 2") {
+		t.Errorf("coverage lists the complete round:\n%s", cov)
+	}
+	// Both failure causes are named.
+	if !strings.Contains(cov, "site2 (dial refused)") || !strings.Contains(cov, "site0 (timeout)") {
+		t.Errorf("coverage drops failure causes:\n%s", cov)
+	}
+	if !strings.Contains(s.String(), "PARTIAL RESULT") {
+		t.Error("String() does not flag the partial result")
+	}
+}
+
+func TestExecStatsCompleteExecution(t *testing.T) {
+	s := &ExecStats{Rounds: []RoundStats{
+		{Name: "base", Responded: []string{"site0", "site1"}},
+		{Name: "step 1", Responded: []string{"site0", "site1"}},
+	}}
+	if s.Partial() {
+		t.Error("complete execution marked partial")
+	}
+	if lost := s.LostSites(); len(lost) != 0 {
+		t.Errorf("LostSites = %v, want none", lost)
+	}
+	if cov := s.Coverage(); cov != "" {
+		t.Errorf("Coverage() = %q, want empty for a complete execution", cov)
+	}
+	if strings.Contains(s.String(), "PARTIAL RESULT") {
+		t.Error("String() flags a complete execution as partial")
+	}
+}
+
+func TestExecStatsRepeatedLossDedup(t *testing.T) {
+	// The same logical site lost in every round counts once.
+	s := &ExecStats{Rounds: []RoundStats{
+		{Name: "base", Lost: []LostSite{{Site: "site1", Err: "down"}}},
+		{Name: "step 1", Lost: []LostSite{{Site: "site1", Err: "down"}}},
+		{Name: "step 2", Lost: []LostSite{{Site: "site1", Err: "down"}}},
+	}}
+	if lost := s.LostSites(); len(lost) != 1 || lost[0] != "site1" {
+		t.Errorf("LostSites = %v, want [site1] exactly once", lost)
+	}
+	// Every degraded round still gets its own coverage line.
+	if n := strings.Count(s.Coverage(), "site1 (down)"); n != 3 {
+		t.Errorf("coverage lines = %d, want 3:\n%s", n, s.Coverage())
+	}
+}
+
+func TestExecStatsTimeAndByteTotals(t *testing.T) {
+	s := &ExecStats{Rounds: []RoundStats{
+		{BytesToSites: 100, BytesFromSites: 40, GroupsShipped: 10, GroupsReceived: 4,
+			SiteTime: 3 * time.Millisecond, CoordTime: time.Millisecond, CommTime: 2 * time.Millisecond},
+		{BytesToSites: 50, BytesFromSites: 60, GroupsShipped: 5, GroupsReceived: 6,
+			SiteTime: 2 * time.Millisecond, CoordTime: time.Millisecond, CommTime: time.Millisecond},
+	}}
+	if got := s.Bytes(); got != 250 {
+		t.Errorf("Bytes() = %d, want 250", got)
+	}
+	if got := s.Groups(); got != 25 {
+		t.Errorf("Groups() = %d, want 25", got)
+	}
+	if got := s.EvalTime(); got != 10*time.Millisecond {
+		t.Errorf("EvalTime() = %v, want 10ms (site 5 + coord 2 + comm 3)", got)
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+//lint:wrap-errors relay errors must preserve child causes for errors.Is/As
+
 import (
 	"context"
 	"fmt"
@@ -28,10 +30,11 @@ import (
 // The parent must set Request.Keys on OpEvalRounds for the relay to merge;
 // without keys the relay degrades to pass-through unioning.
 //
-// Relays serve requests synchronously (transport.Handler carries no
-// context), so child calls run under context.Background(): when a parent
-// abandons a relay call, the relay finishes its subtree work in the
-// background and the discarded reply costs nothing upstream.
+// A relay threads the request context it receives into every child call,
+// so cancellation and deadlines propagate down the whole coordinator
+// tree: when a parent abandons a relay call, the relay's own fan-out is
+// cancelled and the subtree stops working on the discarded request
+// instead of finishing it in the background.
 type Relay struct {
 	children []transport.Client
 
@@ -57,29 +60,29 @@ func NewRelay(children []transport.Client, leafOffset, totalLeaves int) (*Relay,
 }
 
 // Handle implements transport.Handler.
-func (r *Relay) Handle(req *transport.Request) *transport.Response {
-	resp, err := r.handle(req)
+func (r *Relay) Handle(ctx context.Context, req *transport.Request) *transport.Response {
+	resp, err := r.handle(ctx, req)
 	if err != nil {
 		return &transport.Response{Err: fmt.Sprintf("relay: %v", err)}
 	}
 	return resp
 }
 
-func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
+func (r *Relay) handle(ctx context.Context, req *transport.Request) (*transport.Response, error) {
 	switch req.Op {
 	case transport.OpPing:
-		_, err := r.fanout(req)
+		_, err := r.fanout(ctx, req)
 		return &transport.Response{}, err
 
 	case transport.OpRelInfo:
-		resp, err := r.children[0].Call(context.Background(), req)
+		resp, err := r.children[0].Call(ctx, req)
 		if err != nil {
 			return nil, err
 		}
 		return resp, resp.Error()
 
 	case transport.OpDrop:
-		_, err := r.fanout(req)
+		_, err := r.fanout(ctx, req)
 		return &transport.Response{}, err
 
 	case transport.OpLoad:
@@ -104,7 +107,7 @@ func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
 				gen.Site = r.leafOffset + i
 				gen.NumSites = r.totalLeaves
 				sub.Gen = &gen
-				resp, err := child.Call(context.Background(), &sub)
+				resp, err := child.Call(ctx, &sub)
 				if err == nil {
 					err = resp.Error()
 				}
@@ -123,7 +126,7 @@ func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
 
 	case transport.OpEvalBase:
 		start := time.Now()
-		resps, err := r.fanout(req)
+		resps, err := r.fanout(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -138,15 +141,16 @@ func (r *Relay) handle(req *transport.Request) (*transport.Response, error) {
 		return &transport.Response{Rel: merged, ComputeNs: time.Since(start).Nanoseconds()}, nil
 
 	case transport.OpEvalRounds:
-		return r.evalRounds(req)
+		return r.evalRounds(ctx, req)
 
 	default:
 		return nil, fmt.Errorf("unsupported op %s", req.Op)
 	}
 }
 
-// fanout sends the same request to every child in parallel.
-func (r *Relay) fanout(req *transport.Request) ([]*transport.Response, error) {
+// fanout sends the same request to every child in parallel under the
+// caller's context.
+func (r *Relay) fanout(ctx context.Context, req *transport.Request) ([]*transport.Response, error) {
 	resps := make([]*transport.Response, len(r.children))
 	errs := make([]error, len(r.children))
 	var wg sync.WaitGroup
@@ -154,7 +158,7 @@ func (r *Relay) fanout(req *transport.Request) ([]*transport.Response, error) {
 		wg.Add(1)
 		go func(i int, child transport.Client) {
 			defer wg.Done()
-			resp, err := child.Call(context.Background(), req)
+			resp, err := child.Call(ctx, req)
 			if err == nil {
 				err = resp.Error()
 			}
@@ -172,9 +176,9 @@ func (r *Relay) fanout(req *transport.Request) ([]*transport.Response, error) {
 
 // evalRounds forwards the round request and pre-merges the children's
 // fragments keyed on Request.Keys.
-func (r *Relay) evalRounds(req *transport.Request) (*transport.Response, error) {
+func (r *Relay) evalRounds(ctx context.Context, req *transport.Request) (*transport.Response, error) {
 	start := time.Now()
-	resps, err := r.fanout(req)
+	resps, err := r.fanout(ctx, req)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/gmdj"
@@ -192,14 +194,14 @@ func TestRelayErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp := relay.Handle(&transport.Request{Op: transport.OpLoad, Rel: "x", Data: relation.New(flowSchema())}); resp.Error() == nil {
+	if resp := relay.Handle(context.Background(), &transport.Request{Op: transport.OpLoad, Rel: "x", Data: relation.New(flowSchema())}); resp.Error() == nil {
 		t.Error("load through relay accepted")
 	}
-	if resp := relay.Handle(&transport.Request{Op: transport.OpGenerate}); resp.Error() == nil {
+	if resp := relay.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate}); resp.Error() == nil {
 		t.Error("generate without spec accepted")
 	}
 	// Child errors surface.
-	if resp := relay.Handle(&transport.Request{Op: transport.OpRelInfo, Rel: "missing"}); resp.Error() == nil {
+	if resp := relay.Handle(context.Background(), &transport.Request{Op: transport.OpRelInfo, Rel: "missing"}); resp.Error() == nil {
 		t.Error("child error not propagated")
 	}
 }
@@ -229,7 +231,7 @@ func TestRelayPassThroughWithoutKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := relay.Handle(&transport.Request{
+	resp := relay.Handle(context.Background(), &transport.Request{
 		Op:   transport.OpEvalRounds,
 		Base: b,
 		Rounds: []transport.RoundSpec{{
@@ -244,6 +246,83 @@ func TestRelayPassThroughWithoutKeys(t *testing.T) {
 	}
 	if resp.Rel.Len() != 2*b.Len() {
 		t.Errorf("pass-through rows = %d, want %d", resp.Rel.Len(), 2*b.Len())
+	}
+}
+
+// ctxProbeHandler blocks every request until its context is cancelled,
+// recording whether cancellation ever reached it.
+type ctxProbeHandler struct {
+	started chan struct{} // closed when the request arrives
+	saw     chan struct{} // closed when ctx.Done() fires
+}
+
+func newCtxProbeHandler() *ctxProbeHandler {
+	return &ctxProbeHandler{started: make(chan struct{}), saw: make(chan struct{})}
+}
+
+func (h *ctxProbeHandler) Handle(ctx context.Context, req *transport.Request) *transport.Response {
+	close(h.started)
+	select {
+	case <-ctx.Done():
+		close(h.saw)
+		return &transport.Response{Err: ctx.Err().Error()}
+	case <-time.After(10 * time.Second):
+		return &transport.Response{Err: "leaf never saw cancellation"}
+	}
+}
+
+// TestRelayCancellationPropagates: cancelling the root context of a
+// tree-mode query must reach the leaves through the relay tier. This
+// guards the context threading in Relay.fanout — with child calls made
+// under context.Background() (the pre-refactor behavior flagged by the
+// ctxflow analyzer) the leaves would block until their own timeout and
+// this test fails.
+func TestRelayCancellationPropagates(t *testing.T) {
+	leaves := []*ctxProbeHandler{newCtxProbeHandler(), newCtxProbeHandler()}
+	var children []transport.Client
+	for i, h := range leaves {
+		children = append(children, transport.NewLocalClient(fmt.Sprintf("leaf%d", i), h, transport.CostModel{}))
+	}
+	relay, err := NewRelay(children, 0, len(children))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := transport.NewLocalClient("relay0", relay, transport.CostModel{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := root.Call(ctx, &transport.Request{Op: transport.OpPing})
+		callDone <- err
+	}()
+
+	// Wait until the request has fanned out to every leaf, then cancel.
+	for i, h := range leaves {
+		select {
+		case <-h.started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("leaf%d never received the request", i)
+		}
+	}
+	cancel()
+
+	// The root call aborts promptly...
+	select {
+	case err := <-callDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("root call error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("root call did not abort on cancellation")
+	}
+	// ...and, crucially, the cancellation reached every leaf through the
+	// relay instead of leaving the subtree working on a discarded request.
+	for i, h := range leaves {
+		select {
+		case <-h.saw:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("leaf%d never observed cancellation: relay did not thread the request context", i)
+		}
 	}
 }
 

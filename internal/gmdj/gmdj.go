@@ -16,6 +16,8 @@
 // more general than SQL GROUP BY.
 package gmdj
 
+//lint:deterministic GMDJ evaluation output must not depend on run or iteration order
+
 import (
 	"fmt"
 	"strings"

@@ -1,5 +1,7 @@
 package gmdj
 
+//lint:deterministic rendered query text must be stable for plan caching and tests
+
 import (
 	"fmt"
 	"strings"

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow flags functions that have a context.Context in scope but call
+// context.Background() or context.TODO() anyway. Passing a fresh root
+// context instead of the parameter severs the cancellation chain: the
+// coordinator's deadlines and first-error cancellation stop at that call,
+// so a hung site keeps burning work after the query has been abandoned.
+// Detaching deliberately (fire-and-forget cleanup) is legal but must be
+// visible: suppress with //lint:ignore ctxflow <why detached>.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/context.TODO() used where a context.Context " +
+		"parameter is in scope, which silently breaks cancellation and deadline propagation",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		walkCtxScope(pass, file, 0)
+	}
+	return nil
+}
+
+// walkCtxScope traverses the file tracking how many context.Context
+// parameters are lexically in scope (function literals capture their
+// enclosing function's context, so a plain depth count suffices).
+func walkCtxScope(pass *Pass, n ast.Node, ctxDepth int) {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return
+		}
+		if hasCtxParam(pass, n.Type) {
+			ctxDepth++
+		}
+		walkCtxScope(pass, n.Body, ctxDepth)
+		return
+	case *ast.FuncLit:
+		if hasCtxParam(pass, n.Type) {
+			ctxDepth++
+		}
+		walkCtxScope(pass, n.Body, ctxDepth)
+		return
+	case *ast.CallExpr:
+		if ctxDepth > 0 {
+			if name, ok := rootContextCall(pass, n); ok {
+				pass.Reportf(n, "context.%s() called with a context.Context in scope; "+
+					"pass the caller's context so cancellation and deadlines propagate", name)
+			}
+		}
+	}
+	// Generic descent.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		switch child.(type) {
+		case *ast.FuncDecl, *ast.FuncLit, *ast.CallExpr:
+			walkCtxScope(pass, child, ctxDepth)
+			return false
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a named (usable)
+// context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			continue // unnamed: declared but unusable
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// rootContextCall reports whether call is context.Background() or
+// context.TODO(), returning the function name.
+func rootContextCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,63 @@
+// Package ctxflow exercises the ctxflow analyzer: positive cases pass a
+// fresh root context while a caller context is in scope, negative cases
+// thread the parameter, have no context at all, or suppress deliberately.
+package ctxflow
+
+import "context"
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func bad(ctx context.Context) error {
+	return callee(context.Background()) // want `context\.Background\(\) called with a context\.Context in scope`
+}
+
+func badTODO(ctx context.Context) error {
+	return callee(context.TODO()) // want `context\.TODO\(\) called with a context\.Context in scope`
+}
+
+func badAssign(ctx context.Context) error {
+	detached := context.Background() // want `context\.Background\(\) called with a context\.Context in scope`
+	return callee(detached)
+}
+
+// badClosure shows that closures inherit the enclosing context scope.
+func badClosure(ctx context.Context) func() error {
+	return func() error {
+		return callee(context.Background()) // want `context\.Background\(\) called with a context\.Context in scope`
+	}
+}
+
+// badNested fires even when the call is an argument of a derived-context
+// constructor.
+func badNested(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) // want `context\.Background\(\) called with a context\.Context in scope`
+}
+
+func good(ctx context.Context) error {
+	return callee(ctx)
+}
+
+func goodDerived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(sub)
+}
+
+// noParam has no caller context, so starting a root context is the only
+// option and must not be flagged.
+func noParam() error {
+	return callee(context.Background())
+}
+
+// unnamed declares the parameter away; the function cannot thread it, so
+// the analyzer stays quiet (the fix is naming the parameter, which then
+// fires the check on the body).
+func unnamed(_ context.Context) error {
+	return callee(context.Background())
+}
+
+// detach documents an intentional break in the chain.
+func detach(ctx context.Context) error {
+	//lint:ignore ctxflow cleanup must survive request cancellation
+	return callee(context.Background())
+}

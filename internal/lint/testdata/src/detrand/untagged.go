@@ -1,0 +1,24 @@
+// This file carries no //lint:deterministic tag: the same constructions
+// that are findings in tagged.go are legal here.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func untaggedStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func untaggedPick(n int) int {
+	return rand.Intn(n)
+}
+
+func untaggedFlatten(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Package errflow exercises the errflow analyzer. This file is tagged
+// wrap-errors, so fmt.Errorf calls that format an error argument must
+// wrap one with %w.
+//
+//lint:wrap-errors
+package errflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a sentinel: returning it instead of wrapping is the other
+// sanctioned way to keep errors inspectable.
+var ErrBudget = errors.New("retry budget exhausted")
+
+func flattenV(err error) error {
+	return fmt.Errorf("call failed: %v", err) // want `wrap it with %w`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("call failed: %s", err) // want `wrap it with %w`
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("call failed: %w", err)
+}
+
+// annotate wraps the primary chain and annotates a secondary error with
+// %v — the Reconnector's "cancelled (underlying i/o error)" pattern.
+func annotate(primary, secondary error) error {
+	return fmt.Errorf("%w (underlying: %v)", primary, secondary)
+}
+
+// fresh creates an original error: nothing to wrap.
+func fresh(code int) error {
+	return fmt.Errorf("bad opcode %d", code)
+}
+
+func sentinel() error {
+	return ErrBudget
+}
+
+// terminal deliberately flattens for the wire (gob ships strings, not
+// error chains) and says so.
+func terminal(err error) string {
+	//lint:ignore errflow Response.Err is a string on the wire; the chain ends here
+	return fmt.Errorf("site error: %v", err).Error()
+}

@@ -1,0 +1,8 @@
+// This file carries no //lint:wrap-errors tag: flattening is legal here.
+package errflow
+
+import "fmt"
+
+func untaggedFlatten(err error) error {
+	return fmt.Errorf("call failed: %v", err)
+}

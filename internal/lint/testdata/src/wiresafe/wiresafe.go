@@ -1,0 +1,57 @@
+// Package wiresafe exercises the wiresafe analyzer over a miniature wire
+// protocol: a tagged root envelope whose transitive field graph contains
+// every class of gob hazard plus the safe shapes that must stay quiet.
+package wiresafe
+
+// Envelope is the wire root under audit.
+//
+//lint:wireroot
+type Envelope struct {
+	Op      int
+	Payload *Payload
+	Notes   []Note
+	Done    func() error // want `func type, which gob cannot encode`
+	secret  string       // want `unexported field Envelope\.secret never crosses the wire`
+}
+
+// Payload rides inside the envelope, so its fields are audited too.
+type Payload struct {
+	Values map[string]Inner
+	Any    any      // want `interface-typed field wiresafe\.Payload\.Any needs every concrete type`
+	Signal chan int // want `chan type, which gob cannot encode`
+	Blob   Blob
+	Next   *Payload // cycle: must terminate, no finding
+}
+
+// Inner demonstrates both an audited unexported field and a sanctioned
+// decode-time cache.
+type Inner struct {
+	hidden int // want `unexported field wiresafe\.Inner\.hidden never crosses the wire`
+	//lint:ignore wiresafe cache rebuilt lazily after decode
+	cache map[string]int
+	Value int64
+}
+
+// Note is a fully exported leaf: nothing to report.
+type Note struct {
+	Text string
+	N    int
+}
+
+// Blob implements GobEncoder/GobDecoder, so its unexported innards are its
+// own business and must not be flagged.
+type Blob struct {
+	data []byte
+}
+
+// GobEncode implements gob.GobEncoder.
+func (b Blob) GobEncode() ([]byte, error) { return b.data, nil }
+
+// GobDecode implements gob.GobDecoder.
+func (b *Blob) GobDecode(p []byte) error { b.data = append([]byte(nil), p...); return nil }
+
+// Unreachable is never referenced from a wire root; its unexported field
+// is a plain in-memory concern.
+type Unreachable struct {
+	private int
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireSafe audits the transitive field graph of gob wire roots — struct
+// types whose declaration carries //lint:wireroot (transport.Request and
+// transport.Response). gob fails open in ways that corrupt results rather
+// than erroring: unexported fields are silently dropped (a field added to
+// a payload struct but left unexported simply vanishes at the far side,
+// invalidating the paper's Theorem 2 byte accounting and any result it
+// carried), interface-typed fields panic at encode time unless every
+// concrete type is registered, and func/chan/unsafe.Pointer fields cannot
+// be encoded at all. Intentional non-wire fields (caches rebuilt after
+// decode) must carry //lint:ignore wiresafe <reason>.
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc: "walks the transitive field graph of //lint:wireroot structs and reports " +
+		"fields gob would drop, reject, or require registration for",
+	Run: runWireSafe,
+}
+
+func runWireSafe(pass *Pass) error {
+	w := &wireWalker{pass: pass, visited: map[*types.Named]bool{}, reported: map[string]bool{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the type spec or, for single-spec
+				// declarations, on the enclosing GenDecl.
+				if !commentHasDirective(ts.Doc, "wireroot") && !commentHasDirective(gd.Doc, "wireroot") {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name]
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					pass.Reportf(ts, "wireroot %s is not a defined type", ts.Name.Name)
+					continue
+				}
+				w.walkNamed(named, ts.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// wireWalker performs the breadth of the field-graph audit.
+type wireWalker struct {
+	pass     *Pass
+	visited  map[*types.Named]bool
+	reported map[string]bool
+}
+
+// walkNamed audits a named type reached from a wire root via path.
+func (w *wireWalker) walkNamed(named *types.Named, path string) {
+	if w.visited[named] {
+		return
+	}
+	w.visited[named] = true
+	if selfEncoding(named) {
+		return // GobEncoder/BinaryMarshaler types manage their own wire form
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		w.walkType(named.Underlying(), named.Obj().Pos(), path)
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fpath := path + "." + f.Name()
+		if !f.Exported() && !f.Embedded() {
+			w.report(f.Pos(), fpath, "unexported field %s never crosses the wire: "+
+				"gob drops it silently and the far side sees a zero value", fpath)
+			continue
+		}
+		w.walkType(f.Type(), f.Pos(), fpath)
+	}
+}
+
+// walkType audits one type occurrence reached at pos via path.
+func (w *wireWalker) walkType(t types.Type, pos token.Pos, path string) {
+	switch t := t.(type) {
+	case *types.Named:
+		if selfEncoding(t) {
+			return
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			w.report(pos, path, "interface-typed field %s needs every concrete type "+
+				"gob-registered, or encoding panics at runtime", path)
+			return
+		}
+		w.walkNamed(t, typeLabel(t))
+	case *types.Pointer:
+		w.walkType(t.Elem(), pos, path)
+	case *types.Slice:
+		w.walkType(t.Elem(), pos, path+"[]")
+	case *types.Array:
+		w.walkType(t.Elem(), pos, path+"[]")
+	case *types.Map:
+		w.walkType(t.Key(), pos, path+"[key]")
+		w.walkType(t.Elem(), pos, path+"[value]")
+	case *types.Interface:
+		w.report(pos, path, "interface-typed field %s needs every concrete type "+
+			"gob-registered, or encoding panics at runtime", path)
+	case *types.Chan:
+		w.report(pos, path, "field %s has chan type, which gob cannot encode", path)
+	case *types.Signature:
+		w.report(pos, path, "field %s has func type, which gob cannot encode", path)
+	case *types.Basic:
+		if t.Kind() == types.UnsafePointer {
+			w.report(pos, path, "field %s has unsafe.Pointer type, which gob cannot encode", path)
+		}
+		if t.Kind() == types.Complex64 || t.Kind() == types.Complex128 {
+			return // gob handles complex
+		}
+	case *types.Struct:
+		// Anonymous struct field: audit it inline.
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			fpath := path + "." + f.Name()
+			if !f.Exported() && !f.Embedded() {
+				w.report(f.Pos(), fpath, "unexported field %s never crosses the wire: "+
+					"gob drops it silently and the far side sees a zero value", fpath)
+				continue
+			}
+			w.walkType(f.Type(), f.Pos(), fpath)
+		}
+	}
+}
+
+// report deduplicates findings per field path.
+func (w *wireWalker) report(pos token.Pos, path, format string, args ...any) {
+	if w.reported[path] {
+		return
+	}
+	w.reported[path] = true
+	w.pass.Report(pos, format, args...)
+}
+
+// selfEncoding reports whether the type (or its pointer form) implements
+// gob.GobEncoder or encoding.BinaryMarshaler and therefore controls its
+// own wire representation.
+func selfEncoding(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		for _, recv := range []types.Type{t, types.NewPointer(t)} {
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, name)
+			if fn, ok := obj.(*types.Func); ok {
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// typeLabel renders a named type for diagnostic paths.
+func typeLabel(t *types.Named) string {
+	obj := t.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+}

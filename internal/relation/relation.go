@@ -26,6 +26,8 @@ type Schema struct {
 	Cols []Column
 	// byName maps lower-cased column names to positions. It is rebuilt
 	// lazily after gob decoding, which does not transmit private fields.
+	//
+	//lint:ignore wiresafe derived index, rebuilt lazily on first Lookup after decode
 	byName map[string]int
 }
 

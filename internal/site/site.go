@@ -11,6 +11,7 @@
 package site
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -87,16 +88,22 @@ func (e *Engine) Relation(name string) (*relation.Relation, error) {
 }
 
 // Handle implements transport.Handler. Errors travel in Response.Err so
-// they cross the wire.
-func (e *Engine) Handle(req *transport.Request) *transport.Response {
-	resp, err := e.handle(req)
+// they cross the wire. A cancelled context short-circuits before (and,
+// for multi-round evaluation, between) local evaluation steps: a leaf
+// engine cannot interrupt a single in-flight gmdj evaluation, but it
+// stops starting new work for a caller that has already hung up.
+func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.Response {
+	resp, err := e.handle(ctx, req)
 	if err != nil {
 		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err)}
 	}
 	return resp
 }
 
-func (e *Engine) handle(req *transport.Request) (*transport.Response, error) {
+func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch req.Op {
 	case transport.OpPing:
 		return &transport.Response{}, nil
@@ -151,7 +158,7 @@ func (e *Engine) handle(req *transport.Request) (*transport.Response, error) {
 		return e.evalBase(req)
 
 	case transport.OpEvalRounds:
-		return e.evalRounds(req)
+		return e.evalRounds(ctx, req)
 
 	default:
 		return nil, fmt.Errorf("unknown op %d", req.Op)
@@ -193,7 +200,7 @@ func baseDef(req *transport.Request) (gmdj.BaseDef, error) {
 // computed locally first (Proposition 2 fusion). Multiple rounds evaluate
 // as a local chain without intermediate synchronization (Theorem 5 /
 // Corollary 1); later rounds see the finalized aggregates of earlier ones.
-func (e *Engine) evalRounds(req *transport.Request) (*transport.Response, error) {
+func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*transport.Response, error) {
 	if len(req.Rounds) == 0 {
 		return nil, fmt.Errorf("no rounds")
 	}
@@ -225,6 +232,9 @@ func (e *Engine) evalRounds(req *transport.Request) (*transport.Response, error)
 	var finalCols []string
 
 	for ri, spec := range req.Rounds {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("round %d: %w", ri+1, err)
+		}
 		md, err := parseRound(spec)
 		if err != nil {
 			return nil, fmt.Errorf("round %d: %w", ri+1, err)

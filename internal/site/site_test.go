@@ -1,6 +1,7 @@
 package site
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -38,10 +39,10 @@ func loadedEngine(t *testing.T) *Engine {
 
 func TestPingAndUnknownOp(t *testing.T) {
 	e := loadedEngine(t)
-	if resp := e.Handle(&transport.Request{Op: transport.OpPing}); resp.Error() != nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpPing}); resp.Error() != nil {
 		t.Error(resp.Error())
 	}
-	if resp := e.Handle(&transport.Request{Op: transport.Op(99)}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.Op(99)}); resp.Error() == nil {
 		t.Error("unknown op accepted")
 	}
 }
@@ -49,34 +50,34 @@ func TestPingAndUnknownOp(t *testing.T) {
 func TestLoadDropInfo(t *testing.T) {
 	e := NewEngine("s1")
 	rel := flowRel(testFlow...)
-	resp := e.Handle(&transport.Request{Op: transport.OpLoad, Rel: "f", Data: rel})
+	resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpLoad, Rel: "f", Data: rel})
 	if resp.Error() != nil || resp.RowCount != 4 {
 		t.Fatalf("load: %v, count %d", resp.Error(), resp.RowCount)
 	}
-	resp = e.Handle(&transport.Request{Op: transport.OpRelInfo, Rel: "F"}) // case-insensitive
+	resp = e.Handle(context.Background(), &transport.Request{Op: transport.OpRelInfo, Rel: "F"}) // case-insensitive
 	if resp.Error() != nil || resp.RowCount != 4 {
 		t.Fatalf("info: %v", resp.Error())
 	}
-	resp = e.Handle(&transport.Request{Op: transport.OpDrop, Rel: "f"})
+	resp = e.Handle(context.Background(), &transport.Request{Op: transport.OpDrop, Rel: "f"})
 	if resp.Error() != nil {
 		t.Fatal(resp.Error())
 	}
-	resp = e.Handle(&transport.Request{Op: transport.OpRelInfo, Rel: "f"})
+	resp = e.Handle(context.Background(), &transport.Request{Op: transport.OpRelInfo, Rel: "f"})
 	if resp.Error() == nil {
 		t.Error("info after drop should fail")
 	}
 	// Bad loads.
-	if resp := e.Handle(&transport.Request{Op: transport.OpLoad, Rel: "x"}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpLoad, Rel: "x"}); resp.Error() == nil {
 		t.Error("load without payload accepted")
 	}
-	if resp := e.Handle(&transport.Request{Op: transport.OpLoad, Data: rel}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpLoad, Data: rel}); resp.Error() == nil {
 		t.Error("load without name accepted")
 	}
 }
 
 func TestEvalBase(t *testing.T) {
 	e := loadedEngine(t)
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalBase, Detail: "flow",
 		BaseCols: []string{"SourceAS", "DestAS"},
 	})
@@ -90,7 +91,7 @@ func TestEvalBase(t *testing.T) {
 		t.Error("no compute time")
 	}
 	// With filter.
-	resp = e.Handle(&transport.Request{
+	resp = e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalBase, Detail: "flow",
 		BaseCols: []string{"SourceAS"}, BaseWhere: "F.NumBytes >= 300",
 	})
@@ -101,10 +102,10 @@ func TestEvalBase(t *testing.T) {
 		t.Errorf("filtered base rows = %d", resp.Rel.Len())
 	}
 	// Errors.
-	if resp := e.Handle(&transport.Request{Op: transport.OpEvalBase, Detail: "none", BaseCols: []string{"x"}}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpEvalBase, Detail: "none", BaseCols: []string{"x"}}); resp.Error() == nil {
 		t.Error("missing detail accepted")
 	}
-	if resp := e.Handle(&transport.Request{Op: transport.OpEvalBase, Detail: "flow", BaseCols: []string{"SourceAS"}, BaseWhere: "(("}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpEvalBase, Detail: "flow", BaseCols: []string{"SourceAS"}, BaseWhere: "(("}); resp.Error() == nil {
 		t.Error("bad filter accepted")
 	}
 }
@@ -124,7 +125,7 @@ func TestEvalRoundsShippedBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalRounds, Base: b,
 		Rounds: []transport.RoundSpec{roundSpec(false, false)},
 	})
@@ -147,7 +148,7 @@ func TestEvalRoundsShippedBase(t *testing.T) {
 
 func TestEvalRoundsFusedBase(t *testing.T) {
 	e := loadedEngine(t)
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalRounds, Detail: "flow",
 		BaseCols: []string{"SourceAS", "DestAS"},
 		Rounds:   []transport.RoundSpec{roundSpec(false, false)},
@@ -176,7 +177,7 @@ func TestEvalRoundsChained(t *testing.T) {
 			Finalize: true, Touched: true,
 		},
 	}
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalRounds, Detail: "flow",
 		BaseCols: []string{"SourceAS", "DestAS"},
 		Rounds:   rounds,
@@ -208,7 +209,7 @@ func TestEvalRoundsChained(t *testing.T) {
 
 func TestEvalRoundsKeepFinal(t *testing.T) {
 	e := loadedEngine(t)
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalRounds, Detail: "flow",
 		BaseCols:  []string{"SourceAS", "DestAS"},
 		Rounds:    []transport.RoundSpec{roundSpec(false, true)},
@@ -230,7 +231,7 @@ func TestEvalRoundsTouchedFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.MustAppend(value.NewInt(9), value.NewInt(9))
-	resp := e.Handle(&transport.Request{
+	resp := e.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalRounds, Base: b,
 		Rounds: []transport.RoundSpec{roundSpec(true, false)},
 	})
@@ -257,7 +258,7 @@ func TestEvalRoundsErrors(t *testing.T) {
 			Rounds: []transport.RoundSpec{{Detail: "flow", Aggs: [][]string{{"count(*) AS c"}, {"count(*) AS d"}}, Thetas: []string{"TRUE"}}}},
 	}
 	for i, req := range cases {
-		if resp := e.Handle(req); resp.Error() == nil {
+		if resp := e.Handle(context.Background(), req); resp.Error() == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
@@ -272,7 +273,7 @@ func TestGeneratorRegistry(t *testing.T) {
 		return flowRel(testFlow...), nil
 	})
 	e := NewEngine("s1")
-	resp := e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Rel: "g"}})
+	resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Rel: "g"}})
 	if resp.Error() != nil || resp.RowCount != 4 {
 		t.Fatalf("generate: %v", resp.Error())
 	}
@@ -280,7 +281,7 @@ func TestGeneratorRegistry(t *testing.T) {
 		t.Error(err)
 	}
 	// Default name = kind.
-	resp = e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind}})
+	resp = e.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind}})
 	if resp.Error() != nil {
 		t.Fatal(resp.Error())
 	}
@@ -288,14 +289,14 @@ func TestGeneratorRegistry(t *testing.T) {
 		t.Error(err)
 	}
 	// Failure paths.
-	resp = e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Params: map[string]int64{"fail": 1}}})
+	resp = e.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: kind, Params: map[string]int64{"fail": 1}}})
 	if resp.Error() == nil || !strings.Contains(resp.Error().Error(), "boom") {
 		t.Errorf("generator failure not surfaced: %v", resp.Error())
 	}
-	if resp := e.Handle(&transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: "unregistered"}}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate, Gen: &transport.GenSpec{Kind: "unregistered"}}); resp.Error() == nil {
 		t.Error("unknown generator accepted")
 	}
-	if resp := e.Handle(&transport.Request{Op: transport.OpGenerate}); resp.Error() == nil {
+	if resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpGenerate}); resp.Error() == nil {
 		t.Error("missing GenSpec accepted")
 	}
 	defer func() {
@@ -332,7 +333,7 @@ func TestSnapshotRestore(t *testing.T) {
 		t.Errorf("restored flow rows = %d", rel.Len())
 	}
 	// Restored engine answers queries identically.
-	resp := fresh.Handle(&transport.Request{
+	resp := fresh.Handle(context.Background(), &transport.Request{
 		Op: transport.OpEvalBase, Detail: "flow",
 		BaseCols: []string{"SourceAS"},
 	})

@@ -1,5 +1,7 @@
 package transport
 
+//lint:deterministic fault injection must replay exactly from its seed
+
 import (
 	"context"
 	"errors"

@@ -1,5 +1,7 @@
 package transport
 
+//lint:wrap-errors transport failures must stay inspectable with errors.Is/As
+
 import (
 	"bytes"
 	"context"
@@ -36,8 +38,10 @@ func (c *LocalClient) Close() error { return nil }
 // Call implements Client. A cancellable context makes the call abandonable:
 // the handler runs on its own goroutine and the call returns as soon as the
 // context is done, exactly as a network client stops waiting for a hung
-// site (the handler goroutine finishes in the background and its reply is
-// discarded).
+// site. The context is also passed to the handler, so — unlike a truly
+// abandoned network peer — a context-aware handler (e.g. a relay tier)
+// stops its own downstream work instead of finishing a discarded subtree
+// in the background.
 func (c *LocalClient) Call(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("transport: %s: %w", c.id, err)
@@ -50,10 +54,10 @@ func (c *LocalClient) Call(ctx context.Context, req *Request) (*Response, error)
 
 	var resp *Response
 	if ctx.Done() == nil {
-		resp = c.handler.Handle(wireReq)
+		resp = c.handler.Handle(ctx, wireReq)
 	} else {
 		ch := make(chan *Response, 1)
-		go func() { ch <- c.handler.Handle(wireReq) }()
+		go func() { ch <- c.handler.Handle(ctx, wireReq) }()
 		select {
 		case resp = <-ch:
 		case <-ctx.Done():

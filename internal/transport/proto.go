@@ -100,6 +100,10 @@ type GenSpec struct {
 }
 
 // Request is the single wire request envelope. Fields are used per-Op.
+// Every field must survive the gob round trip — wiresafe (LINT.md) audits
+// the transitive field graph from this root.
+//
+//lint:wireroot
 type Request struct {
 	Op  Op
 	Rel string // OpLoad, OpDrop, OpRelInfo: relation name
@@ -136,7 +140,11 @@ type Request struct {
 	Keys []string
 }
 
-// Response is the single wire response envelope.
+// Response is the single wire response envelope. Every field must survive
+// the gob round trip — wiresafe (LINT.md) audits the transitive field
+// graph from this root.
+//
+//lint:wireroot
 type Response struct {
 	// Err is non-empty when the operation failed.
 	Err string
@@ -158,9 +166,15 @@ func (r *Response) Error() error {
 	return fmt.Errorf("site error: %s", r.Err)
 }
 
-// Handler processes site requests; implemented by the site engine.
+// Handler processes site requests; implemented by the site engine and by
+// relay tiers. The context is the caller's: it is cancelled when the
+// requesting side abandons the exchange (local transport) or its
+// connection drops (TCP transport), so multi-tier handlers must thread it
+// into their own downstream calls for cancellation and deadlines to
+// propagate through the whole coordinator tree — the ctxflow analyzer
+// (LINT.md) enforces this mechanically.
 type Handler interface {
-	Handle(req *Request) *Response
+	Handle(ctx context.Context, req *Request) *Response
 }
 
 // Client is the coordinator's handle to one site.

@@ -1,5 +1,8 @@
 package transport
 
+//lint:deterministic retry backoff uses only the per-site seeded rng
+//lint:wrap-errors transport failures must stay inspectable with errors.Is/As
+
 import (
 	"context"
 	"fmt"

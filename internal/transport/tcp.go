@@ -1,5 +1,7 @@
 package transport
 
+//lint:wrap-errors transport failures must stay inspectable with errors.Is/As
+
 import (
 	"context"
 	"encoding/gob"
@@ -91,22 +93,96 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	// The connection context is the server-side end of the caller's
+	// context: it is cancelled when the connection drops (the client
+	// aborts a call mid-exchange by closing its broken connection, see
+	// TCPClient.fail) or the server shuts down, so context-aware handlers
+	// — relay tiers in particular — stop their downstream work instead of
+	// computing into a closed socket.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr := &pushbackReader{conn: conn}
+	dec := gob.NewDecoder(pr)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				s.Logf("transport: decode request: %v", err)
 			}
 			return
 		}
-		resp := s.handler.Handle(&req)
+		resp, alive := s.handleWatched(ctx, conn, pr, &req)
+		if !alive {
+			return
+		}
 		if err := enc.Encode(resp); err != nil {
-			s.Logf("transport: encode response: %v", err)
+			if !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
+				s.Logf("transport: encode response: %v", err)
+			}
 			return
 		}
 	}
+}
+
+// handleWatched runs the handler under a per-request context while a
+// monitor goroutine watches the connection: the protocol is strictly
+// serialized, so no bytes may arrive while a request is being served —
+// a read returning before the handler finishes means the peer hung up,
+// and the request context is cancelled so the handler can abort. A byte
+// that does arrive early (a pipelining peer) is pushed back for the
+// decoder. Returns alive=false when the connection was lost mid-request.
+func (s *Server) handleWatched(ctx context.Context, conn net.Conn, pr *pushbackReader, req *Request) (resp *Response, alive bool) {
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	monDone := make(chan struct{})
+	peerGone := false
+	go func() {
+		defer close(monDone)
+		var b [1]byte
+		n, err := conn.Read(b[:])
+		if n > 0 {
+			pr.pushback(b[0])
+		}
+		if err != nil && !isTimeout(err) {
+			peerGone = true
+			hcancel()
+		}
+	}()
+	resp = s.handler.Handle(hctx, req)
+	// Wake the monitor's blocked read and wait it out; the deadline poke
+	// is local to the server-side connection.
+	conn.SetReadDeadline(time.Now().Add(-time.Second))
+	<-monDone
+	conn.SetReadDeadline(time.Time{})
+	return resp, !peerGone
+}
+
+// isTimeout reports whether err is a network timeout (our own deadline
+// pokes surface as timeouts and are not worth logging).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// pushbackReader lets the connection monitor return an early-read byte to
+// the decoder's stream. Read and pushback never run concurrently: the
+// monitor only reads while the handler runs, and the decoder only reads
+// after the monitor has exited.
+type pushbackReader struct {
+	conn net.Conn
+	buf  []byte
+}
+
+func (p *pushbackReader) pushback(b byte) { p.buf = append(p.buf, b) }
+
+func (p *pushbackReader) Read(out []byte) (int, error) {
+	if len(p.buf) > 0 && len(out) > 0 {
+		n := copy(out, p.buf)
+		p.buf = p.buf[n:]
+		return n, nil
+	}
+	return p.conn.Read(out)
 }
 
 // Close stops the listener and all open connections.

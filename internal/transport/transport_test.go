@@ -25,7 +25,7 @@ func newEchoHandler() *echoHandler {
 	return &echoHandler{rels: map[string]*relation.Relation{}}
 }
 
-func (h *echoHandler) Handle(req *Request) *Response {
+func (h *echoHandler) Handle(ctx context.Context, req *Request) *Response {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	switch req.Op {
@@ -346,7 +346,7 @@ func TestTCPClientBrokenAfterStreamError(t *testing.T) {
 // blockingHandler blocks every request until released.
 type blockingHandler struct{ release chan struct{} }
 
-func (h *blockingHandler) Handle(req *Request) *Response {
+func (h *blockingHandler) Handle(ctx context.Context, req *Request) *Response {
 	<-h.release
 	return &Response{}
 }

@@ -18,8 +18,20 @@ go build ./...
 go vet ./internal/transport/... ./internal/core/... ./skalla/... ./cmd/...
 go vet ./...
 
+echo "== static analysis (skalla-lint) =="
+# The analyzer suite itself must be vet-clean and race-clean before it is
+# trusted to gate the rest of the tree.
+go vet ./internal/lint/... ./cmd/skalla-lint
+go test -race ./internal/lint/...
+# Zero findings required; suppressions need //lint:ignore with a reason
+# (see LINT.md).
+go run ./cmd/skalla-lint ./...
+
 echo "== tests (race) =="
 go test -race ./...
+
+echo "== fuzz smoke (agg spec parser) =="
+go test -run '^$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/agg
 
 echo "== examples =="
 for ex in quickstart ipflows tpcr cube multitier sql; do

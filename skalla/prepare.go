@@ -22,9 +22,16 @@ type Prepared struct {
 // The plan captures the current catalog knowledge and detail schemas;
 // re-prepare after changing either.
 func (c *Cluster) Prepare(q Query, detail string, opts Options) (*Prepared, error) {
+	return c.PrepareContext(context.Background(), q, detail, opts)
+}
+
+// PrepareContext is Prepare under a caller-supplied context: planning
+// fetches detail schemas from the sites, and cancelling the context (or
+// hitting its deadline) aborts those calls.
+func (c *Cluster) PrepareContext(ctx context.Context, q Query, detail string, opts Options) (*Prepared, error) {
 	schemas := map[string]*relation.Schema{}
 	for _, name := range q.DetailNames(detail) {
-		s, err := c.coord.DetailSchema(context.Background(), name)
+		s, err := c.coord.DetailSchema(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -68,10 +75,16 @@ type SiteStatus struct {
 // Status pings every site and reports reachability plus the row counts of
 // the named relations (missing relations are omitted from the map).
 func (c *Cluster) Status(relations ...string) []SiteStatus {
+	return c.StatusContext(context.Background(), relations...)
+}
+
+// StatusContext is Status under a caller-supplied context, bounding the
+// ping and relation-info exchanges with every site.
+func (c *Cluster) StatusContext(ctx context.Context, relations ...string) []SiteStatus {
 	out := make([]SiteStatus, len(c.clients))
 	for i, cl := range c.clients {
 		st := SiteStatus{ID: cl.SiteID(), Relations: map[string]int{}}
-		resp, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpPing})
+		resp, err := cl.Call(ctx, &transport.Request{Op: transport.OpPing})
 		switch {
 		case err != nil:
 			st.Err = err.Error()
@@ -80,7 +93,7 @@ func (c *Cluster) Status(relations ...string) []SiteStatus {
 		default:
 			st.Reachable = true
 			for _, rel := range relations {
-				info, err := cl.Call(context.Background(), &transport.Request{Op: transport.OpRelInfo, Rel: rel})
+				info, err := cl.Call(ctx, &transport.Request{Op: transport.OpRelInfo, Rel: rel})
 				if err != nil || info.Error() != nil {
 					continue
 				}
