@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -32,6 +33,7 @@ func main() {
 	repeat := flag.Int("repeat", 2, "repetitions per point (fastest kept)")
 	latency := flag.Duration("latency", 2*time.Millisecond, "modeled per-message link latency")
 	mbps := flag.Float64("mbps", 10, "modeled link bandwidth in Mbit/s")
+	jsonPath := flag.String("json", "", "also write machine-readable results (figure → metric → value) to this JSON file")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -45,19 +47,22 @@ func main() {
 	}
 	defer h.Close()
 
+	results := bench.Results{}
 	switch *experiment {
 	case "all":
-		report, err := h.RunAll()
+		report, res, err := h.RunAllResults()
 		if err != nil {
 			log.Fatalf("skalla-bench: %v", err)
 		}
 		fmt.Print(report)
+		results.Merge(res)
 	case "fig2":
 		r, err := h.Fig2()
 		if err != nil {
 			log.Fatalf("skalla-bench: %v", err)
 		}
 		fmt.Print(r)
+		results.Merge(r.Metrics())
 	case "fig3":
 		high, low, err := h.Fig3()
 		if err != nil {
@@ -65,6 +70,8 @@ func main() {
 		}
 		fmt.Println(high)
 		fmt.Print(low)
+		results.Merge(high.Metrics("fig3_high"))
+		results.Merge(low.Metrics("fig3_low"))
 	case "fig4":
 		high, low, err := h.Fig4()
 		if err != nil {
@@ -72,6 +79,8 @@ func main() {
 		}
 		fmt.Println(high)
 		fmt.Print(low)
+		results.Merge(high.Metrics("fig4_high"))
+		results.Merge(low.Metrics("fig4_low"))
 	case "fig5":
 		grow, err := h.Fig5(false)
 		if err != nil {
@@ -83,19 +92,30 @@ func main() {
 			log.Fatalf("skalla-bench: %v", err)
 		}
 		fmt.Print(konst)
+		results.Merge(grow.Metrics())
+		results.Merge(konst.Metrics())
 	case "ablation":
 		rowsA, err := h.Ablation()
 		if err != nil {
 			log.Fatalf("skalla-bench: %v", err)
 		}
 		fmt.Print(bench.FormatAblation(rowsA))
+		results.Merge(bench.AblationMetrics(rowsA))
 	case "tree":
 		r, err := bench.TreeExperiment(cfg)
 		if err != nil {
 			log.Fatalf("skalla-bench: %v", err)
 		}
 		fmt.Print(r)
+		results.Merge(r.Metrics())
 	default:
 		log.Fatalf("skalla-bench: unknown experiment %q", *experiment)
+	}
+
+	if *jsonPath != "" {
+		if err := results.WriteFile(*jsonPath); err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/catalog"
 	"repro/internal/ipflow"
+	"repro/internal/obs"
 	"repro/internal/tpcr"
 	"repro/skalla"
 )
@@ -62,6 +63,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-site call timeout (0 = none), e.g. 5s")
 	retries := flag.Int("retries", 3, "call attempts per site endpoint before failing over")
 	allowPartial := flag.Bool("allow-partial", false, "return partial results when sites are lost instead of failing")
+	statsJSON := flag.Bool("stats-json", false, "print execution statistics as deterministic JSON instead of the prose report (suppresses plan and result output)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the execution (open in chrome://tracing or Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve observability over HTTP on this address (/metrics, /events, /trace); empty disables")
 	flag.Parse()
 
 	opts, err := parseOpts(*opt)
@@ -69,16 +73,31 @@ func main() {
 		log.Fatalf("skalla-coord: %v", err)
 	}
 
+	var sink *obs.Obs
+	if *tracePath != "" || *debugAddr != "" {
+		sink = obs.Default
+	}
+
 	cluster, err := skalla.ConnectWith(skalla.ConnectConfig{
 		Sites:        strings.Split(*sites, ","),
 		Attempts:     *retries,
 		CallTimeout:  *timeout,
 		AllowPartial: *allowPartial,
+		Obs:          sink,
 	})
 	if err != nil {
 		log.Fatalf("skalla-coord: %v", err)
 	}
 	defer cluster.Close()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s (/metrics /events /trace)\n", dbg.Addr())
+	}
 
 	if *catalogFile != "" {
 		if _, statErr := os.Stat(*catalogFile); statErr == nil {
@@ -123,6 +142,7 @@ func main() {
 		}
 		rel.SortBy(rel.Schema.Names()[0])
 		fmt.Print(rel.Format(*maxRows))
+		writeTrace(sink, *tracePath)
 		return
 	}
 
@@ -148,6 +168,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("skalla-coord: %v", err)
 	}
+	writeTrace(sink, *tracePath)
+	if *statsJSON {
+		// Machine-readable mode: the stats JSON is the whole stdout
+		// payload, so scripts can pipe it straight into a parser.
+		out, err := res.Stats.JSON()
+		if err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+		return
+	}
 	fmt.Print(res.Plan.Explain())
 	fmt.Println()
 	res.Relation.SortBy(q.Keys()...)
@@ -159,6 +190,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "WARNING: partial result — lost sites: %s\n",
 			strings.Join(res.Stats.LostSites(), ", "))
 	}
+}
+
+// writeTrace dumps the collected spans as Chrome trace_event JSON.
+func writeTrace(sink *obs.Obs, path string) {
+	if sink == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("skalla-coord: trace: %v", err)
+	}
+	if err := sink.Tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		log.Fatalf("skalla-coord: trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("skalla-coord: trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace %s (%d spans)\n", path, sink.Tracer.Len())
 }
 
 // runREPL reads SQL statements from stdin and executes them against the

@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"repro/internal/ipflow"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/site"
 	"repro/internal/tpcr"
@@ -33,11 +34,18 @@ func main() {
 	id := flag.String("id", "site", "site identifier (used in error messages)")
 	load := flag.String("load", "", "preload a relation: kind=name=path, kind is tpcr or ipflow (CSV with header)")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
+	debugAddr := flag.String("debug-addr", "", "serve observability over HTTP on this address (/metrics, /events, /trace); empty disables")
 	flag.Parse()
 
 	eng := site.NewEngine(*id)
 	site.RegisterGenerator("tpcr", tpcr.Generator)
 	site.RegisterGenerator("ipflow", ipflow.Generator)
+
+	var sink *obs.Obs
+	if *debugAddr != "" {
+		sink = obs.Default
+		eng.SetObs(sink)
+	}
 
 	if *snapshot != "" {
 		if _, err := os.Stat(*snapshot); err == nil {
@@ -54,11 +62,21 @@ func main() {
 	}
 
 	srv := transport.NewServer(eng)
+	srv.Obs = sink
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("skalla-site: %v", err)
 	}
 	fmt.Printf("skalla-site %s listening on %s\n", *id, bound)
+
+	if sink != nil {
+		dbg, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			log.Fatalf("skalla-site: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("skalla-site %s debug endpoints on http://%s (/metrics /events /trace)\n", *id, dbg.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

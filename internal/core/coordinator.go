@@ -6,12 +6,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/agg"
 	"repro/internal/expr"
 	"repro/internal/gmdj"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/transport"
 	"repro/internal/value"
@@ -41,6 +43,11 @@ type Coordinator struct {
 	// AllowPartial degrades gracefully when sites fail: the query answers
 	// from the surviving sites and ExecStats reports the coverage.
 	AllowPartial bool
+	// Obs, when set, receives spans (query → round → per-site RPC → sync
+	// on the trace timeline), per-round counters under "coord.*" whose
+	// totals match ExecStats exactly, and site-lost / partial-result
+	// events.
+	Obs *obs.Obs
 }
 
 // NewCoordinator returns a coordinator over the given site clients. The
@@ -126,7 +133,29 @@ type siteResult struct {
 
 // Execute runs the plan under ctx and returns the final base-result
 // structure X. Cancelling ctx aborts all in-flight site calls.
+//
+// When Obs is set the execution is traced (a "query" span on the
+// coordinator track containing one span per round, with each site's RPC
+// on its own track) and the per-round statistics are published as
+// "coord.*" counters that sum to exactly the returned ExecStats.
 func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relation, *ExecStats, error) {
+	ctx, span := c.Obs.StartSpanTrack(ctx, "query", obs.TrackCoordinator)
+	x, stats, err := c.run(ctx, plan)
+	if err != nil {
+		span.SetArg("error", err.Error())
+	}
+	span.End()
+	c.publishExec(stats, err)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, stats, nil
+}
+
+// run is Execute's body; unlike Execute it returns the partially filled
+// statistics alongside an error so the obs layer can publish the rounds
+// that did complete.
+func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, *ExecStats, error) {
 	if len(c.clients) == 0 {
 		return nil, nil, fmt.Errorf("core: coordinator has no sites")
 	}
@@ -139,7 +168,8 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 	// Round 0: compute and synchronize the base-values relation.
 	if plan.BaseRound {
 		rs := RoundStats{Name: "base"}
-		results, err := c.fanout(ctx, &rs, func(cl transport.Client) (*transport.Request, error) {
+		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:base", obs.TrackCoordinator)
+		results, err := c.fanout(roundCtx, &rs, func(cl transport.Client) (*transport.Request, error) {
 			return &transport.Request{
 				Op:        transport.OpEvalBase,
 				Detail:    plan.Detail,
@@ -148,17 +178,21 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 			}, nil
 		})
 		if err != nil {
-			return nil, nil, err
+			rspan.End()
+			return nil, stats, err
 		}
 		coordStart := time.Now()
+		_, sspan := c.Obs.StartSpanTrack(roundCtx, "sync:base", obs.TrackCoordinator)
 		var parts []*relation.Relation
 		for _, r := range results {
 			accountRound(&rs, r)
 			parts = append(parts, r.resp.Rel)
 		}
 		x, err = unionDistinct(parts)
+		sspan.End()
+		rspan.End()
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: base synchronization: %w", err)
+			return nil, stats, fmt.Errorf("core: base synchronization: %w", err)
 		}
 		rs.CoordTime = time.Since(coordStart)
 		stats.Rounds = append(stats.Rounds, rs)
@@ -166,6 +200,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 
 	for si, step := range plan.Steps {
 		rs := RoundStats{Name: fmt.Sprintf("step %d", si+1)}
+		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:"+rs.Name, obs.TrackCoordinator)
 
 		// Collect the step's MDs and aggregate specs.
 		var specs []agg.Spec
@@ -207,7 +242,8 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 					var err error
 					frag, err = filterBase(x, fs[si], q.MDs[step.MDs[0]])
 					if err != nil {
-						return nil, nil, fmt.Errorf("core: site filter for %s: %w", cl.SiteID(), err)
+						rspan.End()
+						return nil, stats, fmt.Errorf("core: site filter for %s: %w", cl.SiteID(), err)
 					}
 				}
 				frags[cl.SiteID()] = frag
@@ -218,7 +254,7 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 		// Stream fragments into the synchronizer as sites finish: the
 		// coordinator merges early arrivals while slower sites still
 		// compute (the incremental synchronization §3.2 describes).
-		stream := c.fanoutStream(ctx, func(cl transport.Client) (*transport.Request, error) {
+		stream := c.fanoutStream(roundCtx, func(cl transport.Client) (*transport.Request, error) {
 			req := &transport.Request{Op: transport.OpEvalRounds, Rounds: rounds, Keys: plan.Keys}
 			if step.FuseBase {
 				req.Detail = plan.Detail
@@ -231,9 +267,12 @@ func (c *Coordinator) Execute(ctx context.Context, plan *Plan) (*relation.Relati
 		})
 
 		// Synchronize: merge primitive states into X keyed on K.
+		_, sspan := c.Obs.StartSpanTrack(roundCtx, "sync:"+rs.Name, obs.TrackCoordinator)
 		merged, mergeTime, err := c.synchronize(x, stream, specs, plan, step.FuseBase, &rs)
+		sspan.End()
+		rspan.End()
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: synchronization of step %d: %w", si+1, err)
+			return nil, stats, fmt.Errorf("core: synchronization of step %d: %w", si+1, err)
 		}
 		x = merged
 		rs.CoordTime = prepTime + mergeTime
@@ -304,15 +343,21 @@ func (c *Coordinator) fanoutStream(ctx context.Context, build func(cl transport.
 			callCtx, done := c.callContext(roundCtx)
 			defer done()
 			s0, r0, _, t0 := cl.Stats().Snapshot()
+			_, span := c.Obs.StartSpanTrack(callCtx, "rpc:"+req.Op.String(), obs.SiteTrack(cl.SiteID()))
 			resp, err := cl.Call(callCtx, req)
 			if err == nil {
 				err = resp.Error()
 			}
 			if err != nil {
+				span.SetArg("error", err.Error())
+				span.End()
 				fail(fmt.Errorf("core: site %s: %w", cl.SiteID(), err))
 				return
 			}
 			s1, r1, _, t1 := cl.Stats().Snapshot()
+			span.SetArg("bytes_sent", fmt.Sprint(s1-s0))
+			span.SetArg("bytes_received", fmt.Sprint(r1-r0))
+			span.End()
 			res := &siteResult{
 				site: cl.SiteID(), resp: resp,
 				sentB: s1 - s0, recvB: r1 - r0, comm: t1 - t0,
@@ -343,6 +388,42 @@ func betterErr(cur, next error) error {
 		return next
 	default:
 		return cur
+	}
+}
+
+// publishExec publishes one execution's statistics into the obs sinks:
+// counters under "coord.*" summed from the completed rounds (so the
+// registry totals always match what ExecStats reports), histograms of
+// the per-round time breakdown, and events for lost sites and degraded
+// results.
+func (c *Coordinator) publishExec(stats *ExecStats, execErr error) {
+	o := c.Obs
+	if o == nil || stats == nil {
+		return
+	}
+	o.Count("coord.queries", 1)
+	if execErr != nil {
+		o.Count("coord.queries_failed", 1)
+	}
+	for _, r := range stats.Rounds {
+		o.Count("coord.rounds", 1)
+		o.Count("coord.bytes_to_sites", r.BytesToSites)
+		o.Count("coord.bytes_from_sites", r.BytesFromSites)
+		o.Count("coord.groups_shipped", r.GroupsShipped)
+		o.Count("coord.groups_received", r.GroupsReceived)
+		o.Count("coord.sites_lost", int64(len(r.Lost)))
+		o.Observe("coord.round_site_ns", r.SiteTime.Nanoseconds())
+		o.Observe("coord.round_coord_ns", r.CoordTime.Nanoseconds())
+		o.Observe("coord.round_comm_ns", r.CommTime.Nanoseconds())
+		for _, l := range r.Lost {
+			o.Event(obs.EventSiteLost, l.Site, "site contributed nothing to round "+r.Name,
+				map[string]string{"round": r.Name, "error": l.Err})
+		}
+	}
+	if stats.Partial() {
+		o.Count("coord.queries_partial", 1)
+		o.Event(obs.EventPartial, "", "query degraded to a partial result",
+			map[string]string{"lost": strings.Join(stats.LostSites(), ",")})
 	}
 }
 

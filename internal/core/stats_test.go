@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -114,5 +115,62 @@ func TestExecStatsTimeAndByteTotals(t *testing.T) {
 	}
 	if got := s.EvalTime(); got != 10*time.Millisecond {
 		t.Errorf("EvalTime() = %v, want 10ms (site 5 + coord 2 + comm 3)", got)
+	}
+}
+
+func TestExecStatsJSONDeterministic(t *testing.T) {
+	// Responded/Lost arrive in fan-out completion order, which varies run
+	// to run; the JSON encoding must not.
+	a := &ExecStats{Rounds: []RoundStats{{
+		Name:      "base",
+		Responded: []string{"site2", "site0", "site1"},
+		Lost: []LostSite{
+			{Site: "site4", Err: "dial refused"},
+			{Site: "site3", Err: "timeout"},
+		},
+		BytesToSites: 100, BytesFromSites: 40,
+		SiteTime: 3 * time.Millisecond,
+	}}, Wall: 5 * time.Millisecond}
+	b := &ExecStats{Rounds: []RoundStats{{
+		Name:      "base",
+		Responded: []string{"site1", "site2", "site0"},
+		Lost: []LostSite{
+			{Site: "site3", Err: "timeout"},
+			{Site: "site4", Err: "dial refused"},
+		},
+		BytesToSites: 100, BytesFromSites: 40,
+		SiteTime: 3 * time.Millisecond,
+	}}, Wall: 5 * time.Millisecond}
+
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("permuted site order changed JSON:\n%s\nvs\n%s", ja, jb)
+	}
+	var decoded struct {
+		Rounds []struct {
+			Responded []string `json:"responded"`
+		} `json:"rounds"`
+		Bytes     int64    `json:"bytes"`
+		Partial   bool     `json:"partial"`
+		LostSites []string `json:"lost_sites"`
+	}
+	if err := json.Unmarshal(ja, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.Bytes != 140 || !decoded.Partial {
+		t.Errorf("bytes=%d partial=%v, want 140 true", decoded.Bytes, decoded.Partial)
+	}
+	if len(decoded.Rounds) != 1 || strings.Join(decoded.Rounds[0].Responded, ",") != "site0,site1,site2" {
+		t.Errorf("responded not sorted: %+v", decoded.Rounds)
+	}
+	if strings.Join(decoded.LostSites, ",") != "site3,site4" {
+		t.Errorf("lost_sites not sorted: %v", decoded.LostSites)
 	}
 }

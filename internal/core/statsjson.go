@@ -1,0 +1,88 @@
+package core
+
+//lint:deterministic stats JSON must encode identically run to run
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// roundStatsJSON is the wire shape of one round in ExecStats JSON.
+// Durations are emitted as integer nanoseconds so consumers never parse
+// Go duration strings, and site lists are sorted so the encoding is
+// byte-identical across runs regardless of fan-out completion order.
+type roundStatsJSON struct {
+	Name           string         `json:"name"`
+	Responded      []string       `json:"responded"`
+	Lost           []lostSiteJSON `json:"lost,omitempty"`
+	BytesToSites   int64          `json:"bytes_to_sites"`
+	BytesFromSites int64          `json:"bytes_from_sites"`
+	GroupsShipped  int64          `json:"groups_shipped"`
+	GroupsReceived int64          `json:"groups_received"`
+	SiteNs         int64          `json:"site_ns"`
+	SiteTotalNs    int64          `json:"site_total_ns"`
+	CoordNs        int64          `json:"coord_ns"`
+	CommNs         int64          `json:"comm_ns"`
+}
+
+type lostSiteJSON struct {
+	Site string `json:"site"`
+	Err  string `json:"err"`
+}
+
+type execStatsJSON struct {
+	Rounds    []roundStatsJSON `json:"rounds"`
+	Bytes     int64            `json:"bytes"`
+	Groups    int64            `json:"groups"`
+	SiteNs    int64            `json:"site_ns"`
+	CoordNs   int64            `json:"coord_ns"`
+	CommNs    int64            `json:"comm_ns"`
+	EvalNs    int64            `json:"eval_ns"`
+	WallNs    int64            `json:"wall_ns"`
+	Partial   bool             `json:"partial"`
+	LostSites []string         `json:"lost_sites,omitempty"`
+}
+
+// JSON renders the statistics as deterministic, machine-readable JSON:
+// fixed field order, integer-nanosecond durations, and sorted site
+// lists. Only Wall varies between runs of the same query; scripts that
+// diff stats byte-for-byte should mask wall_ns.
+func (s *ExecStats) JSON() ([]byte, error) {
+	out := execStatsJSON{
+		Rounds:    make([]roundStatsJSON, 0, len(s.Rounds)),
+		Bytes:     s.Bytes(),
+		Groups:    s.Groups(),
+		SiteNs:    int64(s.SiteTime()),
+		CoordNs:   int64(s.CoordTime()),
+		CommNs:    int64(s.CommTime()),
+		EvalNs:    int64(s.EvalTime()),
+		WallNs:    int64(s.Wall),
+		Partial:   s.Partial(),
+		LostSites: s.LostSites(),
+	}
+	sort.Strings(out.LostSites)
+	for _, r := range s.Rounds {
+		jr := roundStatsJSON{
+			Name:           r.Name,
+			Responded:      append([]string(nil), r.Responded...),
+			BytesToSites:   r.BytesToSites,
+			BytesFromSites: r.BytesFromSites,
+			GroupsShipped:  r.GroupsShipped,
+			GroupsReceived: r.GroupsReceived,
+			SiteNs:         int64(r.SiteTime),
+			SiteTotalNs:    int64(r.SiteTimeTotal),
+			CoordNs:        int64(r.CoordTime),
+			CommNs:         int64(r.CommTime),
+		}
+		if jr.Responded == nil {
+			jr.Responded = []string{}
+		}
+		sort.Strings(jr.Responded)
+		for _, l := range r.Lost {
+			jr.Lost = append(jr.Lost, lostSiteJSON{Site: l.Site, Err: l.Err})
+		}
+		sort.Slice(jr.Lost, func(i, j int) bool { return jr.Lost[i].Site < jr.Lost[j].Site })
+		out.Rounds = append(out.Rounds, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

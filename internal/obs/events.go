@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds published by the built-in components. The log accepts any
+// string kind; these constants keep producers and test assertions in
+// agreement.
+const (
+	// EventRetry: a transport attempt failed and will be retried at the
+	// same endpoint (fields: op, attempt, endpoint, error).
+	EventRetry = "retry"
+	// EventFailover: retries at one endpoint were exhausted and the call
+	// moved to the next replica (fields: op, from, to).
+	EventFailover = "failover"
+	// EventRedial: a dial to the current endpoint failed (fields:
+	// endpoint, error).
+	EventRedial = "redial"
+	// EventChaos: the chaos wrapper injected a fault (fields: op, fault).
+	EventChaos = "chaos"
+	// EventSiteLost: a site contributed nothing to a round (fields:
+	// round, error).
+	EventSiteLost = "site-lost"
+	// EventPartial: a query completed as a degraded partial result
+	// (fields: lost).
+	EventPartial = "partial"
+)
+
+// DefaultEventCap bounds the event log of New.
+const DefaultEventCap = 1024
+
+// Event is one discrete incident.
+type Event struct {
+	// Seq increases by one per appended event, including events that were
+	// later evicted, so consumers can detect gaps.
+	Seq int64 `json:"seq"`
+	// Time is the append time.
+	Time time.Time `json:"time"`
+	// Kind classifies the incident (see the Event* constants).
+	Kind string `json:"kind"`
+	// Site is the logical site involved, when there is one.
+	Site string `json:"site,omitempty"`
+	// Msg is a human-readable one-liner.
+	Msg string `json:"msg,omitempty"`
+	// Fields carry structured details.
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// EventLog is a bounded in-memory ring of events: appending beyond the
+// capacity evicts the oldest entries, so a long-running daemon's incident
+// history stays fresh and its memory stays bounded.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	head int   // index of the oldest event when full
+	next int64 // next sequence number
+	cap  int
+	now  func() time.Time
+}
+
+// NewEventLog returns an event log evicting beyond capacity (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity, now: time.Now}
+}
+
+// SetNow overrides the clock (tests inject fixed timestamps).
+func (l *EventLog) SetNow(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Append records one event, evicting the oldest if the log is full.
+func (l *EventLog) Append(kind, site, msg string, fields map[string]string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Event{Seq: l.next, Time: l.now(), Kind: kind, Site: site, Msg: msg, Fields: fields}
+	l.next++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.head] = e
+	l.head = (l.head + 1) % l.cap
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+// ByKind returns the retained events of one kind, oldest first.
+func (l *EventLog) ByKind(kind string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKind returns how many retained events have the given kind.
+func (l *EventLog) CountKind(kind string) int { return len(l.ByKind(kind)) }
+
+// Total returns how many events were ever appended (retained or evicted).
+func (l *EventLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dropped returns how many events were evicted by the capacity bound.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - int64(len(l.buf))
+}

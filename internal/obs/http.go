@@ -1,0 +1,108 @@
+package obs
+
+//lint:wrap-errors debug-server failures must stay inspectable with errors.Is/As
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DebugServer exposes an Obs over HTTP:
+//
+//	/        index (plain text)
+//	/metrics deterministic JSON snapshot of the registry
+//	/events  JSON array of retained events, oldest first (?kind= filters)
+//	/trace   Chrome trace_event JSON of the retained spans
+//
+// It is the backing of the -debug-addr flag on skalla-site and
+// skalla-coord.
+type DebugServer struct {
+	obs      *Obs
+	listener net.Listener
+	server   *http.Server
+}
+
+// ServeDebug starts a debug server for o on addr (e.g. "127.0.0.1:0")
+// and serves in the background until Close.
+func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
+	if o == nil {
+		return nil, fmt.Errorf("obs: debug server needs a non-nil Obs")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &DebugServer{obs: o, listener: l}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/trace", s.handleTrace)
+	s.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.server.Serve(l)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *DebugServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error {
+	if err := s.server.Close(); err != nil {
+		return fmt.Errorf("obs: close debug server: %w", err)
+	}
+	return nil
+}
+
+func (s *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "skalla debug endpoints:\n  /metrics  deterministic JSON metrics snapshot\n  /events   incident log (?kind=%s|%s|%s|...)\n  /trace    Chrome trace_event JSON (load in chrome://tracing or Perfetto)\n",
+		EventRetry, EventFailover, EventChaos)
+}
+
+func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	b, err := s.obs.Metrics.EncodeJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func (s *DebugServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events := s.obs.Events.Events()
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		filtered := events[:0:0]
+		for _, e := range events {
+			if e.Kind == kind {
+				filtered = append(filtered, e)
+			}
+		}
+		events = filtered
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(events); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *DebugServer) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.obs.Tracer.WriteChromeTrace(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,102 @@
+// Package obs is the observability subsystem of the Skalla reproduction:
+// a stdlib-only metrics registry (counters, gauges, log-scale histograms),
+// a span tracer with a Chrome trace_event exporter, and a bounded
+// in-memory event log for discrete incidents (retries, failovers, chaos
+// injections, partial-result degradations).
+//
+// The paper's evaluation is an argument about where time and bytes go per
+// synchronization round; obs makes that story visible on a *running*
+// system instead of only in a one-shot ExecStats printout. Transport
+// clients publish wire totals, the Reconnector publishes retry/failover
+// activity, site engines publish rounds served and compute histograms,
+// and the coordinator publishes per-round byte and group counters that
+// match ExecStats exactly.
+//
+// All of Obs's helper methods are nil-receiver safe: a component holding
+// a nil *Obs publishes nothing at almost zero cost, so observability is
+// strictly opt-in and the hot paths carry no mandatory overhead.
+//
+// Surface it with ServeDebug (the /metrics, /events, and /trace HTTP
+// endpoints used by the -debug-addr flags of skalla-site and
+// skalla-coord) or programmatically via Registry.Snapshot,
+// EventLog.Events, and Tracer.WriteChromeTrace.
+package obs
+
+import "context"
+
+// Obs bundles the three observability pillars. Components accept a *Obs
+// and publish through its nil-safe helpers.
+type Obs struct {
+	// Metrics is the counter/gauge/histogram registry.
+	Metrics *Registry
+	// Tracer records spans for the Chrome trace timeline.
+	Tracer *Tracer
+	// Events is the bounded incident log.
+	Events *EventLog
+}
+
+// New returns an Obs with a fresh registry, tracer, and event log.
+func New() *Obs {
+	return &Obs{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(),
+		Events:  NewEventLog(DefaultEventCap),
+	}
+}
+
+// Default is the shared process-wide instance used by daemons that want
+// one registry across all their components (e.g. cmd/skalla-site).
+// Libraries never publish to Default implicitly; it must be injected.
+var Default = New()
+
+// Count adds delta to the named counter. Safe on a nil receiver.
+func (o *Obs) Count(name string, delta int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(name).Add(delta)
+}
+
+// SetGauge sets the named gauge. Safe on a nil receiver.
+func (o *Obs) SetGauge(name string, v int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(name).Set(v)
+}
+
+// Observe records v into the named histogram. Safe on a nil receiver.
+func (o *Obs) Observe(name string, v int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(name).Observe(v)
+}
+
+// Event appends an incident to the event log. Safe on a nil receiver.
+func (o *Obs) Event(kind, site, msg string, fields map[string]string) {
+	if o == nil || o.Events == nil {
+		return
+	}
+	o.Events.Append(kind, site, msg, fields)
+}
+
+// StartSpan opens a span named name on the track inherited from the
+// context (or TrackDefault at the root). Safe on a nil receiver: the
+// returned context is ctx and the span is a no-op.
+func (o *Obs) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if o == nil || o.Tracer == nil {
+		return ctx, nil
+	}
+	return o.Tracer.Start(ctx, name, "")
+}
+
+// StartSpanTrack opens a span on an explicit track (one horizontal lane
+// of the Chrome trace timeline, e.g. "coordinator" or "site:site0").
+// Safe on a nil receiver.
+func (o *Obs) StartSpanTrack(ctx context.Context, name, track string) (context.Context, *Span) {
+	if o == nil || o.Tracer == nil {
+		return ctx, nil
+	}
+	return o.Tracer.Start(ctx, name, track)
+}

@@ -1,0 +1,49 @@
+package obs
+
+//lint:deterministic metric snapshots must encode identically run to run
+
+import "encoding/json"
+
+// MetricsSnapshot is a point-in-time copy of a whole registry. Its JSON
+// encoding is deterministic: encoding/json sorts map keys, histogram
+// buckets are ascending arrays, and no wall-clock field is included, so
+// two registries holding the same values marshal to identical bytes —
+// which makes /metrics responses diffable across runs and hosts.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric in the registry.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with sorted keys (the encoding/json
+// map ordering guarantee), one line per top-level section.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// EncodeJSON returns the indented deterministic JSON of the registry's
+// current state.
+func (r *Registry) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

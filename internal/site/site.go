@@ -20,6 +20,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/expr"
 	"repro/internal/gmdj"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/transport"
 )
@@ -59,6 +60,7 @@ type Engine struct {
 
 	mu   sync.RWMutex
 	rels map[string]*relation.Relation
+	obs  *obs.Obs
 }
 
 // NewEngine returns an empty site engine.
@@ -68,6 +70,24 @@ func NewEngine(id string) *Engine {
 
 // ID returns the site identifier.
 func (e *Engine) ID() string { return e.id }
+
+// SetObs publishes the engine's activity into o: per-op request counters
+// ("site.op.<op>"), rounds served ("site.rounds_served"), base groups
+// received and sub-aggregate groups returned ("site.groups_in",
+// "site.groups_out"), a per-request compute-time histogram
+// ("site.compute_ns"), and one tracer span per handled request on the
+// site's own track.
+func (e *Engine) SetObs(o *obs.Obs) {
+	e.mu.Lock()
+	e.obs = o
+	e.mu.Unlock()
+}
+
+func (e *Engine) getObs() *obs.Obs {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.obs
+}
 
 // Load stores a relation under the given name, replacing any previous one.
 func (e *Engine) Load(name string, r *relation.Relation) {
@@ -93,9 +113,18 @@ func (e *Engine) Relation(name string) (*relation.Relation, error) {
 // engine cannot interrupt a single in-flight gmdj evaluation, but it
 // stops starting new work for a caller that has already hung up.
 func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.Response {
+	o := e.getObs()
+	o.Count("site.op."+req.Op.String(), 1)
+	ctx, span := o.StartSpanTrack(ctx, req.Op.String(), obs.SiteTrack(e.id))
+	defer span.End()
 	resp, err := e.handle(ctx, req)
 	if err != nil {
+		o.Count("site.errors", 1)
+		span.SetArg("error", err.Error())
 		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err)}
+	}
+	if resp.ComputeNs > 0 {
+		o.Observe("site.compute_ns", resp.ComputeNs)
 	}
 	return resp
 }
@@ -284,6 +313,12 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 	if anyTouched {
 		out = filterByTotals(out, touchedTotals)
 	}
+	o := e.getObs()
+	o.Count("site.rounds_served", int64(len(req.Rounds)))
+	if req.Base != nil {
+		o.Count("site.groups_in", int64(req.Base.Len()))
+	}
+	o.Count("site.groups_out", int64(out.Len()))
 	return &transport.Response{Rel: out, ComputeNs: time.Since(start).Nanoseconds()}, nil
 }
 

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // OpAny matches every opcode in chaos fault rules.
@@ -63,6 +66,7 @@ type Chaos struct {
 	calls    int
 	injected int
 	closed   chan struct{}
+	obs      *obs.Obs
 }
 
 // NewChaos wraps inner with a fault injector whose random decisions are
@@ -108,6 +112,18 @@ func (c *Chaos) SetRandom(errRate float64, delayMax time.Duration) {
 	c.mu.Lock()
 	c.errRate = errRate
 	c.delayMax = delayMax
+	c.mu.Unlock()
+}
+
+// SetObs publishes every injected fault as an obs event (kind
+// obs.EventChaos) and per-mode counters ("chaos.injected",
+// "chaos.injected.err", ...), so chaos attribution is never lost behind
+// the Stats() pass-through to the inner client: wire statistics flow
+// through untouched, while the faults themselves become observable and
+// exactly countable.
+func (c *Chaos) SetObs(o *obs.Obs) {
+	c.mu.Lock()
+	c.obs = o
 	c.mu.Unlock()
 }
 
@@ -172,12 +188,49 @@ func (c *Chaos) next(op Op) (Fault, bool) {
 	return f, hit
 }
 
+// faultModes renders the composed failure modes of f ("delay+err").
+func faultModes(f Fault) string {
+	var modes []string
+	if f.Delay > 0 {
+		modes = append(modes, "delay")
+	}
+	if f.Hang {
+		modes = append(modes, "hang")
+	}
+	if f.Drop {
+		modes = append(modes, "drop")
+	}
+	if f.Err != nil {
+		modes = append(modes, "err")
+	}
+	if len(modes) == 0 {
+		return "none"
+	}
+	return strings.Join(modes, "+")
+}
+
+// record publishes one injected fault to the obs sinks.
+func (c *Chaos) record(op Op, f Fault) {
+	c.mu.Lock()
+	o := c.obs
+	c.mu.Unlock()
+	if o == nil {
+		return
+	}
+	modes := faultModes(f)
+	o.Count("chaos.injected", 1)
+	o.Count("chaos.injected."+modes, 1)
+	o.Event(obs.EventChaos, c.SiteID(), "injected "+modes+" on "+op.String(),
+		map[string]string{"op": op.String(), "fault": modes})
+}
+
 // Call implements Client, applying at most one fault per call.
 func (c *Chaos) Call(ctx context.Context, req *Request) (*Response, error) {
 	f, ok := c.next(req.Op)
 	if !ok {
 		return c.inner.Call(ctx, req)
 	}
+	c.record(req.Op, f)
 	if f.Delay > 0 {
 		if err := sleepCtx(ctx, f.Delay); err != nil {
 			return nil, fmt.Errorf("chaos: %s: %w", c.SiteID(), err)

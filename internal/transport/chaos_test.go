@@ -1,8 +1,12 @@
 package transport
 
 import (
+	"encoding/json"
+	"net/http"
+
 	"context"
 	"errors"
+	"repro/internal/obs"
 	"testing"
 	"time"
 )
@@ -176,5 +180,87 @@ func TestChaosSeededDeterminism(t *testing.T) {
 	}
 	if failed == 0 || failed == len(a) {
 		t.Errorf("errRate 0.5 produced %d/%d failures", failed, len(a))
+	}
+}
+
+// TestChaosObsAttribution is the regression test for chaos attribution
+// getting lost behind the Stats() pass-through: wire stats flow through
+// to the inner client untouched, so injected faults must surface as obs
+// counters and events with exact counts — including over the /events
+// debug endpoint, which is what operators (and this test) assert on.
+func TestChaosObsAttribution(t *testing.T) {
+	inner := NewLocalClient("s", newEchoHandler(), CostModel{})
+	ch := NewChaos(inner, 1)
+	ch.FailNext(OpPing, 2)
+
+	o := obs.New()
+	// The Reconnector propagates the sink into dialed clients (Chaos
+	// implements SetObs), exactly as a wired-up cluster would.
+	rc := NewReconnector("s", func() (Client, error) { return ch, nil }, 3, 0)
+	rc.SetObs(o)
+	if _, err := rc.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := o.Metrics.CounterValue("chaos.injected"); got != 2 {
+		t.Errorf("chaos.injected = %d, want 2", got)
+	}
+	if got := o.Metrics.CounterValue("chaos.injected.err"); got != 2 {
+		t.Errorf("chaos.injected.err = %d, want 2", got)
+	}
+	if got := o.Metrics.CounterValue("transport.retries"); got != 2 {
+		t.Errorf("transport.retries = %d, want 2", got)
+	}
+	if got := o.Events.CountKind(obs.EventChaos); got != 2 {
+		t.Errorf("chaos events = %d, want 2", got)
+	}
+	if got := o.Events.CountKind(obs.EventRetry); got != 2 {
+		t.Errorf("retry events = %d, want 2", got)
+	}
+
+	// The same incidents must be visible over the debug HTTP surface.
+	dbg, err := obs.ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+	for kind, want := range map[string]int{"chaos": 2, "retry": 2} {
+		resp, err := http.Get("http://" + dbg.Addr() + "/events?kind=" + kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []obs.Event
+		if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+			t.Fatalf("decode /events?kind=%s: %v", kind, err)
+		}
+		resp.Body.Close()
+		if len(events) != want {
+			t.Errorf("/events?kind=%s returned %d events, want %d", kind, len(events), want)
+		}
+		for _, e := range events {
+			if e.Kind != kind || e.Site != "s" {
+				t.Errorf("/events?kind=%s returned %+v", kind, e)
+			}
+		}
+	}
+}
+
+// TestChaosRandomInjectionCounted checks seeded random faults are
+// attributed with the same exactness as scripted ones: the obs counter
+// must equal Injected() for any seed.
+func TestChaosRandomInjectionCounted(t *testing.T) {
+	inner := NewLocalClient("s", newEchoHandler(), CostModel{})
+	ch := NewChaos(inner, 42)
+	o := obs.New()
+	ch.SetObs(o)
+	ch.SetRandom(0.5, 0)
+	for i := 0; i < 40; i++ {
+		ch.Call(context.Background(), &Request{Op: OpPing})
+	}
+	if got, want := o.Metrics.CounterValue("chaos.injected"), int64(ch.Injected()); got != want {
+		t.Errorf("chaos.injected = %d, Injected() = %d", got, want)
+	}
+	if got := ch.Injected(); got == 0 || got == 40 {
+		t.Errorf("seed produced degenerate injection count %d", got)
 	}
 }

@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Reconnector wraps a logical site with transparent reconnect-and-retry on
@@ -49,6 +52,7 @@ type Reconnector struct {
 	rng   *rand.Rand
 	sleep func(ctx context.Context, d time.Duration) error
 	stats WireStats
+	obs   *obs.Obs
 }
 
 // NewReconnector returns a client for a single-endpoint site that dials
@@ -116,6 +120,17 @@ func (r *Reconnector) SetSeed(seed int64) {
 	r.mu.Unlock()
 }
 
+// SetObs publishes retry, failover, and redial activity as obs events
+// and counters ("transport.retries", "transport.failovers",
+// "transport.redial_failures", "transport.retry_wasted_bytes"), and is
+// propagated to dialed inner clients that support SetObs so their wire
+// totals land in the same registry.
+func (r *Reconnector) SetObs(o *obs.Obs) {
+	r.mu.Lock()
+	r.obs = o
+	r.mu.Unlock()
+}
+
 // SiteID implements Client.
 func (r *Reconnector) SiteID() string { return r.id }
 
@@ -154,10 +169,28 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 				// Retries at the previous endpoint are exhausted: fail
 				// over to the next replica without backing off (it is an
 				// independent endpoint, presumed healthy).
+				from := r.ep
 				r.ep = (r.ep + 1) % len(r.dials)
-			} else if r.backoff > 0 {
-				if err := r.sleep(ctx, r.jitteredBackoff(attempt)); err != nil {
-					return nil, fmt.Errorf("transport: %s: %w", r.id, err)
+				r.obs.Count("transport.failovers", 1)
+				r.obs.Event(obs.EventFailover, r.id, "failing over to next replica",
+					map[string]string{
+						"op":   req.Op.String(),
+						"from": strconv.Itoa(from),
+						"to":   strconv.Itoa(r.ep),
+					})
+			} else {
+				r.obs.Count("transport.retries", 1)
+				r.obs.Event(obs.EventRetry, r.id, "retrying after transport failure",
+					map[string]string{
+						"op":       req.Op.String(),
+						"attempt":  strconv.Itoa(attempt + 1),
+						"endpoint": strconv.Itoa(r.ep),
+						"error":    lastErr.Error(),
+					})
+				if r.backoff > 0 {
+					if err := r.sleep(ctx, r.jitteredBackoff(attempt)); err != nil {
+						return nil, fmt.Errorf("transport: %s: %w", r.id, err)
+					}
 				}
 			}
 		}
@@ -168,6 +201,9 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 			c, err := r.dial()
 			if err != nil {
 				lastErr = err
+				r.obs.Count("transport.redial_failures", 1)
+				r.obs.Event(obs.EventRedial, r.id, "dial failed",
+					map[string]string{"endpoint": strconv.Itoa(r.ep), "error": err.Error()})
 				continue
 			}
 			r.cur = c
@@ -175,11 +211,18 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 		s0, r0, _, t0 := r.cur.Stats().Snapshot()
 		resp, err := r.cur.Call(ctx, req)
 		s1, r1, _, t1 := r.cur.Stats().Snapshot()
-		// Fold the inner connection's traffic into the aggregate,
-		// preserving comm-time accounting without re-sleeping.
-		r.addDelta(s1-s0, r1-r0, t1-t0)
 		if err == nil {
+			// Fold the inner connection's traffic into the aggregate,
+			// preserving comm-time accounting without re-sleeping.
+			r.addDelta(s1-s0, r1-r0, t1-t0)
 			return resp, nil
+		}
+		// A failed attempt's partial traffic is retry waste, not part of
+		// the logical exchange: folding it into the aggregate would make
+		// the coordinator double-count round bytes once a retry succeeds.
+		// It stays visible as a dedicated counter instead.
+		if wasted := (s1 - s0) + (r1 - r0); wasted > 0 {
+			r.obs.Count("transport.retry_wasted_bytes", wasted)
 		}
 		lastErr = err
 		// The connection is suspect after a transport error: drop it so
@@ -199,11 +242,15 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 	return nil, fmt.Errorf("transport: %s failed after %d attempt(s): %w", r.id, total, lastErr)
 }
 
-// dial connects to the current endpoint.
+// dial connects to the current endpoint, handing the obs sink down to
+// inner clients that support it.
 func (r *Reconnector) dial() (Client, error) {
 	c, err := r.dials[r.ep]()
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s[%d]: %w", r.id, r.ep, err)
+	}
+	if oc, ok := c.(interface{ SetObs(*obs.Obs) }); ok {
+		oc.SetObs(r.obs)
 	}
 	return c, nil
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // flakyClient fails its first failN calls at the transport level.
@@ -42,6 +44,8 @@ func TestReconnectorRetries(t *testing.T) {
 		dials++
 		return inner, nil
 	}, 3, 0)
+	o := obs.New()
+	rc.SetObs(o)
 	resp, err := rc.Call(context.Background(), &Request{Op: OpPing})
 	if err != nil {
 		t.Fatal(err)
@@ -55,10 +59,21 @@ func TestReconnectorRetries(t *testing.T) {
 	if dials != 3 { // redial after each transport failure
 		t.Errorf("dials = %d, want 3", dials)
 	}
-	// Aggregated stats span all attempts.
+	// Aggregated stats cover only the successful attempt: the two failed
+	// attempts' bytes are retry waste, not part of the logical exchange,
+	// and must not inflate the coordinator's round byte accounting.
 	sent, recv, _, _ := rc.Stats().Snapshot()
-	if sent != 30 || recv != 20 {
-		t.Errorf("aggregated stats: sent=%d recv=%d", sent, recv)
+	if sent != 10 || recv != 20 {
+		t.Errorf("aggregated stats: sent=%d recv=%d, want sent=10 recv=20", sent, recv)
+	}
+	if got := o.Metrics.CounterValue("transport.retry_wasted_bytes"); got != 20 {
+		t.Errorf("retry_wasted_bytes = %d, want 20 (2 failed attempts × 10 sent)", got)
+	}
+	if got := o.Metrics.CounterValue("transport.retries"); got != 2 {
+		t.Errorf("transport.retries = %d, want 2", got)
+	}
+	if got := o.Events.CountKind(obs.EventRetry); got != 2 {
+		t.Errorf("retry events = %d, want 2", got)
 	}
 }
 

@@ -12,6 +12,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server serves site requests over TCP. Each connection runs a
@@ -28,6 +30,12 @@ type Server struct {
 
 	// Logf logs server-side errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
+
+	// Obs, when set before Listen/Serve, receives server-side wire
+	// counters ("transport.server.bytes_received", ".bytes_sent",
+	// ".requests") and per-op request counters
+	// ("transport.server.op.<op>").
+	Obs *obs.Obs
 }
 
 // NewServer returns a server for the handler, not yet listening.
@@ -102,9 +110,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	pr := &pushbackReader{conn: conn}
-	dec := gob.NewDecoder(pr)
-	enc := gob.NewEncoder(conn)
+	cr := &countingReader{r: pr}
+	cw := &countingWriter{w: conn}
+	dec := gob.NewDecoder(cr)
+	enc := gob.NewEncoder(cw)
 	for {
+		r0 := cr.n
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
@@ -112,16 +123,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		s.Obs.Count("transport.server.bytes_received", cr.n-r0)
+		s.Obs.Count("transport.server.requests", 1)
+		s.Obs.Count("transport.server.op."+req.Op.String(), 1)
 		resp, alive := s.handleWatched(ctx, conn, pr, &req)
 		if !alive {
 			return
 		}
+		w0 := cw.n
 		if err := enc.Encode(resp); err != nil {
 			if !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
 				s.Logf("transport: encode response: %v", err)
 			}
 			return
 		}
+		s.Obs.Count("transport.server.bytes_sent", cw.n-w0)
 	}
 }
 
@@ -218,6 +234,7 @@ type TCPClient struct {
 	mu     sync.Mutex
 	broken bool
 	stats  WireStats
+	obs    *obs.Obs
 }
 
 // DialTCP connects to a site server.
@@ -233,6 +250,16 @@ func DialTCP(id, addr string, cost CostModel) (*TCPClient, error) {
 		enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cr),
 		cw: cw, cr: cr, cost: cost,
 	}, nil
+}
+
+// SetObs publishes raw client-side wire totals ("transport.bytes_sent",
+// "transport.bytes_received", "transport.messages") into o. Raw totals
+// include the partial traffic of failed attempts; the coordinator's
+// logical per-round counters live under "coord.*".
+func (c *TCPClient) SetObs(o *obs.Obs) {
+	c.mu.Lock()
+	c.obs = o
+	c.mu.Unlock()
 }
 
 // SiteID implements Client.
@@ -287,6 +314,8 @@ func (c *TCPClient) Call(ctx context.Context, req *Request) (*Response, error) {
 		return nil, c.fail("send to", err, ctx)
 	}
 	c.stats.AddSent(int(c.cw.n-before), c.cost)
+	c.obs.Count("transport.bytes_sent", c.cw.n-before)
+	c.obs.Count("transport.messages", 1)
 
 	beforeR := c.cr.n
 	var resp Response
@@ -294,6 +323,7 @@ func (c *TCPClient) Call(ctx context.Context, req *Request) (*Response, error) {
 		return nil, c.fail("receive from", err, ctx)
 	}
 	c.stats.AddReceived(int(c.cr.n-beforeR), c.cost)
+	c.obs.Count("transport.bytes_received", c.cr.n-beforeR)
 	return &resp, nil
 }
 

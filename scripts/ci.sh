@@ -42,4 +42,7 @@ done
 echo "== quick bench pass =="
 go test -run xxx -bench . -benchtime 1x . > /dev/null
 
+echo "== observability smoke =="
+./scripts/obs_smoke.sh
+
 echo "all checks passed"

@@ -1,0 +1,116 @@
+// Command jsoncheck validates that a file, stdin, or HTTP endpoint
+// returns well-formed, non-trivial JSON — the assertion primitive of the
+// observability smoke test (scripts/obs_smoke.sh), kept in-repo so CI
+// needs no jq.
+//
+//	jsoncheck out.json
+//	jsoncheck -url http://127.0.0.1:9101/metrics -require counters
+//	skalla-coord ... -stats-json | jsoncheck -require rounds -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "", "fetch the JSON from this HTTP URL instead of a file")
+	require := flag.String("require", "", "comma-separated list of dotted paths that must exist (e.g. counters,rounds.0.name)")
+	flag.Parse()
+
+	data, src, err := input(*url, flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(data) == 0 {
+		fatal("%s: empty response", src)
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		fatal("%s: invalid JSON: %v", src, err)
+	}
+	if *require != "" {
+		for _, path := range strings.Split(*require, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if err := lookup(v, path); err != nil {
+				fatal("%s: %v", src, err)
+			}
+		}
+	}
+	fmt.Printf("jsoncheck ok: %s (%d bytes)\n", src, len(data))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsoncheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// input reads the JSON payload from -url, a file argument, or stdin.
+func input(url, path string) ([]byte, string, error) {
+	if url != "" {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, url, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, url, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		return data, url, err
+	}
+	if path == "" || path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return data, "stdin", err
+	}
+	data, err := os.ReadFile(path)
+	return data, path, err
+}
+
+// lookup resolves a dotted path ("rounds.0.name") through objects and
+// arrays, failing when a segment is absent. Keys may themselves contain
+// dots (metric names like "site.rounds_served"): at each object the
+// longest key matching a prefix of the remaining path wins.
+func lookup(v any, path string) error {
+	if err := descend(v, strings.Split(path, ".")); err != nil {
+		return fmt.Errorf("required path %q: %w", path, err)
+	}
+	return nil
+}
+
+func descend(v any, segs []string) error {
+	if len(segs) == 0 {
+		return nil
+	}
+	switch node := v.(type) {
+	case map[string]any:
+		for take := len(segs); take >= 1; take-- {
+			key := strings.Join(segs[:take], ".")
+			if next, ok := node[key]; ok {
+				return descend(next, segs[take:])
+			}
+		}
+		return fmt.Errorf("key %q not found", segs[0])
+	case []any:
+		var idx int
+		if _, err := fmt.Sscanf(segs[0], "%d", &idx); err != nil {
+			return fmt.Errorf("%q is not an array index", segs[0])
+		}
+		if idx < 0 || idx >= len(node) {
+			return fmt.Errorf("index %d out of range (len %d)", idx, len(node))
+		}
+		return descend(node[idx], segs[1:])
+	default:
+		return fmt.Errorf("segment %q reaches a leaf", segs[0])
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gmdj"
 	"repro/internal/ipflow"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/site"
 	"repro/internal/tpcr"
@@ -96,6 +97,10 @@ type ClusterConfig struct {
 	// AllowPartial returns degraded partial results (with coverage
 	// metadata in ExecStats) instead of failing when sites are lost.
 	AllowPartial bool
+	// Obs, when set, receives metrics, trace spans, and events from the
+	// coordinator, the site engines, and the transports (see internal/obs).
+	// Nil disables observability at near-zero cost.
+	Obs *obs.Obs
 }
 
 // Cluster is a running distributed data warehouse.
@@ -106,6 +111,7 @@ type Cluster struct {
 	cat     *catalog.Catalog
 	engines []*site.Engine      // in-process sites (nil entries when remote)
 	servers []*transport.Server // owned TCP servers, closed with the cluster
+	obs     *obs.Obs
 
 	// leafClients is set for multi-tier clusters: direct handles to the
 	// leaf sites, used by Load (relays cannot split shipped relations).
@@ -121,14 +127,16 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Sites < 0 {
 		return nil, fmt.Errorf("skalla: invalid site count %d", cfg.Sites)
 	}
-	c := &Cluster{}
+	c := &Cluster{obs: cfg.Obs}
 	for i := 0; i < cfg.Sites; i++ {
 		id := fmt.Sprintf("site%d", i)
 		eng := site.NewEngine(id)
+		eng.SetObs(cfg.Obs)
 		c.ids = append(c.ids, id)
 		c.engines = append(c.engines, eng)
 		if cfg.UseTCP {
 			srv := transport.NewServer(eng)
+			srv.Obs = cfg.Obs
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
 				c.Close()
@@ -140,14 +148,18 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 				c.Close()
 				return nil, fmt.Errorf("skalla: connect site %s: %w", id, err)
 			}
+			cl.SetObs(cfg.Obs)
 			c.clients = append(c.clients, cl)
 		} else {
-			c.clients = append(c.clients, transport.NewLocalClient(id, eng, cfg.Cost))
+			lc := transport.NewLocalClient(id, eng, cfg.Cost)
+			lc.SetObs(cfg.Obs)
+			c.clients = append(c.clients, lc)
 		}
 	}
 	c.coord = core.NewCoordinator(c.clients...)
 	c.coord.CallTimeout = cfg.CallTimeout
 	c.coord.AllowPartial = cfg.AllowPartial
+	c.coord.Obs = cfg.Obs
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -178,6 +190,10 @@ type ConnectConfig struct {
 	// replicas are down. It also tolerates unreachable sites at connect
 	// time.
 	AllowPartial bool
+	// Obs, when set, receives coordinator metrics, trace spans, and
+	// transport retry/failover events (see internal/obs). Site-side
+	// metrics live in the remote skalla-site processes (-debug-addr).
+	Obs *obs.Obs
 }
 
 // Connect builds a cluster over already-running remote site servers (one
@@ -204,7 +220,7 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Millisecond
 	}
-	c := &Cluster{}
+	c := &Cluster{obs: cfg.Obs}
 	for i, entry := range cfg.Sites {
 		id := fmt.Sprintf("site%d", i)
 		addrs := strings.Split(entry, "|")
@@ -216,6 +232,7 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 			}
 		}
 		cl := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
+		cl.SetObs(cfg.Obs)
 		// Validate reachability eagerly so misconfigured addresses fail
 		// at connect time, not at first query — unless partial results
 		// are allowed, in which case a down site is tolerable now and
@@ -238,6 +255,7 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 	c.coord = core.NewCoordinator(c.clients...)
 	c.coord.CallTimeout = cfg.CallTimeout
 	c.coord.AllowPartial = cfg.AllowPartial
+	c.coord.Obs = cfg.Obs
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -282,6 +300,10 @@ func (c *Cluster) UseCatalog(cat *Catalog) {
 // (custom plans, statistics access).
 func (c *Cluster) Coordinator() *core.Coordinator { return c.coord }
 
+// Obs returns the observability sink the cluster was configured with
+// (nil when observability is disabled).
+func (c *Cluster) Obs() *obs.Obs { return c.obs }
+
 // Subset returns a view of the cluster restricted to its first n sites —
 // used by the speed-up experiments that vary participating sites. The
 // subset shares clients and catalog with the parent; closing the parent
@@ -295,10 +317,12 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 		clients: c.clients[:n],
 		engines: c.engines[:n],
 		cat:     c.cat,
+		obs:     c.obs,
 	}
 	sub.coord = core.NewCoordinator(sub.clients...)
 	sub.coord.CallTimeout = c.coord.CallTimeout
 	sub.coord.AllowPartial = c.coord.AllowPartial
+	sub.coord.Obs = c.obs
 	return sub, nil
 }
 
@@ -414,12 +438,15 @@ func (c *Cluster) Session() (*Cluster, error) {
 	if len(c.leafClients) > 0 {
 		return nil, fmt.Errorf("skalla: sessions over multi-tier clusters are not supported")
 	}
-	s := &Cluster{ids: c.ids, engines: c.engines, cat: c.cat}
+	s := &Cluster{ids: c.ids, engines: c.engines, cat: c.cat, obs: c.obs}
 	for i, eng := range c.engines {
-		s.clients = append(s.clients, transport.NewLocalClient(c.ids[i], eng, CostModel{}))
+		lc := transport.NewLocalClient(c.ids[i], eng, CostModel{})
+		lc.SetObs(c.obs)
+		s.clients = append(s.clients, lc)
 	}
 	s.coord = core.NewCoordinator(s.clients...)
 	s.coord.CallTimeout = c.coord.CallTimeout
 	s.coord.AllowPartial = c.coord.AllowPartial
+	s.coord.Obs = c.obs
 	return s, nil
 }
