@@ -66,6 +66,9 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "print execution statistics as deterministic JSON instead of the prose report (suppresses plan and result output)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file of the execution (open in chrome://tracing or Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve observability over HTTP on this address (/metrics, /events, /trace); empty disables")
+	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint each synchronization round into this directory and resume an interrupted execution from its last completed round; empty disables")
+	replays := flag.Int("replays", 1, "times to re-issue a round request against a site's replicas after a transport failure mid-round")
+	readyURLs := flag.String("ready-urls", "", "comma-separated site=host:port pairs of site debug addresses; the coordinator probes /readyz and skips draining sites when -allow-partial is set")
 	flag.Parse()
 
 	opts, err := parseOpts(*opt)
@@ -78,12 +81,27 @@ func main() {
 		sink = obs.Default
 	}
 
+	var ckpts skalla.CheckpointStore
+	if *checkpointDir != "" {
+		ckpts, err = skalla.NewFileCheckpoints(*checkpointDir)
+		if err != nil {
+			log.Fatalf("skalla-coord: %v", err)
+		}
+	}
+	ready, err := parseReadyURLs(*readyURLs)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+
 	cluster, err := skalla.ConnectWith(skalla.ConnectConfig{
 		Sites:        strings.Split(*sites, ","),
 		Attempts:     *retries,
 		CallTimeout:  *timeout,
 		AllowPartial: *allowPartial,
 		Obs:          sink,
+		Checkpoints:  ckpts,
+		Replays:      *replays,
+		ReadyURLs:    ready,
 	})
 	if err != nil {
 		log.Fatalf("skalla-coord: %v", err)
@@ -237,6 +255,23 @@ func runREPL(cluster *skalla.Cluster, opts skalla.Options, maxRows int) {
 		}
 		fmt.Print("skalla> ")
 	}
+}
+
+// parseReadyURLs parses "site0=127.0.0.1:8001,site1=127.0.0.1:8002"
+// into a site → debug-address map for /readyz health probes.
+func parseReadyURLs(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad -ready-urls entry %q, want site=host:port", pair)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
 }
 
 func parseOpts(s string) (skalla.Options, error) {

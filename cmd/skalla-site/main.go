@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/ipflow"
 	"repro/internal/obs"
@@ -34,10 +35,14 @@ func main() {
 	id := flag.String("id", "site", "site identifier (used in error messages)")
 	load := flag.String("load", "", "preload a relation: kind=name=path, kind is tpcr or ipflow (CSV with header)")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written on shutdown")
-	debugAddr := flag.String("debug-addr", "", "serve observability over HTTP on this address (/metrics, /events, /trace); empty disables")
+	debugAddr := flag.String("debug-addr", "", "serve observability over HTTP on this address (/metrics, /events, /trace, /healthz, /readyz); empty disables")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, stop accepting and wait up to this long for in-flight requests before exiting")
+	maxResultRows := flag.Int("max-result-rows", 0, "reject a request whose result exceeds this many rows with an overload error (0 = unlimited)")
+	maxResultBytes := flag.Int64("max-result-bytes", 0, "reject a request whose result exceeds roughly this many bytes with an overload error (0 = unlimited)")
 	flag.Parse()
 
 	eng := site.NewEngine(*id)
+	eng.SetLimits(site.Limits{MaxResultRows: *maxResultRows, MaxResultBytes: *maxResultBytes})
 	site.RegisterGenerator("tpcr", tpcr.Generator)
 	site.RegisterGenerator("ipflow", ipflow.Generator)
 
@@ -80,10 +85,21 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("skalla-site: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Fatalf("skalla-site: close: %v", err)
+	s := <-sig
+	if s == syscall.SIGTERM {
+		// Graceful drain: stop accepting, mark not-ready on /readyz, and
+		// let in-flight rounds finish within the deadline.
+		fmt.Printf("skalla-site: draining (%d in flight, deadline %s)\n", srv.Inflight(), *drainTimeout)
+		if err := srv.Drain(*drainTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "skalla-site: drain: %v\n", err)
+		} else {
+			fmt.Println("skalla-site: drained")
+		}
+	} else {
+		fmt.Println("skalla-site: shutting down")
+		if err := srv.Close(); err != nil {
+			log.Fatalf("skalla-site: close: %v", err)
+		}
 	}
 	if *snapshot != "" {
 		if err := eng.Snapshot(*snapshot); err != nil {

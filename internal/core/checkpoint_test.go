@@ -1,0 +1,375 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gmdj"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/transport"
+)
+
+func relationFromRows(rows []relation.Row) *relation.Relation {
+	r := relation.New(flowSchema())
+	r.Rows = rows
+	return r
+}
+
+func sampleCheckpointWith(x *relation.Relation) *Checkpoint {
+	return &Checkpoint{
+		Epoch: "deadbeef00000000",
+		Done:  2,
+		X:     x,
+		Rounds: []RoundStats{
+			{
+				Name: "base", Responded: []string{"site1", "site0"},
+				BytesToSites: 10, BytesFromSites: 20, GroupsShipped: 1, GroupsReceived: 2,
+				SiteTime: 3 * time.Microsecond, SiteTimeTotal: 5 * time.Microsecond,
+				CoordTime: 7 * time.Microsecond, CommTime: 11 * time.Microsecond,
+			},
+			{
+				Name: "step 1", Responded: []string{"site0"},
+				Lost:     []LostSite{{Site: "site1", Err: "boom"}},
+				Replayed: []string{"site0"}, Resumed: true,
+			},
+		},
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	x := relationFromRows(testRows(5, 9))
+	cp := sampleCheckpointWith(x)
+
+	b1, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("checkpoint encoding is not deterministic")
+	}
+
+	got, err := DecodeCheckpoint(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != cp.Epoch || got.Done != cp.Done {
+		t.Errorf("decoded header = (%s, %d), want (%s, %d)", got.Epoch, got.Done, cp.Epoch, cp.Done)
+	}
+	if got.X.Len() != x.Len() || !got.X.Schema.Equal(x.Schema) {
+		t.Errorf("decoded X: %d rows, schema %s", got.X.Len(), got.X.Schema)
+	}
+	if len(got.Rounds) != len(cp.Rounds) {
+		t.Fatalf("decoded %d rounds, want %d", len(got.Rounds), len(cp.Rounds))
+	}
+	r1 := got.Rounds[1]
+	if !r1.Resumed || len(r1.Replayed) != 1 || r1.Replayed[0] != "site0" {
+		t.Errorf("round 1 recovery fields lost: %+v", r1)
+	}
+	if len(r1.Lost) != 1 || r1.Lost[0].Site != "site1" {
+		t.Errorf("round 1 lost sites lost: %+v", r1.Lost)
+	}
+	if got.Rounds[0].SiteTime != 3*time.Microsecond || got.Rounds[0].CommTime != 11*time.Microsecond {
+		t.Errorf("round 0 durations lost: %+v", got.Rounds[0])
+	}
+	// Re-encoding the decoded checkpoint is byte-identical: the JSON shape
+	// loses nothing the encoding itself carries.
+	b3, err := EncodeCheckpoint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Error("decode → encode is not a fixed point")
+	}
+}
+
+func TestCheckpointStores(t *testing.T) {
+	x := relationFromRows(testRows(4, 10))
+	fileStore, err := NewFileCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		store CheckpointStore
+	}{
+		{"mem", NewMemCheckpoints()},
+		{"file", fileStore},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := sampleCheckpointWith(x)
+			if got, err := tc.store.Load(cp.Epoch); err != nil || got != nil {
+				t.Fatalf("load before save = (%v, %v), want (nil, nil)", got, err)
+			}
+			if err := tc.store.Save(cp); err != nil {
+				t.Fatal(err)
+			}
+			got, err := tc.store.Load(cp.Epoch)
+			if err != nil || got == nil {
+				t.Fatalf("load: %v / %v", got, err)
+			}
+			if got.Done != cp.Done || got.X.Len() != x.Len() {
+				t.Errorf("loaded checkpoint = done %d, %d rows", got.Done, got.X.Len())
+			}
+			// The loaded checkpoint must not alias the saved one.
+			got.X.Rows[0][0] = got.X.Rows[0][1]
+			again, err := tc.store.Load(cp.Epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.X.Rows[0][0] == got.X.Rows[0][0] && &again.X.Rows[0][0] == &got.X.Rows[0][0] {
+				t.Error("loaded checkpoints alias each other")
+			}
+			// Overwrite with a later round.
+			cp.Done = 3
+			if err := tc.store.Save(cp); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := tc.store.Load(cp.Epoch); got.Done != 3 {
+				t.Errorf("overwrite: done = %d, want 3", got.Done)
+			}
+			if err := tc.store.Clear(cp.Epoch); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := tc.store.Load(cp.Epoch); err != nil || got != nil {
+				t.Fatalf("load after clear = (%v, %v), want (nil, nil)", got, err)
+			}
+			// Clearing an absent epoch is not an error.
+			if err := tc.store.Clear("no-such-epoch"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPlanEpochDeterministic(t *testing.T) {
+	coord, cat, _ := cluster(t, testRows(40, 11), 3, true)
+	schema, err := coord.DetailSchema(context.Background(), "flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(opts Options) *Plan {
+		p, err := Egil{Catalog: cat, Options: opts}.BuildPlan(example1(), "flow", schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := build(Options{}), build(Options{})
+	if PlanEpoch(p1) != PlanEpoch(p2) {
+		t.Error("same plan, different epochs")
+	}
+	for i := 0; i < 10; i++ { // SiteFilters is a map: catch iteration-order leakage
+		if PlanEpoch(p1) != PlanEpoch(p2) {
+			t.Fatal("epoch unstable across calls")
+		}
+	}
+	// A different plan shape must get a different epoch.
+	if opt := build(DefaultOptions); plansDiffer(p1, opt) && PlanEpoch(p1) == PlanEpoch(opt) {
+		t.Error("different plans share an epoch")
+	}
+	// The same plan over a different site set is a different execution.
+	sub := NewCoordinator(coord.Clients()[:2]...)
+	if coord.executionEpoch(p1) == sub.executionEpoch(p1) {
+		t.Error("different site sets share an execution epoch")
+	}
+	if coord.executionEpoch(p1) != coord.executionEpoch(p1) {
+		t.Error("execution epoch unstable")
+	}
+}
+
+func plansDiffer(a, b *Plan) bool {
+	return a.Rounds() != b.Rounds() || a.BaseRound != b.BaseRound
+}
+
+// mustPlan rebuilds the plan a coordinator's Run would execute, for
+// computing its execution epoch in tests.
+func mustPlan(t *testing.T, coord *Coordinator, q gmdj.Query, egil Egil) *Plan {
+	t.Helper()
+	schema, err := coord.DetailSchema(context.Background(), "flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := egil.BuildPlan(q, "flow", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestResumeAfterInterruption is the core recovery scenario: a
+// multi-round execution dies at the start of its last round, and a fresh
+// coordinator over the same sites — same plan, same checkpoint store —
+// completes it. The final relation and every completed round's byte and
+// group counters must match an uninterrupted reference run exactly.
+func TestResumeAfterInterruption(t *testing.T) {
+	rows := testRows(240, 7)
+	q := example1()
+	egil := Egil{Catalog: newTestCatalog(3)} // no optimizations: 3 rounds
+
+	// Reference: recovery enabled, no faults.
+	ref, _, whole := chaosCluster(t, rows, 3, 100)
+	ref.Checkpoints = NewMemCheckpoints()
+	refRel, refStats, _, err := ref.Run(context.Background(), q, "flow", egil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.ResumedRounds() != 0 {
+		t.Fatalf("reference run resumed %d rounds", refStats.ResumedRounds())
+	}
+
+	// Interrupted: the second evalRounds round (step 2) dies on site2.
+	coord, chaos, _ := chaosCluster(t, rows, 3, 101)
+	store := NewMemCheckpoints()
+	coord.Checkpoints = store
+	o := obs.New()
+	coord.Obs = o
+	chaos[2].InjectAt(transport.OpEvalRounds, 2, transport.Fault{Err: transport.ErrInjected})
+	if _, _, _, err := coord.Run(context.Background(), q, "flow", egil); err == nil {
+		t.Fatal("interrupted run should fail")
+	}
+	if got := o.Metrics.CounterValue("checkpoint.written"); got != 2 {
+		t.Fatalf("checkpoint.written = %d, want 2 (base + step 1)", got)
+	}
+
+	// Snapshot the interrupted run's recorded rounds for exact comparison.
+	interruptedCP, err := store.Load(coord.executionEpoch(mustPlan(t, coord, q, egil)))
+	if err != nil || interruptedCP == nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+
+	// Resume: a fresh coordinator (same sites, same store) picks up after
+	// round 2 and only executes the last round.
+	coord2 := NewCoordinator(coord.Clients()...)
+	coord2.Checkpoints = store
+	o2 := obs.New()
+	coord2.Obs = o2
+	got, stats, _, err := coord2.Run(context.Background(), q, "flow", egil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRelation(t, "resumed", got, want, q.Keys())
+
+	if stats.ResumedRounds() != 2 {
+		t.Errorf("resumed rounds = %d, want 2", stats.ResumedRounds())
+	}
+	if got := o2.Metrics.CounterValue("checkpoint.resumed"); got != 1 {
+		t.Errorf("checkpoint.resumed = %d, want 1", got)
+	}
+	if got := o2.Metrics.CounterValue("coord.rounds_resumed"); got != 2 {
+		t.Errorf("coord.rounds_resumed = %d, want 2", got)
+	}
+	if len(stats.Rounds) != len(refStats.Rounds) {
+		t.Fatalf("rounds = %d, want %d", len(stats.Rounds), len(refStats.Rounds))
+	}
+	// Byte-exactness: the interrupted-then-resumed execution moved exactly
+	// the bytes and groups of the uninterrupted one, round by round —
+	// restored rounds carry the original run's numbers, the re-executed
+	// round recomputes them identically. The one permitted wiggle is the
+	// response direction: every response carries the site's measured
+	// ComputeNs, and gob's varint encoding makes that field's width vary
+	// by a byte or two between ANY two runs — interrupted or not — so
+	// BytesFromSites gets a small tolerance while everything structural
+	// (request bytes, group counts) must match exactly.
+	const computeNsJitter = 16
+	for i, r := range stats.Rounds {
+		rr := refStats.Rounds[i]
+		if r.BytesToSites != rr.BytesToSites {
+			t.Errorf("round %s: bytes to sites %d, want %d", r.Name, r.BytesToSites, rr.BytesToSites)
+		}
+		if d := r.BytesFromSites - rr.BytesFromSites; d < -computeNsJitter || d > computeNsJitter {
+			t.Errorf("round %s: bytes from sites %d, want %d±%d",
+				r.Name, r.BytesFromSites, rr.BytesFromSites, computeNsJitter)
+		}
+		if r.GroupsShipped != rr.GroupsShipped || r.GroupsReceived != rr.GroupsReceived {
+			t.Errorf("round %s: groups %d/%d, want %d/%d",
+				r.Name, r.GroupsShipped, r.GroupsReceived, rr.GroupsShipped, rr.GroupsReceived)
+		}
+	}
+	if stats.Groups() != refStats.Groups() {
+		t.Errorf("total groups = %d, want %d", stats.Groups(), refStats.Groups())
+	}
+	// The restored rounds are exact to the last byte against what the
+	// interrupted run itself recorded: the checkpoint round-trip loses
+	// nothing, jitter tolerance or not.
+	for i, cr := range interruptedCP.Rounds {
+		r := stats.Rounds[i]
+		if r.BytesToSites != cr.BytesToSites || r.BytesFromSites != cr.BytesFromSites ||
+			r.GroupsShipped != cr.GroupsShipped || r.GroupsReceived != cr.GroupsReceived {
+			t.Errorf("restored round %s drifted from its checkpoint: %+v vs %+v", r.Name, r, cr)
+		}
+		if !r.Resumed {
+			t.Errorf("restored round %s not marked resumed", r.Name)
+		}
+	}
+	assertSameRelation(t, "reference", refRel, want.Clone(), q.Keys())
+
+	// Completion cleared the checkpoint: a rerun is a fresh execution.
+	rerun, stats2, _, err := coord2.Run(context.Background(), q, "flow", egil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.ResumedRounds() != 0 {
+		t.Errorf("rerun after completion resumed %d rounds", stats2.ResumedRounds())
+	}
+	assertSameRelation(t, "rerun", rerun, want.Clone(), q.Keys())
+}
+
+// TestReplayAfterTransportFailure: with Replays enabled, a transport
+// failure mid-round re-issues the (epoch, round)-tagged request instead
+// of aborting the execution, and the replayed site is accounted in the
+// round's statistics.
+func TestReplayAfterTransportFailure(t *testing.T) {
+	rows := testRows(240, 8)
+	q := example1()
+	egil := Egil{Catalog: newTestCatalog(3)}
+
+	coord, chaos, whole := chaosCluster(t, rows, 3, 102)
+	coord.Replays = 1
+	o := obs.New()
+	coord.Obs = o
+	// Site 1's second evalRounds call (step 2) dies at the transport; the
+	// coordinator replays it within the same round.
+	chaos[1].InjectAt(transport.OpEvalRounds, 2, transport.Fault{Err: transport.ErrInjected})
+	got, stats, _, err := coord.Run(context.Background(), q, "flow", egil)
+	if err != nil {
+		t.Fatalf("run with mid-round transport failure: %v", err)
+	}
+	want, err := gmdj.EvalQuery(whole, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRelation(t, "replayed", got, want, q.Keys())
+	if stats.Partial() {
+		t.Errorf("replay must not degrade the result: lost %v", stats.LostSites())
+	}
+	if rp := stats.ReplayedSites(); len(rp) != 1 || rp[0] != "site1" {
+		t.Errorf("replayed sites = %v, want [site1]", rp)
+	}
+	last := stats.Rounds[len(stats.Rounds)-1]
+	if len(last.Replayed) != 1 || last.Replayed[0] != "site1" {
+		t.Errorf("last round replayed = %v, want [site1]", last.Replayed)
+	}
+	if got := o.Metrics.CounterValue("coord.replays"); got != 1 {
+		t.Errorf("coord.replays = %d, want 1", got)
+	}
+	if got := o.Events.CountKind(obs.EventReplay); got != 1 {
+		t.Errorf("replay events = %d, want 1", got)
+	}
+	// Without Replays the same fault aborts the run (the old behavior).
+	coordStrict, chaosStrict, _ := chaosCluster(t, rows, 3, 103)
+	chaosStrict[1].InjectAt(transport.OpEvalRounds, 2, transport.Fault{Err: transport.ErrInjected})
+	if _, _, _, err := coordStrict.Run(context.Background(), q, "flow", egil); err == nil {
+		t.Fatal("replays disabled: transport failure should abort")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 	"time"
@@ -48,6 +49,36 @@ type Coordinator struct {
 	// totals match ExecStats exactly, and site-lost / partial-result
 	// events.
 	Obs *obs.Obs
+
+	// Checkpoints, when set, persists X and the round statistics after
+	// every completed synchronization round and resumes an interrupted
+	// execution of the same plan from its last completed round. Round
+	// checkpoints are cheap by Theorem 2: X never holds detail data.
+	Checkpoints CheckpointStore
+	// Epoch overrides the execution epoch; empty derives it from the plan
+	// (PlanEpoch), which is what lets a restarted coordinator find its
+	// own checkpoint. Requests carry the epoch and round sequence number
+	// only while recovery is enabled (Checkpoints set or Replays > 0), so
+	// site-side replay dedup never caches for plain executions.
+	Epoch string
+	// Replays is how many times a site's round request is re-issued after
+	// a transport failure before the site counts as lost (0 keeps the old
+	// first-error behavior). Replaying is idempotent: the request carries
+	// (epoch, round) and sites answer repeats from their dedup cache.
+	Replays int
+	// Health, when set, is consulted before fanning a round out to a
+	// site. In degraded (AllowPartial) mode a not-ready site is skipped
+	// without a call and recorded as lost; in strict mode the verdict is
+	// advisory (an event) — the call proceeds, because a draining replica
+	// sheds with CodeDraining and the Reconnector fails over anyway.
+	Health HealthGate
+}
+
+// HealthGate answers whether a site should receive new work. It is the
+// coordinator-side consumer of the sites' /readyz endpoints (see
+// transport.HTTPHealth); implementations should fail open.
+type HealthGate interface {
+	Ready(site string) (bool, string)
 }
 
 // NewCoordinator returns a coordinator over the given site clients. The
@@ -92,6 +123,19 @@ func (c *Coordinator) DetailSchema(ctx context.Context, name string) (*relation.
 	return nil, lastErr
 }
 
+// executionEpoch extends PlanEpoch with the participating site set: the
+// same plan over a different set of sites (e.g. a cluster Subset) is a
+// different execution and must not resume the other's checkpoint.
+func (c *Coordinator) executionEpoch(plan *Plan) string {
+	h := fnv.New64a()
+	h.Write([]byte(PlanEpoch(plan)))
+	for _, cl := range c.clients {
+		h.Write([]byte(cl.SiteID()))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // callContext derives the per-call context from ctx under CallTimeout.
 func (c *Coordinator) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
 	if c.CallTimeout > 0 {
@@ -129,6 +173,7 @@ type siteResult struct {
 	comm      time.Duration
 	shipped   int64
 	computeNs int64
+	replays   int // round requests re-issued before this result arrived
 }
 
 // Execute runs the plan under ctx and returns the final base-result
@@ -165,11 +210,64 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 	var x *relation.Relation
 	q := plan.Query
 
+	// Execution identity: the epoch names this execution across restarts,
+	// and each round's sequence number makes (epoch, round) an idempotency
+	// key for site-side replay dedup. Plain executions (no recovery) leave
+	// requests untagged so sites never cache for them.
+	epoch := c.Epoch
+	if epoch == "" {
+		epoch = c.executionEpoch(plan)
+	}
+	tagEpoch := ""
+	if c.Checkpoints != nil || c.Replays > 0 {
+		tagEpoch = epoch
+	}
+
+	// Resume: an interrupted execution of this plan left a checkpoint of
+	// its last completed round — restore X and the completed rounds'
+	// statistics and skip straight to the first unfinished round.
+	done := 0
+	if c.Checkpoints != nil {
+		cp, err := c.Checkpoints.Load(epoch)
+		switch {
+		case err != nil:
+			c.Obs.Count("checkpoint.errors", 1)
+			c.Obs.Event(obs.EventCheckpoint, "", "checkpoint load failed; starting fresh",
+				map[string]string{"epoch": epoch, "action": "load-error", "error": err.Error()})
+		case cp != nil && cp.Done > 0 && cp.Done <= plan.Rounds():
+			x = cp.X
+			done = cp.Done
+			for _, rs := range cp.Rounds {
+				rs.Resumed = true
+				stats.Rounds = append(stats.Rounds, rs)
+			}
+			c.Obs.Count("checkpoint.resumed", 1)
+			c.Obs.Event(obs.EventCheckpoint, "",
+				fmt.Sprintf("resumed execution after %d completed round(s)", done),
+				map[string]string{"epoch": epoch, "round": fmt.Sprint(done - 1), "action": "resumed"})
+		}
+	}
+	saveCkpt := func() {
+		if c.Checkpoints == nil {
+			return
+		}
+		cp := &Checkpoint{Epoch: epoch, Done: done, X: x, Rounds: stats.Rounds}
+		if err := c.Checkpoints.Save(cp); err != nil {
+			c.Obs.Count("checkpoint.errors", 1)
+			c.Obs.Event(obs.EventCheckpoint, "", "checkpoint write failed",
+				map[string]string{"epoch": epoch, "round": fmt.Sprint(done - 1), "action": "write-error", "error": err.Error()})
+			return
+		}
+		c.Obs.Count("checkpoint.written", 1)
+		c.Obs.Event(obs.EventCheckpoint, "", "checkpoint written",
+			map[string]string{"epoch": epoch, "round": fmt.Sprint(done - 1), "action": "written"})
+	}
+
 	// Round 0: compute and synchronize the base-values relation.
-	if plan.BaseRound {
+	if plan.BaseRound && done == 0 {
 		rs := RoundStats{Name: "base"}
 		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:base", obs.TrackCoordinator)
-		results, err := c.fanout(roundCtx, &rs, func(cl transport.Client) (*transport.Request, error) {
+		results, err := c.fanout(roundCtx, &rs, tagEpoch, 0, func(cl transport.Client) (*transport.Request, error) {
 			return &transport.Request{
 				Op:        transport.OpEvalBase,
 				Detail:    plan.Detail,
@@ -196,9 +294,19 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		}
 		rs.CoordTime = time.Since(coordStart)
 		stats.Rounds = append(stats.Rounds, rs)
+		done = 1
+		saveCkpt()
 	}
 
+	baseOff := 0
+	if plan.BaseRound {
+		baseOff = 1
+	}
 	for si, step := range plan.Steps {
+		seq := si + baseOff
+		if seq < done {
+			continue // completed before the interruption; restored from checkpoint
+		}
 		rs := RoundStats{Name: fmt.Sprintf("step %d", si+1)}
 		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:"+rs.Name, obs.TrackCoordinator)
 
@@ -254,7 +362,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		// Stream fragments into the synchronizer as sites finish: the
 		// coordinator merges early arrivals while slower sites still
 		// compute (the incremental synchronization §3.2 describes).
-		stream := c.fanoutStream(roundCtx, func(cl transport.Client) (*transport.Request, error) {
+		stream := c.fanoutStream(roundCtx, tagEpoch, seq, func(cl transport.Client) (*transport.Request, error) {
 			req := &transport.Request{Op: transport.OpEvalRounds, Rounds: rounds, Keys: plan.Keys}
 			if step.FuseBase {
 				req.Detail = plan.Detail
@@ -277,6 +385,22 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		x = merged
 		rs.CoordTime = prepTime + mergeTime
 		stats.Rounds = append(stats.Rounds, rs)
+		done = seq + 1
+		saveCkpt()
+	}
+
+	// The execution completed: its checkpoint can never be resumed again
+	// (a rerun of the same plan is a fresh execution, not a recovery).
+	if c.Checkpoints != nil {
+		if err := c.Checkpoints.Clear(epoch); err != nil {
+			c.Obs.Count("checkpoint.errors", 1)
+			c.Obs.Event(obs.EventCheckpoint, "", "checkpoint clear failed",
+				map[string]string{"epoch": epoch, "action": "clear-error", "error": err.Error()})
+		} else {
+			c.Obs.Count("checkpoint.cleared", 1)
+			c.Obs.Event(obs.EventCheckpoint, "", "checkpoint cleared after completion",
+				map[string]string{"epoch": epoch, "action": "cleared"})
+		}
 	}
 
 	stats.Wall = time.Since(start)
@@ -287,10 +411,10 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 // recording coverage in rs. In strict mode any site failure aborts (and
 // cancels the siblings); with AllowPartial the survivors' results are
 // returned and the losses recorded, failing only when nothing survived.
-func (c *Coordinator) fanout(ctx context.Context, rs *RoundStats, build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
+func (c *Coordinator) fanout(ctx context.Context, rs *RoundStats, epoch string, round int, build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
 	var results []*siteResult
 	var firstErr error
-	for sr := range c.fanoutStream(ctx, build) {
+	for sr := range c.fanoutStream(ctx, epoch, round, build) {
 		if sr.err != nil {
 			firstErr = betterErr(firstErr, sr.err)
 			rs.Lost = append(rs.Lost, LostSite{Site: sr.site, Err: sr.err.Error()})
@@ -321,7 +445,14 @@ type streamItem struct {
 // CallTimeout; in strict mode the first failure cancels the in-flight
 // calls of the remaining sites, so a doomed round aborts promptly instead
 // of waiting for its slowest member.
-func (c *Coordinator) fanoutStream(ctx context.Context, build func(cl transport.Client) (*transport.Request, error)) <-chan streamItem {
+//
+// Requests are tagged with (epoch, round) when epoch is non-empty, and a
+// transport-level failure is replayed up to c.Replays times before the
+// site counts as lost: because the tag makes the exchange idempotent, a
+// replica can answer the replayed round (from its dedup cache if the
+// original site already did the work) instead of the whole round
+// aborting on the first death.
+func (c *Coordinator) fanoutStream(ctx context.Context, epoch string, round int, build func(cl transport.Client) (*transport.Request, error)) <-chan streamItem {
 	roundCtx, cancelRound := context.WithCancel(ctx)
 	out := make(chan streamItem, len(c.clients))
 	var wg sync.WaitGroup
@@ -335,16 +466,52 @@ func (c *Coordinator) fanoutStream(ctx context.Context, build func(cl transport.
 				}
 				out <- streamItem{site: cl.SiteID(), err: err}
 			}
+			if c.Health != nil {
+				if ready, reason := c.Health.Ready(cl.SiteID()); !ready {
+					c.Obs.Event(obs.EventDrain, cl.SiteID(), "site reports not ready",
+						map[string]string{"reason": reason, "skipped": fmt.Sprint(c.AllowPartial)})
+					if c.AllowPartial {
+						// Skip the call entirely: the site asked not to be
+						// sent work, and the round can answer without it.
+						c.Obs.Count("coord.sites_skipped", 1)
+						fail(fmt.Errorf("core: site %s skipped: not ready: %s", cl.SiteID(), reason))
+						return
+					}
+					// Strict mode cannot afford to drop the site; proceed
+					// and let shed responses drive replica failover.
+				}
+			}
 			req, err := build(cl)
 			if err != nil {
 				fail(err)
 				return
 			}
-			callCtx, done := c.callContext(roundCtx)
-			defer done()
+			req.Epoch, req.Round = epoch, round
 			s0, r0, _, t0 := cl.Stats().Snapshot()
-			_, span := c.Obs.StartSpanTrack(callCtx, "rpc:"+req.Op.String(), obs.SiteTrack(cl.SiteID()))
-			resp, err := cl.Call(callCtx, req)
+			_, span := c.Obs.StartSpanTrack(roundCtx, "rpc:"+req.Op.String(), obs.SiteTrack(cl.SiteID()))
+			var resp *transport.Response
+			replays := 0
+			for {
+				callCtx, done := c.callContext(roundCtx)
+				resp, err = cl.Call(callCtx, req)
+				done()
+				if err == nil || resp != nil {
+					// Success, or a site-side error: site-side errors are
+					// deterministic answers, so replaying cannot change them.
+					break
+				}
+				if replays >= c.Replays || roundCtx.Err() != nil {
+					break
+				}
+				replays++
+				c.Obs.Count("coord.replays", 1)
+				c.Obs.Event(obs.EventReplay, cl.SiteID(),
+					fmt.Sprintf("replaying round %d request after transport failure", round),
+					map[string]string{
+						"epoch": epoch, "round": fmt.Sprint(round),
+						"attempt": fmt.Sprint(replays), "error": err.Error(),
+					})
+			}
 			if err == nil {
 				err = resp.Error()
 			}
@@ -357,11 +524,15 @@ func (c *Coordinator) fanoutStream(ctx context.Context, build func(cl transport.
 			s1, r1, _, t1 := cl.Stats().Snapshot()
 			span.SetArg("bytes_sent", fmt.Sprint(s1-s0))
 			span.SetArg("bytes_received", fmt.Sprint(r1-r0))
+			if replays > 0 {
+				span.SetArg("replays", fmt.Sprint(replays))
+			}
 			span.End()
 			res := &siteResult{
 				site: cl.SiteID(), resp: resp,
 				sentB: s1 - s0, recvB: r1 - r0, comm: t1 - t0,
 				computeNs: resp.ComputeNs,
+				replays:   replays,
 			}
 			if req.Base != nil {
 				res.shipped = int64(req.Base.Len())
@@ -407,6 +578,9 @@ func (c *Coordinator) publishExec(stats *ExecStats, execErr error) {
 	}
 	for _, r := range stats.Rounds {
 		o.Count("coord.rounds", 1)
+		if r.Resumed {
+			o.Count("coord.rounds_resumed", 1)
+		}
 		o.Count("coord.bytes_to_sites", r.BytesToSites)
 		o.Count("coord.bytes_from_sites", r.BytesFromSites)
 		o.Count("coord.groups_shipped", r.GroupsShipped)
@@ -443,6 +617,9 @@ func accountRound(rs *RoundStats, r *siteResult) {
 	}
 	if r.comm > rs.CommTime {
 		rs.CommTime = r.comm
+	}
+	if r.replays > 0 {
+		rs.Replayed = append(rs.Replayed, r.site)
 	}
 }
 

@@ -42,6 +42,13 @@ type RoundStats struct {
 	CommTime time.Duration
 	// CoordTime is the coordinator's own work (filtering, merging).
 	CoordTime time.Duration
+	// Resumed marks a round restored from a checkpoint instead of
+	// executed: its numbers were carried over from the interrupted run,
+	// so totals still match an uninterrupted execution.
+	Resumed bool
+	// Replayed lists the sites whose round request had to be re-issued
+	// (after a transport failure) before their fragment arrived.
+	Replayed []string
 }
 
 // ExecStats aggregates a full plan execution.
@@ -72,6 +79,34 @@ func (s *ExecStats) LostSites() []string {
 			if !seen[l.Site] {
 				seen[l.Site] = true
 				out = append(out, l.Site)
+			}
+		}
+	}
+	return out
+}
+
+// ResumedRounds counts the rounds restored from a checkpoint rather than
+// executed.
+func (s *ExecStats) ResumedRounds() int {
+	n := 0
+	for _, r := range s.Rounds {
+		if r.Resumed {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayedSites returns the distinct sites whose round request was
+// re-issued in any round, in first-replay order.
+func (s *ExecStats) ReplayedSites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range s.Rounds {
+		for _, site := range r.Replayed {
+			if !seen[site] {
+				seen[site] = true
+				out = append(out, site)
 			}
 		}
 	}

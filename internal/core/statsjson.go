@@ -5,6 +5,7 @@ package core
 import (
 	"encoding/json"
 	"sort"
+	"time"
 )
 
 // roundStatsJSON is the wire shape of one round in ExecStats JSON.
@@ -23,6 +24,8 @@ type roundStatsJSON struct {
 	SiteTotalNs    int64          `json:"site_total_ns"`
 	CoordNs        int64          `json:"coord_ns"`
 	CommNs         int64          `json:"comm_ns"`
+	Resumed        bool           `json:"resumed,omitempty"`
+	Replayed       []string       `json:"replayed,omitempty"`
 }
 
 type lostSiteJSON struct {
@@ -62,27 +65,60 @@ func (s *ExecStats) JSON() ([]byte, error) {
 	}
 	sort.Strings(out.LostSites)
 	for _, r := range s.Rounds {
-		jr := roundStatsJSON{
-			Name:           r.Name,
-			Responded:      append([]string(nil), r.Responded...),
-			BytesToSites:   r.BytesToSites,
-			BytesFromSites: r.BytesFromSites,
-			GroupsShipped:  r.GroupsShipped,
-			GroupsReceived: r.GroupsReceived,
-			SiteNs:         int64(r.SiteTime),
-			SiteTotalNs:    int64(r.SiteTimeTotal),
-			CoordNs:        int64(r.CoordTime),
-			CommNs:         int64(r.CommTime),
-		}
-		if jr.Responded == nil {
-			jr.Responded = []string{}
-		}
-		sort.Strings(jr.Responded)
-		for _, l := range r.Lost {
-			jr.Lost = append(jr.Lost, lostSiteJSON{Site: l.Site, Err: l.Err})
-		}
-		sort.Slice(jr.Lost, func(i, j int) bool { return jr.Lost[i].Site < jr.Lost[j].Site })
-		out.Rounds = append(out.Rounds, jr)
+		out.Rounds = append(out.Rounds, roundToJSON(r))
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// roundToJSON converts one round's statistics to the wire shape, sorting
+// the site lists for deterministic encoding. Shared by ExecStats.JSON and
+// the checkpoint encoding.
+func roundToJSON(r RoundStats) roundStatsJSON {
+	jr := roundStatsJSON{
+		Name:           r.Name,
+		Responded:      append([]string(nil), r.Responded...),
+		BytesToSites:   r.BytesToSites,
+		BytesFromSites: r.BytesFromSites,
+		GroupsShipped:  r.GroupsShipped,
+		GroupsReceived: r.GroupsReceived,
+		SiteNs:         int64(r.SiteTime),
+		SiteTotalNs:    int64(r.SiteTimeTotal),
+		CoordNs:        int64(r.CoordTime),
+		CommNs:         int64(r.CommTime),
+		Resumed:        r.Resumed,
+		Replayed:       append([]string(nil), r.Replayed...),
+	}
+	if jr.Responded == nil {
+		jr.Responded = []string{}
+	}
+	sort.Strings(jr.Responded)
+	sort.Strings(jr.Replayed)
+	for _, l := range r.Lost {
+		jr.Lost = append(jr.Lost, lostSiteJSON{Site: l.Site, Err: l.Err})
+	}
+	sort.Slice(jr.Lost, func(i, j int) bool { return jr.Lost[i].Site < jr.Lost[j].Site })
+	return jr
+}
+
+// roundFromJSON is roundToJSON's inverse, used when a checkpoint restores
+// completed rounds into a resumed execution's statistics.
+func roundFromJSON(jr roundStatsJSON) RoundStats {
+	r := RoundStats{
+		Name:           jr.Name,
+		Responded:      append([]string(nil), jr.Responded...),
+		BytesToSites:   jr.BytesToSites,
+		BytesFromSites: jr.BytesFromSites,
+		GroupsShipped:  jr.GroupsShipped,
+		GroupsReceived: jr.GroupsReceived,
+		SiteTime:       time.Duration(jr.SiteNs),
+		SiteTimeTotal:  time.Duration(jr.SiteTotalNs),
+		CoordTime:      time.Duration(jr.CoordNs),
+		CommTime:       time.Duration(jr.CommNs),
+		Resumed:        jr.Resumed,
+		Replayed:       append([]string(nil), jr.Replayed...),
+	}
+	for _, l := range jr.Lost {
+		r.Lost = append(r.Lost, LostSite{Site: l.Site, Err: l.Err})
+	}
+	return r
 }

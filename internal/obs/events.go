@@ -26,6 +26,21 @@ const (
 	// EventPartial: a query completed as a degraded partial result
 	// (fields: lost).
 	EventPartial = "partial"
+	// EventDrain: a server started or finished graceful drain (fields:
+	// phase, inflight).
+	EventDrain = "drain"
+	// EventOverload: a site shed a request under a resource limit, or a
+	// client failed over because of a shed response (fields: op, limit or
+	// from/to).
+	EventOverload = "overload"
+	// EventReplay: the coordinator re-issued a failed site's round
+	// request instead of aborting the round (fields: round, attempt,
+	// error), or a site answered a replayed (epoch, round) from its dedup
+	// cache (fields: epoch, round).
+	EventReplay = "replay"
+	// EventCheckpoint: a round checkpoint was written, resumed from, or
+	// cleared (fields: epoch, round, action).
+	EventCheckpoint = "checkpoint"
 )
 
 // DefaultEventCap bounds the event log of New.

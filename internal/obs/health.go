@@ -1,0 +1,45 @@
+package obs
+
+import "sync"
+
+// Health is the process-level health state behind the /healthz and
+// /readyz debug endpoints. Liveness ("is the process up") is implicit —
+// a served /healthz is alive — while readiness ("should new work be sent
+// here") is an explicit flag components flip: a draining site marks
+// itself not ready the moment shutdown starts, so coordinators that
+// consult /readyz skip it instead of burning a call that would only be
+// refused with ErrDraining.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth returns a Health that starts ready.
+func NewHealth() *Health {
+	return &Health{ready: true}
+}
+
+// SetReady marks the process ready to accept new work.
+func (h *Health) SetReady() {
+	h.mu.Lock()
+	h.ready = true
+	h.reason = ""
+	h.mu.Unlock()
+}
+
+// SetNotReady marks the process not ready, with a human-readable reason
+// ("draining", "restoring snapshot", ...).
+func (h *Health) SetNotReady(reason string) {
+	h.mu.Lock()
+	h.ready = false
+	h.reason = reason
+	h.mu.Unlock()
+}
+
+// Ready reports the readiness flag and, when not ready, the reason.
+func (h *Health) Ready() (bool, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}

@@ -41,6 +41,8 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	s.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.server.Serve(l)
 	return s, nil
@@ -63,8 +65,31 @@ func (s *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "skalla debug endpoints:\n  /metrics  deterministic JSON metrics snapshot\n  /events   incident log (?kind=%s|%s|%s|...)\n  /trace    Chrome trace_event JSON (load in chrome://tracing or Perfetto)\n",
+	fmt.Fprintf(w, "skalla debug endpoints:\n  /metrics  deterministic JSON metrics snapshot\n  /events   incident log (?kind=%s|%s|%s|...)\n  /trace    Chrome trace_event JSON (load in chrome://tracing or Perfetto)\n  /healthz  liveness (200 while the process serves)\n  /readyz   readiness (503 while draining)\n",
 		EventRetry, EventFailover, EventChaos)
+}
+
+// handleHealthz is the liveness probe: answering at all means alive.
+func (s *DebugServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 while the process accepts new
+// work, 503 with the reason once it stops (e.g. graceful drain).
+// Coordinators consult it to skip draining sites without burning a call.
+func (s *DebugServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.obs.Health == nil {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	ready, reason := s.obs.Health.Ready()
+	if !ready {
+		http.Error(w, "not ready: "+reason, http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {

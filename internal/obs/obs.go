@@ -33,14 +33,18 @@ type Obs struct {
 	Tracer *Tracer
 	// Events is the bounded incident log.
 	Events *EventLog
+	// Health is the readiness state behind /healthz and /readyz.
+	Health *Health
 }
 
-// New returns an Obs with a fresh registry, tracer, and event log.
+// New returns an Obs with a fresh registry, tracer, event log, and a
+// ready health state.
 func New() *Obs {
 	return &Obs{
 		Metrics: NewRegistry(),
 		Tracer:  NewTracer(),
 		Events:  NewEventLog(DefaultEventCap),
+		Health:  NewHealth(),
 	}
 }
 
@@ -71,6 +75,23 @@ func (o *Obs) Observe(name string, v int64) {
 		return
 	}
 	o.Metrics.Histogram(name).Observe(v)
+}
+
+// SetNotReady flips the health state to not-ready with a reason. Safe on
+// a nil receiver.
+func (o *Obs) SetNotReady(reason string) {
+	if o == nil || o.Health == nil {
+		return
+	}
+	o.Health.SetNotReady(reason)
+}
+
+// SetReady flips the health state back to ready. Safe on a nil receiver.
+func (o *Obs) SetReady() {
+	if o == nil || o.Health == nil {
+		return
+	}
+	o.Health.SetReady()
 }
 
 // Event appends an incident to the event log. Safe on a nil receiver.

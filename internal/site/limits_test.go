@@ -1,0 +1,151 @@
+package site
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+func baseReq(epoch string, round int) *transport.Request {
+	return &transport.Request{
+		Op: transport.OpEvalBase, Detail: "flow",
+		BaseCols: []string{"SourceAS", "DestAS"},
+		Epoch:    epoch, Round: round,
+	}
+}
+
+func TestLimitsMaxResultRows(t *testing.T) {
+	e := loadedEngine(t)
+	o := obs.New()
+	e.SetObs(o)
+	e.SetLimits(Limits{MaxResultRows: 2}) // base query yields 3 groups
+
+	resp := e.Handle(context.Background(), baseReq("", 0))
+	err := resp.Error()
+	if err == nil {
+		t.Fatal("oversized result not refused")
+	}
+	if !errors.Is(err, transport.ErrOverloaded) {
+		t.Fatalf("err = %v, want wrapped ErrOverloaded", err)
+	}
+	if resp.Code != transport.CodeOverloaded {
+		t.Errorf("code = %d, want CodeOverloaded", resp.Code)
+	}
+	if got := o.Metrics.CounterValue("site.overloads"); got != 1 {
+		t.Errorf("site.overloads = %d, want 1", got)
+	}
+	if got := o.Events.CountKind(obs.EventOverload); got != 1 {
+		t.Errorf("overload events = %d, want 1", got)
+	}
+
+	// Raising the cap lets the same request through.
+	e.SetLimits(Limits{MaxResultRows: 3})
+	if resp := e.Handle(context.Background(), baseReq("", 0)); resp.Error() != nil {
+		t.Fatalf("within-limit request refused: %v", resp.Error())
+	}
+}
+
+func TestLimitsMaxResultBytes(t *testing.T) {
+	e := loadedEngine(t)
+	e.SetLimits(Limits{MaxResultBytes: 10}) // 3 groups × 2 int cols ≫ 10 bytes
+	resp := e.Handle(context.Background(), baseReq("", 0))
+	if !errors.Is(resp.Error(), transport.ErrOverloaded) {
+		t.Fatalf("err = %v, want wrapped ErrOverloaded", resp.Error())
+	}
+	e.SetLimits(Limits{}) // zero = unlimited
+	if resp := e.Handle(context.Background(), baseReq("", 0)); resp.Error() != nil {
+		t.Fatalf("unlimited request refused: %v", resp.Error())
+	}
+}
+
+func TestReplayDedup(t *testing.T) {
+	e := loadedEngine(t)
+	o := obs.New()
+	e.SetObs(o)
+
+	first := e.Handle(context.Background(), baseReq("ep1", 0))
+	if first.Error() != nil {
+		t.Fatal(first.Error())
+	}
+	// Same (epoch, round): served from cache, not recomputed.
+	second := e.Handle(context.Background(), baseReq("ep1", 0))
+	if second != first {
+		t.Error("replayed round recomputed instead of served from cache")
+	}
+	if got := o.Metrics.CounterValue("site.dedup_hits"); got != 1 {
+		t.Errorf("dedup_hits = %d, want 1", got)
+	}
+	if got := o.Events.CountKind(obs.EventReplay); got != 1 {
+		t.Errorf("replay events = %d, want 1", got)
+	}
+
+	// A different round of the same epoch is fresh work.
+	if r := e.Handle(context.Background(), baseReq("ep1", 1)); r == first {
+		t.Error("different round served stale cache entry")
+	}
+	// A new epoch drops the old cache entirely.
+	if r := e.Handle(context.Background(), baseReq("ep2", 0)); r == first {
+		t.Error("new epoch served old epoch's cache")
+	}
+	if r := e.Handle(context.Background(), baseReq("ep1", 0)); r == first {
+		t.Error("old epoch's entry survived the epoch switch")
+	}
+}
+
+func TestReplayUntaggedNotCached(t *testing.T) {
+	e := loadedEngine(t)
+	o := obs.New()
+	e.SetObs(o)
+	a := e.Handle(context.Background(), baseReq("", 0))
+	b := e.Handle(context.Background(), baseReq("", 0))
+	if a == b {
+		t.Error("untagged request was cached")
+	}
+	if got := o.Metrics.CounterValue("site.dedup_hits"); got != 0 {
+		t.Errorf("dedup_hits = %d, want 0", got)
+	}
+}
+
+func TestReplayErrorsNotCached(t *testing.T) {
+	e := loadedEngine(t)
+	e.SetLimits(Limits{MaxResultRows: 1})
+	a := e.Handle(context.Background(), baseReq("ep1", 0))
+	if a.Error() == nil {
+		t.Fatal("expected overload")
+	}
+	// After the overload clears, the same (epoch, round) must recompute
+	// rather than replay the cached failure.
+	e.SetLimits(Limits{})
+	b := e.Handle(context.Background(), baseReq("ep1", 0))
+	if b.Error() != nil {
+		t.Fatalf("error response was cached: %v", b.Error())
+	}
+}
+
+func TestReplayCacheEviction(t *testing.T) {
+	e := loadedEngine(t)
+	for round := 0; round < replayCacheCap+1; round++ {
+		if r := e.Handle(context.Background(), baseReq("ep", round)); r.Error() != nil {
+			t.Fatal(r.Error())
+		}
+	}
+	// Round 0 was evicted (FIFO): a replay recomputes it.
+	o := obs.New()
+	e.SetObs(o)
+	if r := e.Handle(context.Background(), baseReq("ep", 0)); r.Error() != nil {
+		t.Fatal(r.Error())
+	}
+	if got := o.Metrics.CounterValue("site.dedup_hits"); got != 0 {
+		t.Errorf("evicted entry still hit: dedup_hits = %d", got)
+	}
+	// The newest round is still cached.
+	if r := e.Handle(context.Background(), baseReq("ep", replayCacheCap)); r.Error() != nil {
+		t.Fatal(r.Error())
+	}
+	if got := o.Metrics.CounterValue("site.dedup_hits"); got != 1 {
+		t.Errorf("newest entry not cached: dedup_hits = %d", got)
+	}
+}

@@ -12,7 +12,9 @@ package site
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -54,18 +56,59 @@ func lookupGenerator(kind string) (Generator, bool) {
 	return g, ok
 }
 
+// Limits bounds what a single request may produce. Zero fields are
+// unlimited. A request whose result exceeds a limit is refused with an
+// error wrapping transport.ErrOverloaded (wire code CodeOverloaded), so
+// retrying wrappers fail over instead of re-asking for the same
+// oversized answer.
+type Limits struct {
+	// MaxResultRows caps the number of rows in one response relation.
+	MaxResultRows int
+	// MaxResultBytes caps the approximate payload size of one response
+	// relation (cheap pre-encode estimate, not exact wire bytes).
+	MaxResultBytes int64
+}
+
+// replayCacheCap bounds the per-engine replay cache. Replays target the
+// current round, so only a handful of recent responses ever matter; the
+// cap keeps a misbehaving coordinator from growing site memory.
+const replayCacheCap = 16
+
 // Engine is one site's local warehouse. It implements transport.Handler.
 type Engine struct {
 	id string
 
-	mu   sync.RWMutex
-	rels map[string]*relation.Relation
-	obs  *obs.Obs
+	mu     sync.RWMutex
+	rels   map[string]*relation.Relation
+	obs    *obs.Obs
+	limits Limits
+
+	// Replay cache: responses to epoch-tagged rounds, so a coordinator
+	// replaying (epoch, round) after a failure gets the cached answer
+	// instead of a recomputation. One epoch at a time: a new epoch clears
+	// the cache.
+	replayMu    sync.Mutex
+	replayEpoch string
+	replay      map[string]*transport.Response
+	replayOrder []string
 }
 
 // NewEngine returns an empty site engine.
 func NewEngine(id string) *Engine {
 	return &Engine{id: id, rels: map[string]*relation.Relation{}}
+}
+
+// SetLimits installs per-request resource limits (zero fields disable).
+func (e *Engine) SetLimits(l Limits) {
+	e.mu.Lock()
+	e.limits = l
+	e.mu.Unlock()
+}
+
+func (e *Engine) getLimits() Limits {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.limits
 }
 
 // ID returns the site identifier.
@@ -117,16 +160,141 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.
 	o.Count("site.op."+req.Op.String(), 1)
 	ctx, span := o.StartSpanTrack(ctx, req.Op.String(), obs.SiteTrack(e.id))
 	defer span.End()
+	if resp := e.replayHit(req); resp != nil {
+		o.Count("site.dedup_hits", 1)
+		o.Event(obs.EventReplay, e.id, "served replayed round from cache",
+			map[string]string{"epoch": req.Epoch, "round": strconv.Itoa(req.Round)})
+		span.SetArg("replay", "cache-hit")
+		return resp
+	}
 	resp, err := e.handle(ctx, req)
 	if err != nil {
 		o.Count("site.errors", 1)
+		if errors.Is(err, transport.ErrOverloaded) {
+			o.Count("site.overloads", 1)
+			o.Event(obs.EventOverload, e.id, "request shed by resource limit",
+				map[string]string{"op": req.Op.String(), "error": err.Error()})
+		}
 		span.SetArg("error", err.Error())
-		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err)}
+		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err), Code: transport.ErrCode(err)}
 	}
 	if resp.ComputeNs > 0 {
 		o.Observe("site.compute_ns", resp.ComputeNs)
 	}
+	e.replayStore(req, resp)
 	return resp
+}
+
+// replayKey returns the dedup key for an epoch-tagged evaluation request,
+// or "" when the request is not replayable. The key is (epoch, round, op)
+// plus a cheap request fingerprint, so a replay that somehow carries a
+// different request is recomputed rather than answered with stale state.
+func replayKey(req *transport.Request) string {
+	if req.Epoch == "" {
+		return ""
+	}
+	if req.Op != transport.OpEvalRounds && req.Op != transport.OpEvalBase {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(req.Epoch)
+	b.WriteString("|")
+	b.WriteString(strconv.Itoa(req.Round))
+	b.WriteString("|")
+	b.WriteString(req.Op.String())
+	b.WriteString("|")
+	b.WriteString(req.Detail)
+	for _, rs := range req.Rounds {
+		b.WriteString(";")
+		b.WriteString(rs.Detail)
+		for _, th := range rs.Thetas {
+			b.WriteString(",")
+			b.WriteString(th)
+		}
+	}
+	if req.Base != nil {
+		b.WriteString("|base=")
+		b.WriteString(strconv.Itoa(req.Base.Len()))
+	}
+	b.WriteString("|cols=")
+	b.WriteString(strings.Join(req.BaseCols, ","))
+	return b.String()
+}
+
+// replayHit returns the cached response for a replayed (epoch, round)
+// request, or nil on a miss.
+func (e *Engine) replayHit(req *transport.Request) *transport.Response {
+	key := replayKey(req)
+	if key == "" {
+		return nil
+	}
+	e.replayMu.Lock()
+	defer e.replayMu.Unlock()
+	if e.replayEpoch != req.Epoch {
+		return nil
+	}
+	return e.replay[key]
+}
+
+// replayStore caches a successful response under its (epoch, round) key.
+// Seeing a new epoch drops the previous epoch's cache: sites serve one
+// execution at a time per coordinator, and keys from old epochs can never
+// be asked again.
+func (e *Engine) replayStore(req *transport.Request, resp *transport.Response) {
+	key := replayKey(req)
+	if key == "" || resp == nil || resp.Err != "" {
+		return
+	}
+	e.replayMu.Lock()
+	defer e.replayMu.Unlock()
+	if e.replayEpoch != req.Epoch {
+		e.replayEpoch = req.Epoch
+		e.replay = map[string]*transport.Response{}
+		e.replayOrder = e.replayOrder[:0]
+	}
+	if e.replay == nil {
+		e.replay = map[string]*transport.Response{}
+	}
+	if _, exists := e.replay[key]; !exists {
+		e.replayOrder = append(e.replayOrder, key)
+		for len(e.replayOrder) > replayCacheCap {
+			delete(e.replay, e.replayOrder[0])
+			e.replayOrder = e.replayOrder[1:]
+		}
+	}
+	e.replay[key] = resp
+}
+
+// checkLimits enforces the per-request result caps on an outgoing
+// relation.
+func (e *Engine) checkLimits(out *relation.Relation) error {
+	l := e.getLimits()
+	if l.MaxResultRows > 0 && out.Len() > l.MaxResultRows {
+		return fmt.Errorf("site %s: result of %d rows exceeds max-result-rows %d: %w",
+			e.id, out.Len(), l.MaxResultRows, transport.ErrOverloaded)
+	}
+	if l.MaxResultBytes > 0 {
+		if n := approxRelBytes(out); n > l.MaxResultBytes {
+			return fmt.Errorf("site %s: result of ~%d bytes exceeds max-result-bytes %d: %w",
+				e.id, n, l.MaxResultBytes, transport.ErrOverloaded)
+		}
+	}
+	return nil
+}
+
+// approxRelBytes estimates a relation's payload size without encoding it:
+// eight bytes per numeric value, string lengths as-is, plus a small
+// per-row overhead. Deliberately cheap — the limit protects the site from
+// shipping runaway results, not from being off by a framing constant.
+func approxRelBytes(r *relation.Relation) int64 {
+	var n int64
+	for _, row := range r.Rows {
+		n += 8 // per-row overhead
+		for _, v := range row {
+			n += 8 + int64(len(v.S))
+		}
+	}
+	return n
 }
 
 func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport.Response, error) {
@@ -207,6 +375,9 @@ func (e *Engine) evalBase(req *transport.Request) (*transport.Response, error) {
 	start := time.Now()
 	b, err := gmdj.EvalBase(detail, def)
 	if err != nil {
+		return nil, err
+	}
+	if err := e.checkLimits(b); err != nil {
 		return nil, err
 	}
 	return &transport.Response{Rel: b, ComputeNs: time.Since(start).Nanoseconds()}, nil
@@ -312,6 +483,9 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 	}
 	if anyTouched {
 		out = filterByTotals(out, touchedTotals)
+	}
+	if err := e.checkLimits(out); err != nil {
+		return nil, err
 	}
 	o := e.getObs()
 	o.Count("site.rounds_served", int64(len(req.Rounds)))

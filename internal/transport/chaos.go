@@ -35,6 +35,13 @@ type Fault struct {
 	// Drop closes the underlying client before failing the call,
 	// simulating a connection torn down mid-exchange.
 	Drop bool
+	// DropAfter forwards the call, delivers its response, and then closes
+	// the underlying client: the site answered round N but its connection
+	// is gone when round N+1 fans out — the round-boundary failure mode
+	// that exercises checkpoint/replay rather than mid-call retry. The
+	// coordinator is synchronizing when the teardown happens, so composing
+	// DropAfter with Delay on the *next* op models a mid-synchronize kill.
+	DropAfter bool
 }
 
 // Chaos is a deterministic fault-injection wrapper around a Client: every
@@ -61,6 +68,8 @@ type Chaos struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	queues   map[Op][]Fault
+	at       map[Op]map[int]Fault // positional one-shots, keyed by per-op call number
+	opCalls  map[Op]int           // calls seen per opcode (for InjectAt)
 	errRate  float64
 	delayMax time.Duration
 	calls    int
@@ -73,10 +82,11 @@ type Chaos struct {
 // driven by seed.
 func NewChaos(inner Client, seed int64) *Chaos {
 	return &Chaos{
-		inner:  inner,
-		rng:    rand.New(rand.NewSource(seed)),
-		queues: map[Op][]Fault{},
-		closed: make(chan struct{}),
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		queues:  map[Op][]Fault{},
+		opCalls: map[Op]int{},
+		closed:  make(chan struct{}),
 	}
 }
 
@@ -104,6 +114,33 @@ func (c *Chaos) DelayNext(op Op, d time.Duration) { c.Inject(op, Fault{Delay: d}
 // DropNext makes the next call with op close the underlying client and
 // fail, as if the connection were torn down mid-exchange.
 func (c *Chaos) DropNext(op Op) { c.Inject(op, Fault{Drop: true, Err: ErrInjected}) }
+
+// DropAfterNext makes the next call with op complete normally and then
+// closes the underlying client: the site's answer for this round is
+// delivered, but the connection is dead at the next round boundary.
+func (c *Chaos) DropAfterNext(op Op) { c.Inject(op, Fault{DropAfter: true}) }
+
+// InjectAt schedules a one-shot fault for the nth future call (1-based)
+// carrying the given opcode, counted from now on a per-op counter — so
+// "kill the connection after the site answers round 2" is
+// InjectAt(OpEvalRounds, 2, Fault{DropAfter: true}) regardless of what
+// other ops interleave. With OpAny the position counts all calls.
+// Scheduling a second fault at the same (op, n) replaces the first.
+func (c *Chaos) InjectAt(op Op, nthCall int, f Fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at == nil {
+		c.at = map[Op]map[int]Fault{}
+	}
+	if c.at[op] == nil {
+		c.at[op] = map[int]Fault{}
+	}
+	base := c.opCalls[op]
+	if op == OpAny {
+		base = c.calls
+	}
+	c.at[op][base+nthCall] = f
+}
 
 // SetRandom enables seeded random injection: each call fails with
 // probability errRate and is otherwise delayed by a uniform duration in
@@ -164,6 +201,21 @@ func (c *Chaos) next(op Op) (Fault, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.calls++
+	c.opCalls[op]++
+	if m := c.at[op]; m != nil {
+		if f, ok := m[c.opCalls[op]]; ok {
+			delete(m, c.opCalls[op])
+			c.injected++
+			return f, true
+		}
+	}
+	if m := c.at[OpAny]; m != nil {
+		if f, ok := m[c.calls]; ok {
+			delete(m, c.calls)
+			c.injected++
+			return f, true
+		}
+	}
 	for _, key := range []Op{op, OpAny} {
 		if q := c.queues[key]; len(q) > 0 {
 			f := q[0]
@@ -199,6 +251,9 @@ func faultModes(f Fault) string {
 	}
 	if f.Drop {
 		modes = append(modes, "drop")
+	}
+	if f.DropAfter {
+		modes = append(modes, "drop-after")
 	}
 	if f.Err != nil {
 		modes = append(modes, "err")
@@ -250,5 +305,11 @@ func (c *Chaos) Call(ctx context.Context, req *Request) (*Response, error) {
 	if f.Err != nil {
 		return nil, fmt.Errorf("chaos: %s: %w", c.SiteID(), f.Err)
 	}
-	return c.inner.Call(ctx, req)
+	resp, err := c.inner.Call(ctx, req)
+	if f.DropAfter {
+		// The exchange completed; tear the connection down afterwards so
+		// the site is unreachable at the next round boundary.
+		c.inner.Close()
+	}
+	return resp, err
 }

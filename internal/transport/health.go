@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPHealth consults sites' /readyz debug endpoints (see internal/obs,
+// ServeDebug) so a coordinator can skip a draining or otherwise not-ready
+// site without burning a call that would only be refused. It caches each
+// verdict briefly and fails open: a site with no configured URL, or whose
+// probe errors out, counts as ready — the transport's own retry and
+// failover machinery is the authority on truly dead sites, the gate only
+// saves pointless round-trips to sites that *announced* they are leaving.
+type HTTPHealth struct {
+	urls   map[string]string // site id -> readyz URL
+	client *http.Client
+	ttl    time.Duration
+
+	mu    sync.Mutex
+	cache map[string]healthEntry
+	now   func() time.Time
+}
+
+type healthEntry struct {
+	ready  bool
+	reason string
+	at     time.Time
+}
+
+// NewHTTPHealth returns a gate probing the given site-id → URL map. URLs
+// may be bare host:port debug addresses; "/readyz" and "http://" are
+// filled in. Probes time out after one second and verdicts are cached for
+// one second.
+func NewHTTPHealth(urls map[string]string) *HTTPHealth {
+	m := make(map[string]string, len(urls))
+	for site, u := range urls {
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if !strings.HasSuffix(u, "/readyz") {
+			u = strings.TrimSuffix(u, "/") + "/readyz"
+		}
+		m[site] = u
+	}
+	return &HTTPHealth{
+		urls:   m,
+		client: &http.Client{Timeout: time.Second},
+		ttl:    time.Second,
+		cache:  map[string]healthEntry{},
+		now:    time.Now,
+	}
+}
+
+// SetTTL overrides the verdict cache lifetime (0 disables caching).
+func (h *HTTPHealth) SetTTL(d time.Duration) {
+	h.mu.Lock()
+	h.ttl = d
+	h.mu.Unlock()
+}
+
+// Ready reports whether site should receive new work and, when it should
+// not, the reason the site gave.
+func (h *HTTPHealth) Ready(site string) (bool, string) {
+	url, ok := h.urls[site]
+	if !ok {
+		return true, ""
+	}
+	h.mu.Lock()
+	if e, ok := h.cache[site]; ok && h.ttl > 0 && h.now().Sub(e.at) < h.ttl {
+		h.mu.Unlock()
+		return e.ready, e.reason
+	}
+	h.mu.Unlock()
+	ready, reason := h.probe(url)
+	h.mu.Lock()
+	h.cache[site] = healthEntry{ready: ready, reason: reason, at: h.now()}
+	h.mu.Unlock()
+	return ready, reason
+}
+
+// probe performs one readiness check. Any transport-level failure fails
+// open: unreachable is not the same as "asked not to be called".
+func (h *HTTPHealth) probe(url string) (bool, string) {
+	resp, err := h.client.Get(url)
+	if err != nil {
+		return true, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if resp.StatusCode == http.StatusOK {
+		return true, ""
+	}
+	return false, strings.TrimSpace(string(body))
+}

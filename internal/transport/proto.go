@@ -13,10 +13,50 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/relation"
 )
+
+// Typed site-condition errors. They cross the wire as Response.Code (gob
+// ships strings, not error chains), and Response.Error rebuilds a chain
+// that matches with errors.Is, so callers can classify without string
+// inspection: an overloaded or draining site is healthy but shedding load
+// — the right reaction is immediate replica failover, not a retry against
+// the same endpoint and not a permanent site-loss verdict.
+var (
+	// ErrOverloaded: the site refused the request because a per-request
+	// resource limit (max result rows/bytes) was exceeded.
+	ErrOverloaded = errors.New("transport: site overloaded")
+	// ErrDraining: the site is shutting down gracefully and no longer
+	// accepts new requests (in-flight requests still complete).
+	ErrDraining = errors.New("transport: site draining")
+)
+
+// Response.Code values classifying site-side errors on the wire.
+const (
+	// CodeOK: no classified condition (Err may still be set for plain
+	// site-side failures).
+	CodeOK = 0
+	// CodeOverloaded maps to ErrOverloaded.
+	CodeOverloaded = 1
+	// CodeDraining maps to ErrDraining.
+	CodeDraining = 2
+)
+
+// ErrCode classifies an error chain into a wire code, the inverse of
+// Response.Error's code-to-sentinel mapping.
+func ErrCode(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	default:
+		return CodeOK
+	}
+}
 
 // Op is a request opcode.
 type Op int
@@ -138,6 +178,16 @@ type Request struct {
 	// them to pre-merge their children's sub-aggregates before
 	// forwarding upstream.
 	Keys []string
+
+	// Epoch identifies one plan execution for recovery: the coordinator
+	// tags every eval request of an execution with the same epoch so a
+	// replayed round is recognizable. Empty disables replay dedup.
+	Epoch string
+	// Round is the zero-based synchronization-round sequence number
+	// within the epoch. (Epoch, Round) identifies one site exchange: the
+	// coordinator sends a deterministic request per (epoch, round, site),
+	// so sites may answer a repeat from cache instead of recomputing.
+	Round int
 }
 
 // Response is the single wire response envelope. Every field must survive
@@ -148,6 +198,10 @@ type Request struct {
 type Response struct {
 	// Err is non-empty when the operation failed.
 	Err string
+	// Code classifies the failure for errors.Is-style reactions across
+	// the wire (Code* constants): overload and drain conditions trigger
+	// immediate replica failover instead of same-site retries.
+	Code int
 	// Rel is the result relation (eval ops) or nil.
 	Rel *relation.Relation
 	// RowCount reports affected/stored row counts for non-eval ops.
@@ -158,12 +212,28 @@ type Response struct {
 	ComputeNs int64
 }
 
-// Error converts a Response error field back into a Go error.
+// Error converts a Response error field back into a Go error. Classified
+// codes wrap the matching sentinel so errors.Is(err, ErrOverloaded) and
+// errors.Is(err, ErrDraining) survive the gob round trip.
 func (r *Response) Error() error {
 	if r.Err == "" {
 		return nil
 	}
-	return fmt.Errorf("site error: %s", r.Err)
+	switch r.Code {
+	case CodeOverloaded:
+		return fmt.Errorf("site error: %s: %w", r.Err, ErrOverloaded)
+	case CodeDraining:
+		return fmt.Errorf("site error: %s: %w", r.Err, ErrDraining)
+	default:
+		return fmt.Errorf("site error: %s", r.Err)
+	}
+}
+
+// Shed reports whether the response is a load-shedding refusal (overload
+// or drain): the site is alive but declined the request, so callers
+// should fail over to a replica immediately rather than retry here.
+func (r *Response) Shed() bool {
+	return r != nil && (r.Code == CodeOverloaded || r.Code == CodeDraining)
 }
 
 // Handler processes site requests; implemented by the site engine and by

@@ -5,6 +5,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -157,14 +158,25 @@ func (r *Reconnector) Close() error {
 }
 
 // Call implements Client with reconnect-and-retry plus replica failover.
+//
+// A shed response (Response.Code CodeOverloaded or CodeDraining) is
+// treated as "this replica is healthy but refusing work": the call fails
+// over to the next replica immediately, without backoff and without
+// consuming the endpoint's retry budget. Once every replica has shed the
+// call, the last shed response is returned as-is so the caller sees the
+// typed refusal (ErrOverloaded / ErrDraining via Response.Error).
 func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lastErr error
+	shedHops := 0           // replicas that shed this call in a row
+	justFailedOver := false // skip the loop-top transition after a shed failover
 	total := r.attempts * len(r.dials)
 	for i := 0; i < total; i++ {
 		attempt := i % r.attempts // attempt index at the current endpoint
-		if i > 0 {
+		if justFailedOver {
+			justFailedOver = false
+		} else if i > 0 {
 			if attempt == 0 {
 				// Retries at the previous endpoint are exhausted: fail
 				// over to the next replica without backing off (it is an
@@ -212,6 +224,38 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 		resp, err := r.cur.Call(ctx, req)
 		s1, r1, _, t1 := r.cur.Stats().Snapshot()
 		if err == nil {
+			if resp.Shed() {
+				shedHops++
+				if shedHops >= len(r.dials) {
+					// Every replica is shedding: surface the typed
+					// refusal to the caller instead of spinning.
+					r.addDelta(s1-s0, r1-r0, t1-t0)
+					return resp, nil
+				}
+				// The replica is up but refusing work (overloaded or
+				// draining): fail over immediately without burning the
+				// endpoint's retry budget — retrying the same replica
+				// would only be refused again. The refused exchange's
+				// traffic is waste, like a failed retry's.
+				if wasted := (s1 - s0) + (r1 - r0); wasted > 0 {
+					r.obs.Count("transport.retry_wasted_bytes", wasted)
+				}
+				from := r.ep
+				r.ep = (r.ep + 1) % len(r.dials)
+				r.cur.Close()
+				r.cur = nil
+				r.obs.Count("transport.overload_failovers", 1)
+				r.obs.Event(obs.EventOverload, r.id, "replica shed the call; failing over",
+					map[string]string{
+						"op":   req.Op.String(),
+						"code": strconv.Itoa(resp.Code),
+						"from": strconv.Itoa(from),
+						"to":   strconv.Itoa(r.ep),
+					})
+				justFailedOver = true
+				i--
+				continue
+			}
 			// Fold the inner connection's traffic into the aggregate,
 			// preserving comm-time accounting without re-sleeping.
 			r.addDelta(s1-s0, r1-r0, t1-t0)
@@ -229,9 +273,13 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 		// the next attempt redials.
 		r.cur.Close()
 		r.cur = nil
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The caller cancelled or timed out; do not reinterpret that
-			// as an endpoint failure.
+			// as an endpoint failure. The errors.Is checks matter when the
+			// cancellation surfaced inside the inner client (e.g. a
+			// coordinator cancelling siblings after a first error) before
+			// this context observes it: classifying that as a site fault
+			// would burn a healthy site's retry budget.
 			return nil, lastErr
 		}
 	}

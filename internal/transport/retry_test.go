@@ -299,6 +299,132 @@ func TestReconnectorStopsOnCancel(t *testing.T) {
 	}
 }
 
+// shedClient sheds (overload/draining response) its first shedN calls,
+// then succeeds.
+type shedClient struct {
+	id    string
+	shedN int
+	code  int
+	calls int
+	stats WireStats
+}
+
+func (s *shedClient) SiteID() string    { return s.id }
+func (s *shedClient) Stats() *WireStats { return &s.stats }
+func (s *shedClient) Close() error      { return nil }
+
+func (s *shedClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	s.calls++
+	s.stats.AddSent(10, CostModel{})
+	s.stats.AddReceived(5, CostModel{})
+	if s.calls <= s.shedN {
+		return &Response{Err: "overloaded", Code: s.code}, nil
+	}
+	return &Response{RowCount: 1}, nil
+}
+
+func TestShedFailoverDoesNotBurnRetryBudget(t *testing.T) {
+	// One attempt only: if the shed failover consumed retry budget, the
+	// very first overloaded response would exhaust it and the call would
+	// fail instead of landing on the healthy replica.
+	over := &shedClient{id: "a", shedN: 99, code: CodeOverloaded}
+	good := &flakyClient{id: "b"}
+	rc := NewReplicaSet("s", []func() (Client, error){
+		func() (Client, error) { return over, nil },
+		func() (Client, error) { return good, nil },
+	}, 1, 0)
+	o := obs.New()
+	rc.SetObs(o)
+	resp, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if err != nil {
+		t.Fatalf("shed failover failed: %v", err)
+	}
+	if resp.Error() != nil || resp.RowCount != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if over.calls != 1 || good.calls != 1 {
+		t.Errorf("calls: over=%d good=%d, want 1/1", over.calls, good.calls)
+	}
+	if rc.Endpoint() != 1 {
+		t.Errorf("endpoint = %d, want sticky failover to 1", rc.Endpoint())
+	}
+	if got := o.Metrics.CounterValue("transport.overload_failovers"); got != 1 {
+		t.Errorf("overload_failovers = %d, want 1", got)
+	}
+	if got := o.Events.CountKind(obs.EventOverload); got != 1 {
+		t.Errorf("overload events = %d, want 1", got)
+	}
+	// The shed attempt's traffic is waste, not part of the exchange: only
+	// the successful replica's bytes (10 sent / 20 received) aggregate.
+	sent, recv, _, _ := rc.Stats().Snapshot()
+	if sent != 10 || recv != 20 {
+		t.Errorf("aggregated stats sent=%d recv=%d, want 10/20", sent, recv)
+	}
+	if got := o.Metrics.CounterValue("transport.retry_wasted_bytes"); got != 15 {
+		t.Errorf("retry_wasted_bytes = %d, want 15", got)
+	}
+}
+
+func TestAllReplicasShed(t *testing.T) {
+	// Every replica sheds: the caller gets the shed response itself (not a
+	// transport error), so it can classify via errors.Is(_, ErrOverloaded).
+	a := &shedClient{id: "a", shedN: 99, code: CodeOverloaded}
+	b := &shedClient{id: "b", shedN: 99, code: CodeDraining}
+	rc := NewReplicaSet("s", []func() (Client, error){
+		func() (Client, error) { return a, nil },
+		func() (Client, error) { return b, nil },
+	}, 3, 0)
+	resp, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if err != nil {
+		t.Fatalf("want shed response, got transport error %v", err)
+	}
+	if !resp.Shed() {
+		t.Fatalf("resp = %+v, want shed", resp)
+	}
+	if !errors.Is(resp.Error(), ErrDraining) {
+		t.Errorf("resp.Error() = %v, want ErrDraining", resp.Error())
+	}
+	// Exactly one call per replica: no retry budget burned on shed.
+	if a.calls != 1 || b.calls != 1 {
+		t.Errorf("calls: a=%d b=%d, want 1/1", a.calls, b.calls)
+	}
+}
+
+// cancelledClient simulates a sibling cancellation surfacing from the
+// wire layer: the error wraps context.Canceled even though the call's
+// own context may still look alive at classification time.
+type cancelledClient struct {
+	id    string
+	calls int
+	stats WireStats
+}
+
+func (c *cancelledClient) SiteID() string    { return c.id }
+func (c *cancelledClient) Stats() *WireStats { return &c.stats }
+func (c *cancelledClient) Close() error      { return nil }
+
+func (c *cancelledClient) Call(ctx context.Context, req *Request) (*Response, error) {
+	c.calls++
+	return nil, fmt.Errorf("site s: call aborted: %w", context.Canceled)
+}
+
+func TestReconnectorSiblingCancellationNotRetried(t *testing.T) {
+	// When the coordinator cancels a round because a sibling site failed,
+	// this site's in-flight call dies with a wrapped context.Canceled.
+	// That is not a site fault: retrying (or failing over) would burn
+	// budget the real failure diagnosis needs.
+	inner := &cancelledClient{id: "s"}
+	dials := 0
+	rc := NewReconnector("s", func() (Client, error) { dials++; return inner, nil }, 5, 0)
+	_, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if inner.calls != 1 || dials != 1 {
+		t.Errorf("calls=%d dials=%d, want 1/1 (cancellation retried)", inner.calls, dials)
+	}
+}
+
 func TestReconnectorNoRetryAfterDeadline(t *testing.T) {
 	// A hung endpoint under a per-call deadline: the reconnector must not
 	// burn its remaining attempts (or fail over) once the deadline is the

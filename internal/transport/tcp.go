@@ -23,10 +23,14 @@ type Server struct {
 	handler  Handler
 	listener net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	draining bool
+	inflight int   // requests currently inside the handler
+	served   int64 // requests ever admitted to the handler
+	wg       sync.WaitGroup
+	reqWG    sync.WaitGroup // outstanding handler invocations
 
 	// Logf logs server-side errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -126,7 +130,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.Obs.Count("transport.server.bytes_received", cr.n-r0)
 		s.Obs.Count("transport.server.requests", 1)
 		s.Obs.Count("transport.server.op."+req.Op.String(), 1)
-		resp, alive := s.handleWatched(ctx, conn, pr, &req)
+		resp, alive := s.dispatch(ctx, conn, pr, &req)
 		if !alive {
 			return
 		}
@@ -139,6 +143,106 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.Obs.Count("transport.server.bytes_sent", cw.n-w0)
 	}
+}
+
+// dispatch admits one decoded request into the handler, or refuses it
+// with a CodeDraining response when the server is draining. Admission and
+// the in-flight bookkeeping happen under mu so Drain's reqWG.Wait never
+// races a concurrent reqWG.Add.
+func (s *Server) dispatch(ctx context.Context, conn net.Conn, pr *pushbackReader, req *Request) (*Response, bool) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.Obs.Count("transport.server.drain_rejects", 1)
+		return &Response{Err: "site draining: not accepting new requests", Code: CodeDraining}, true
+	}
+	s.reqWG.Add(1)
+	s.inflight++
+	s.served++
+	n := s.inflight
+	s.mu.Unlock()
+	s.Obs.SetGauge("transport.server.inflight", int64(n))
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		n := s.inflight
+		s.mu.Unlock()
+		s.Obs.SetGauge("transport.server.inflight", int64(n))
+		s.reqWG.Done()
+	}()
+	return s.handleWatched(ctx, conn, pr, req)
+}
+
+// Drain gracefully shuts the server down: it stops accepting new
+// connections and new requests (in-flight connections that send another
+// request get a CodeDraining refusal), waits up to timeout for in-flight
+// handler invocations to finish, then closes everything. It returns an
+// error when the deadline expired with requests still running; the
+// server is closed either way.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	n := s.inflight
+	if s.listener != nil {
+		s.listener.Close() // acceptLoop exits on net.ErrClosed
+	}
+	s.mu.Unlock()
+	s.Obs.SetNotReady("draining")
+	s.Obs.Event(obs.EventDrain, "", "drain started", map[string]string{
+		"phase": "start", "inflight": fmt.Sprint(n),
+	})
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var timedOut bool
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		timedOut = true
+	}
+	s.mu.Lock()
+	left := s.inflight
+	s.mu.Unlock()
+	s.Obs.Event(obs.EventDrain, "", "drain finished", map[string]string{
+		"phase": "done", "inflight": fmt.Sprint(left), "timed_out": fmt.Sprint(timedOut),
+	})
+	if timedOut {
+		// The stuck handler may never return; closing without waiting for
+		// its connection goroutine is the only way out of the process.
+		s.close(false)
+		return fmt.Errorf("transport: drain deadline %v expired with %d request(s) in flight", timeout, left)
+	}
+	return s.Close()
+}
+
+// Draining reports whether the server has started a graceful drain.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Inflight returns how many requests are currently inside the handler.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Served returns how many requests were ever admitted to the handler.
+func (s *Server) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.served)
 }
 
 // handleWatched runs the handler under a per-request context while a
@@ -201,23 +305,37 @@ func (p *pushbackReader) Read(out []byte) (int, error) {
 	return p.conn.Read(out)
 }
 
-// Close stops the listener and all open connections.
-func (s *Server) Close() error {
+// Close stops the listener and all open connections, waiting for the
+// connection goroutines to exit.
+func (s *Server) Close() error { return s.close(true) }
+
+// close tears the server down; wait=false skips waiting for connection
+// goroutines (used by a timed-out Drain, whose stuck handler would make
+// the wait block forever).
+func (s *Server) close(wait bool) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if wait {
+			s.wg.Wait()
+		}
 		return nil
 	}
 	s.closed = true
 	var err error
 	if s.listener != nil {
-		err = s.listener.Close()
+		// Drain may already have closed the listener; that is not an error.
+		if cerr := s.listener.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr
+		}
 	}
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	if wait {
+		s.wg.Wait()
+	}
 	return err
 }
 

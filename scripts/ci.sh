@@ -13,9 +13,9 @@ fi
 
 echo "== build + vet =="
 go build ./...
-# Vet the fault-tolerance layer first for a fast, targeted failure
-# signal, then the whole tree.
-go vet ./internal/transport/... ./internal/core/... ./skalla/... ./cmd/...
+# Vet the fault-tolerance and recovery layers first for a fast, targeted
+# failure signal, then the whole tree.
+go vet ./internal/transport/... ./internal/core/... ./internal/site/... ./skalla/... ./cmd/...
 go vet ./...
 
 echo "== static analysis (skalla-lint) =="
@@ -24,7 +24,11 @@ echo "== static analysis (skalla-lint) =="
 go vet ./internal/lint/... ./cmd/skalla-lint
 go test -race ./internal/lint/...
 # Zero findings required; suppressions need //lint:ignore with a reason
-# (see LINT.md).
+# (see LINT.md). The recovery layers (checkpointing, drain, limits) are
+# linted first for a targeted signal — errflow guards the ErrOverloaded /
+# ErrDraining chains the Reconnector classifies with errors.Is — then the
+# whole tree.
+go run ./cmd/skalla-lint ./internal/transport/... ./internal/core/... ./internal/site/...
 go run ./cmd/skalla-lint ./...
 
 echo "== tests (race) =="

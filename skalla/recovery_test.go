@@ -1,0 +1,236 @@
+package skalla
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/gmdj"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// computeNsJitter bounds the run-to-run drift of BytesFromSites: responses
+// carry a measured ComputeNs whose gob varint width varies by a byte or
+// two between any two executions. Request-direction bytes and group counts
+// carry no timing and must match exactly.
+const computeNsJitter = 16
+
+// TestRecoveryAfterCoordinatorRestart is the end-to-end recovery scenario
+// over real TCP: a coordinator with a file-backed checkpoint store dies
+// between synchronization rounds (a chaos-injected transport failure at
+// the round-2 fan-out aborts the run), and a freshly built cluster — the
+// restarted coordinator process — pointed at the same checkpoint
+// directory resumes from the last completed round. The final relation and
+// the per-round ExecStats byte counters must match an uninterrupted run,
+// with the restored rounds accounted as resumed, not re-executed.
+func TestRecoveryAfterCoordinatorRestart(t *testing.T) {
+	parts, whole := flowParts(3)
+	var sites []string
+	for i := range parts {
+		entry, _ := startFlowSite(t, fmt.Sprintf("site%d", i), parts[i], 1)
+		sites = append(sites, entry)
+	}
+	dir := t.TempDir()
+
+	want, err := gmdj.EvalQuery(whole, example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: an uninterrupted run. It gets its own checkpoint store so
+	// its requests carry the same (epoch, round) tags as the recovery runs
+	// — tags change request wire size, and the byte comparison below is
+	// exact in the request direction.
+	refCluster, err := ConnectWith(ConnectConfig{
+		Sites:       sites,
+		Attempts:    1,
+		Backoff:     time.Millisecond,
+		CallTimeout: 10 * time.Second,
+		Checkpoints: NewMemCheckpoints(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refCluster.Close()
+	ref, err := refCluster.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "uninterrupted", ref.Relation, want)
+
+	// Coordinator process #1: checkpoints to dir, and is killed between
+	// rounds — the injected fault fails the second evalRounds fan-out
+	// (plan round 3), after rounds 1 and 2 were checkpointed.
+	store1, err := NewFileCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := obs.New()
+	var clients []transport.Client
+	var chaos []*transport.Chaos
+	for i, entry := range sites {
+		tc, err := transport.DialTCP(fmt.Sprintf("site%d", i), entry, transport.CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := transport.NewChaos(tc, int64(i))
+		// Prime the gob stream like ConnectWith's connect-time ping does,
+		// so the first round's byte delta excludes type-descriptor overhead
+		// and checkpointed counters compare exactly with the reference run.
+		if _, err := ch.Call(context.Background(), &transport.Request{Op: transport.OpPing}); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, ch)
+		chaos = append(chaos, ch)
+	}
+	chaos[2].InjectAt(transport.OpEvalRounds, 2, transport.Fault{Err: transport.ErrInjected})
+	coord := core.NewCoordinator(clients...)
+	coord.Checkpoints = store1
+	coord.Obs = o1
+	cat := catalog.New("site0", "site1", "site2")
+	if _, _, _, err := coord.Run(context.Background(), example1(), "flow", core.Egil{Catalog: cat}); err == nil {
+		t.Fatal("interrupted run did not fail")
+	}
+	if got := o1.Metrics.CounterValue("checkpoint.written"); got != 2 {
+		t.Fatalf("checkpoints written before the crash = %d, want 2", got)
+	}
+	for _, ch := range chaos {
+		ch.Close() // the dead coordinator's connections go away with it
+	}
+
+	// Coordinator process #2: a fresh cluster over the same sites, opening
+	// the same checkpoint directory, resumes and completes the execution.
+	store2, err := NewFileCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := obs.New()
+	resumed, err := ConnectWith(ConnectConfig{
+		Sites:       sites,
+		Attempts:    2,
+		Backoff:     time.Millisecond,
+		CallTimeout: 10 * time.Second,
+		Checkpoints: store2,
+		Obs:         o2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	res, err := resumed.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	assertSameResult(t, "resumed", res.Relation, want)
+
+	// Restored rounds are accounted as resumed, separately from replays.
+	if got := res.Stats.ResumedRounds(); got != 2 {
+		t.Errorf("ResumedRounds = %d, want 2", got)
+	}
+	if len(res.Stats.Rounds) != len(ref.Stats.Rounds) {
+		t.Fatalf("resumed run has %d rounds, reference %d", len(res.Stats.Rounds), len(ref.Stats.Rounds))
+	}
+	for i, r := range res.Stats.Rounds {
+		if wantResumed := i < 2; r.Resumed != wantResumed {
+			t.Errorf("round %s: Resumed = %v, want %v", r.Name, r.Resumed, wantResumed)
+		}
+	}
+	if got := res.Stats.ReplayedSites(); len(got) != 0 {
+		t.Errorf("ReplayedSites = %v, want none", got)
+	}
+	if got := o2.Metrics.CounterValue("checkpoint.resumed"); got != 1 {
+		t.Errorf("checkpoint.resumed = %d, want 1", got)
+	}
+	if got := o2.Metrics.CounterValue("coord.rounds_resumed"); got != 2 {
+		t.Errorf("coord.rounds_resumed = %d, want 2", got)
+	}
+
+	// Byte counters match the uninterrupted run round for round: exact in
+	// the request direction and for group counts, within the ComputeNs
+	// varint jitter in the response direction.
+	for i, r := range res.Stats.Rounds {
+		refR := ref.Stats.Rounds[i]
+		if r.BytesToSites != refR.BytesToSites {
+			t.Errorf("round %s: BytesToSites = %d, reference %d", r.Name, r.BytesToSites, refR.BytesToSites)
+		}
+		if r.GroupsShipped != refR.GroupsShipped || r.GroupsReceived != refR.GroupsReceived {
+			t.Errorf("round %s: groups = %d/%d, reference %d/%d",
+				r.Name, r.GroupsShipped, r.GroupsReceived, refR.GroupsShipped, refR.GroupsReceived)
+		}
+		if d := r.BytesFromSites - refR.BytesFromSites; d < -computeNsJitter || d > computeNsJitter {
+			t.Errorf("round %s: BytesFromSites = %d, reference %d (|Δ| > %d)",
+				r.Name, r.BytesFromSites, refR.BytesFromSites, computeNsJitter)
+		}
+	}
+
+	// Completion cleared the checkpoint: re-running the same query on the
+	// same store starts fresh instead of resuming.
+	res2, err := resumed.Query(example1(), "flow", NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Stats.ResumedRounds(); got != 0 {
+		t.Errorf("rerun after completion resumed %d rounds, want 0 (checkpoint not cleared)", got)
+	}
+	assertSameResult(t, "rerun", res2.Relation, want)
+}
+
+// TestRoundBoundaryConnectionLoss exercises the DropAfter chaos fault
+// over real TCP: site1's answer for the base round is delivered and then
+// its connection is torn down, so the socket is dead when the next round
+// fans out. The Reconnector redials lazily and the query completes with
+// the right answer — no retries burned, nothing lost, nothing replayed.
+func TestRoundBoundaryConnectionLoss(t *testing.T) {
+	parts, whole := flowParts(2)
+	o := obs.New()
+	var clients []transport.Client
+	var chaos []*transport.Chaos
+	for i := range parts {
+		id := fmt.Sprintf("site%d", i)
+		entry, _ := startFlowSite(t, id, parts[i], 1)
+		rc := transport.NewReconnectingTCP(id, entry, transport.CostModel{}, 2, time.Millisecond)
+		rc.SetObs(o)
+		ch := transport.NewChaos(rc, int64(i))
+		ch.SetObs(o)
+		clients = append(clients, ch)
+		chaos = append(chaos, ch)
+	}
+	defer func() {
+		for _, ch := range chaos {
+			ch.Close()
+		}
+	}()
+	chaos[1].InjectAt(transport.OpEvalBase, 1, transport.Fault{DropAfter: true})
+
+	coord := core.NewCoordinator(clients...)
+	coord.Obs = o
+	cat := catalog.New("site0", "site1")
+	rel, stats, _, err := coord.Run(context.Background(), example1(), "flow", core.Egil{Catalog: cat})
+	if err != nil {
+		t.Fatalf("query across connection loss: %v", err)
+	}
+	want, err := gmdj.EvalQuery(whole, example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "after connection loss", rel, want)
+
+	if chaos[1].Injected() != 1 {
+		t.Fatalf("injected faults = %d, want 1", chaos[1].Injected())
+	}
+	if stats.Partial() {
+		t.Errorf("connection loss degraded the result: lost %v", stats.LostSites())
+	}
+	if got := stats.ReplayedSites(); len(got) != 0 {
+		t.Errorf("ReplayedSites = %v, want none (lazy redial, not replay)", got)
+	}
+	// The severed connection is rebuilt by a lazy redial on the next call,
+	// not by the retry path: no retry budget is spent.
+	if got := o.Metrics.CounterValue("transport.retries"); got != 0 {
+		t.Errorf("transport.retries = %d, want 0", got)
+	}
+}

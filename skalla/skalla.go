@@ -59,7 +59,22 @@ type (
 	Catalog = catalog.Catalog
 	// CostModel models the coordinator↔site links.
 	CostModel = transport.CostModel
+	// CheckpointStore persists round-level execution checkpoints.
+	CheckpointStore = core.CheckpointStore
+	// Limits bounds what one site request may produce.
+	Limits = site.Limits
 )
+
+// NewFileCheckpoints returns a file-backed checkpoint store rooted at
+// dir: one JSON file per execution epoch, written atomically after every
+// completed synchronization round.
+func NewFileCheckpoints(dir string) (CheckpointStore, error) {
+	return core.NewFileCheckpoints(dir)
+}
+
+// NewMemCheckpoints returns an in-memory checkpoint store (tests, or
+// recovery from in-process coordinator restarts only).
+func NewMemCheckpoints() CheckpointStore { return core.NewMemCheckpoints() }
 
 // AllOptimizations enables every optimization of the paper.
 var AllOptimizations = core.DefaultOptions
@@ -101,6 +116,16 @@ type ClusterConfig struct {
 	// coordinator, the site engines, and the transports (see internal/obs).
 	// Nil disables observability at near-zero cost.
 	Obs *obs.Obs
+	// Checkpoints, when set, saves round-level execution state after every
+	// synchronization round and resumes interrupted executions of the same
+	// plan from their last completed round.
+	Checkpoints CheckpointStore
+	// Replays is how many times a site's round request is re-issued after
+	// a transport failure before the round fails (0 = first error aborts).
+	Replays int
+	// Limits applies per-request resource limits at every in-process
+	// site engine; oversized results are refused with ErrOverloaded.
+	Limits Limits
 }
 
 // Cluster is a running distributed data warehouse.
@@ -132,6 +157,7 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		id := fmt.Sprintf("site%d", i)
 		eng := site.NewEngine(id)
 		eng.SetObs(cfg.Obs)
+		eng.SetLimits(cfg.Limits)
 		c.ids = append(c.ids, id)
 		c.engines = append(c.engines, eng)
 		if cfg.UseTCP {
@@ -160,6 +186,8 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.coord.CallTimeout = cfg.CallTimeout
 	c.coord.AllowPartial = cfg.AllowPartial
 	c.coord.Obs = cfg.Obs
+	c.coord.Checkpoints = cfg.Checkpoints
+	c.coord.Replays = cfg.Replays
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -194,6 +222,20 @@ type ConnectConfig struct {
 	// transport retry/failover events (see internal/obs). Site-side
 	// metrics live in the remote skalla-site processes (-debug-addr).
 	Obs *obs.Obs
+	// Checkpoints, when set, saves round-level execution state after every
+	// synchronization round and resumes interrupted executions of the same
+	// plan from their last completed round (skalla-coord -checkpoint-dir).
+	Checkpoints CheckpointStore
+	// Replays is how many times a site's round request is re-issued after
+	// a transport failure before the round fails (0 = first error aborts).
+	// Replayed requests carry an (epoch, round) idempotency tag that sites
+	// answer from a dedup cache, so a replica is not recomputing blindly.
+	Replays int
+	// ReadyURLs maps site IDs ("site0", ...) to the debug addresses of
+	// their /readyz endpoints. When set, the coordinator consults a site's
+	// readiness before fanning a round out to it and — in AllowPartial
+	// mode — skips draining sites without burning a call.
+	ReadyURLs map[string]string
 }
 
 // Connect builds a cluster over already-running remote site servers (one
@@ -256,6 +298,11 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 	c.coord.CallTimeout = cfg.CallTimeout
 	c.coord.AllowPartial = cfg.AllowPartial
 	c.coord.Obs = cfg.Obs
+	c.coord.Checkpoints = cfg.Checkpoints
+	c.coord.Replays = cfg.Replays
+	if len(cfg.ReadyURLs) > 0 {
+		c.coord.Health = transport.NewHTTPHealth(cfg.ReadyURLs)
+	}
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -323,6 +370,9 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 	sub.coord.CallTimeout = c.coord.CallTimeout
 	sub.coord.AllowPartial = c.coord.AllowPartial
 	sub.coord.Obs = c.obs
+	sub.coord.Checkpoints = c.coord.Checkpoints
+	sub.coord.Replays = c.coord.Replays
+	sub.coord.Health = c.coord.Health
 	return sub, nil
 }
 
@@ -448,5 +498,8 @@ func (c *Cluster) Session() (*Cluster, error) {
 	s.coord.CallTimeout = c.coord.CallTimeout
 	s.coord.AllowPartial = c.coord.AllowPartial
 	s.coord.Obs = c.obs
+	s.coord.Checkpoints = c.coord.Checkpoints
+	s.coord.Replays = c.coord.Replays
+	s.coord.Health = c.coord.Health
 	return s, nil
 }
