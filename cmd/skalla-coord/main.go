@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/agg"
@@ -69,6 +71,12 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "checkpoint each synchronization round into this directory and resume an interrupted execution from its last completed round; empty disables")
 	replays := flag.Int("replays", 1, "times to re-issue a round request against a site's replicas after a transport failure mid-round")
 	readyURLs := flag.String("ready-urls", "", "comma-separated site=host:port pairs of site debug addresses; the coordinator probes /readyz and skips draining sites when -allow-partial is set")
+	serveAddr := flag.String("serve", "", "serve concurrent SQL queries over HTTP on this address (POST /query, plus /metrics /healthz /readyz); empty disables")
+	serveConcurrency := flag.Int("serve-concurrency", 4, "queries executing at once in -serve mode")
+	serveQueue := flag.Int("serve-queue", 8, "queries that may wait for an execution slot before new arrivals are rejected (HTTP 429)")
+	serveQueueTimeout := flag.Duration("serve-queue-timeout", 2*time.Second, "max time a queued query waits for a slot before rejection (0 = bounded only by the request)")
+	serveSiteInflight := flag.Int("serve-site-inflight", 4, "per-site connection-pool size and backpressure-window ceiling in -serve mode")
+	serveQueryTimeout := flag.Duration("serve-query-timeout", 0, "per-query execution bound in -serve mode (0 = none)")
 	flag.Parse()
 
 	opts, err := parseOpts(*opt)
@@ -77,7 +85,7 @@ func main() {
 	}
 
 	var sink *obs.Obs
-	if *tracePath != "" || *debugAddr != "" {
+	if *tracePath != "" || *debugAddr != "" || *serveAddr != "" {
 		sink = obs.Default
 	}
 
@@ -148,6 +156,18 @@ func main() {
 		return
 	}
 
+	if *serveAddr != "" {
+		runServe(cluster, sink, *serveAddr, skalla.ServeConfig{
+			MaxConcurrent: *serveConcurrency,
+			QueueDepth:    *serveQueue,
+			QueueTimeout:  *serveQueueTimeout,
+			SiteInflight:  *serveSiteInflight,
+			QueryTimeout:  *serveQueryTimeout,
+			Opts:          opts,
+		})
+		return
+	}
+
 	if *repl {
 		runREPL(cluster, opts, *maxRows)
 		return
@@ -208,6 +228,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "WARNING: partial result — lost sites: %s\n",
 			strings.Join(res.Stats.LostSites(), ", "))
 	}
+}
+
+// runServe turns the process into the long-lived concurrent query
+// service: /query next to the debug endpoints on one listener, readiness
+// gated on site fanout health, graceful exit on SIGTERM/SIGINT.
+func runServe(cluster *skalla.Cluster, sink *obs.Obs, addr string, cfg skalla.ServeConfig) {
+	svc, err := skalla.NewQueryService(cluster, cfg)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+	defer svc.Close()
+	srv, err := obs.ServeDebug(addr, sink)
+	if err != nil {
+		log.Fatalf("skalla-coord: %v", err)
+	}
+	defer srv.Close()
+	sink.Health.SetCheck(svc.CheckReady)
+	srv.Handle("/query", svc.Handler())
+	fmt.Fprintf(os.Stderr, "serving queries on http://%s/query (%d concurrent, queue %d, per-site inflight %d; /metrics /healthz /readyz)\n",
+		srv.Addr(), cfg.MaxConcurrent, cfg.QueueDepth, cfg.SiteInflight)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	// Flip readiness first so load balancers stop routing here, then let
+	// the deferred closes release connections.
+	sink.Health.SetNotReady("draining")
+	fmt.Fprintf(os.Stderr, "received %v; draining and shutting down\n", s)
 }
 
 // writeTrace dumps the collected spans as Chrome trace_event JSON.

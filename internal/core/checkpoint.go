@@ -278,8 +278,26 @@ func (s *FileCheckpoints) Save(cp *Checkpoint) error {
 	if err != nil {
 		return err
 	}
-	tmp := s.path(cp.Epoch) + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	// The temp file name must be unique per save, not just per epoch:
+	// concurrent executions (or a replayed coordinator racing its
+	// predecessor) saving the same epoch would interleave writes into a
+	// shared temp file and rename a torn checkpoint into place.
+	f, err := os.CreateTemp(s.dir, cp.Epoch+".ckpt.json.tmp*")
+	if err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, s.path(cp.Epoch)); err != nil {

@@ -3,6 +3,9 @@ package core
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -371,5 +374,80 @@ func TestReplayAfterTransportFailure(t *testing.T) {
 	chaosStrict[1].InjectAt(transport.OpEvalRounds, 2, transport.Fault{Err: transport.ErrInjected})
 	if _, _, _, err := coordStrict.Run(context.Background(), q, "flow", egil); err == nil {
 		t.Fatal("replays disabled: transport failure should abort")
+	}
+}
+
+// TestFileCheckpointsConcurrentExecutions: the file store is shared by
+// every concurrently-running execution of the serve scheduler — each
+// saves under its own epoch, and hammering the same epoch from many
+// goroutines (a replayed coordinator racing its predecessor) must never
+// commit a torn file. The old implementation used one fixed temp path
+// per epoch, so concurrent saves interleaved their writes before rename.
+func TestFileCheckpointsConcurrentExecutions(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewFileCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epochs = 4
+	const saversPerEpoch = 8
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, epochs*saversPerEpoch)
+	for e := 0; e < epochs; e++ {
+		epoch := fmt.Sprintf("epoch-%d", e)
+		for s := 0; s < saversPerEpoch; s++ {
+			wg.Add(1)
+			go func(epoch string) {
+				defer wg.Done()
+				for r := 1; r <= rounds; r++ {
+					cp := sampleCheckpointWith(relationFromRows(testRows(4, 10)))
+					cp.Epoch, cp.Done = epoch, r
+					if err := store.Save(cp); err != nil {
+						errs <- err
+						return
+					}
+					// Every load between saves must decode cleanly: a
+					// torn rename would surface here as a JSON error.
+					if _, err := store.Load(epoch); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(epoch)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Each epoch's file is intact, holds that epoch, and is the only
+	// artifact left — no stray temp files survive the races.
+	for e := 0; e < epochs; e++ {
+		epoch := fmt.Sprintf("epoch-%d", e)
+		cp, err := store.Load(epoch)
+		if err != nil || cp == nil {
+			t.Fatalf("load %s: %v / %v", epoch, cp, err)
+		}
+		if cp.Epoch != epoch {
+			t.Errorf("epoch %s holds checkpoint for %s", epoch, cp.Epoch)
+		}
+		if cp.Done < 1 || cp.Done > rounds {
+			t.Errorf("epoch %s: done = %d", epoch, cp.Done)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != epochs {
+		var names []string
+		for _, en := range entries {
+			names = append(names, en.Name())
+		}
+		t.Fatalf("checkpoint dir holds %v, want %d committed files", names, epochs)
 	}
 }

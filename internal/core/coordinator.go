@@ -389,6 +389,12 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		saveCkpt()
 	}
 
+	// The execution completed: sites can evict its replay-dedup entries
+	// now instead of waiting for them to age out under concurrent load.
+	if tagEpoch != "" {
+		c.notifyEpochDone(ctx, tagEpoch)
+	}
+
 	// The execution completed: its checkpoint can never be resumed again
 	// (a rerun of the same plan is a fresh execution, not a recovery).
 	if c.Checkpoints != nil {
@@ -546,6 +552,33 @@ func (c *Coordinator) fanoutStream(ctx context.Context, epoch string, round int,
 		close(out)
 	}()
 	return out
+}
+
+// notifyEpochDone tells every site, in parallel and best-effort, that the
+// tagged execution completed so its (epoch, round) dedup entries can be
+// evicted immediately. Failures are ignored: OpEpochDone is a memory
+// optimization, not a correctness requirement — a site that never hears
+// it ages the epoch out on its own.
+func (c *Coordinator) notifyEpochDone(ctx context.Context, epoch string) {
+	var wg sync.WaitGroup
+	for _, cl := range c.clients {
+		wg.Add(1)
+		go func(cl transport.Client) {
+			defer wg.Done()
+			callCtx, done := c.callContext(ctx)
+			if c.CallTimeout <= 0 {
+				// Never let a hung site stall a completed query on a
+				// courtesy notification.
+				callCtx, done = context.WithTimeout(ctx, 2*time.Second)
+			}
+			defer done()
+			resp, err := cl.Call(callCtx, &transport.Request{Op: transport.OpEpochDone, Epoch: epoch})
+			if err == nil && resp != nil {
+				c.Obs.Count("coord.epoch_done_acks", 1)
+			}
+		}(cl)
+	}
+	wg.Wait()
 }
 
 // betterErr keeps the most informative of two round errors: cancellation

@@ -41,6 +41,10 @@ const (
 	// EventCheckpoint: a round checkpoint was written, resumed from, or
 	// cleared (fields: epoch, round, action).
 	EventCheckpoint = "checkpoint"
+	// EventAdmission: the scheduler rejected or timed out a query at the
+	// admission boundary instead of letting it pile onto loaded sites
+	// (fields: reason, running, queued).
+	EventAdmission = "admission"
 )
 
 // DefaultEventCap bounds the event log of New.

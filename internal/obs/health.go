@@ -13,6 +13,7 @@ type Health struct {
 	mu     sync.Mutex
 	ready  bool
 	reason string
+	check  func() (bool, string)
 }
 
 // NewHealth returns a Health that starts ready.
@@ -37,9 +38,27 @@ func (h *Health) SetNotReady(reason string) {
 	h.mu.Unlock()
 }
 
+// SetCheck installs an extra readiness gate consulted by Ready after the
+// flag: even a ready process can be vetoed by the check — a coordinator,
+// for example, gates its readiness on site fanout health. A nil check
+// removes the gate. The check runs outside Health's lock and must be
+// safe for concurrent use.
+func (h *Health) SetCheck(check func() (bool, string)) {
+	h.mu.Lock()
+	h.check = check
+	h.mu.Unlock()
+}
+
 // Ready reports the readiness flag and, when not ready, the reason.
 func (h *Health) Ready() (bool, string) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.ready, h.reason
+	ready, reason, check := h.ready, h.reason, h.check
+	h.mu.Unlock()
+	if !ready {
+		return false, reason
+	}
+	if check != nil {
+		return check()
+	}
+	return true, ""
 }

@@ -23,6 +23,7 @@ type DebugServer struct {
 	obs      *Obs
 	listener net.Listener
 	server   *http.Server
+	mux      *http.ServeMux
 }
 
 // ServeDebug starts a debug server for o on addr (e.g. "127.0.0.1:0")
@@ -35,18 +36,23 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &DebugServer{obs: o, listener: l}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/trace", s.handleTrace)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	s.server = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &DebugServer{obs: o, listener: l, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.server = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.server.Serve(l)
 	return s, nil
 }
+
+// Handle registers an additional handler on the debug mux, so a daemon
+// can serve its own endpoints (e.g. the coordinator's /query) alongside
+// /metrics and the health probes on one listener. Safe to call while the
+// server is running.
+func (s *DebugServer) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Addr returns the bound address.
 func (s *DebugServer) Addr() string { return s.listener.Addr().String() }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/value"
 )
@@ -57,16 +58,25 @@ func MustSchema(cols ...Column) *Schema {
 	return s
 }
 
+// schemaIndexMu guards the lazy byName rebuild: gob-decoded schemas
+// (byName nil) can be stored at a site engine and looked up from many
+// concurrent query executions at once. Lookup is per-query binding and
+// projection work, never per-row, so one shared mutex is not a hot lock.
+var schemaIndexMu sync.Mutex
+
 // Lookup returns the position of the named column (case-insensitive) and
 // whether it exists.
 func (s *Schema) Lookup(name string) (int, bool) {
+	schemaIndexMu.Lock()
 	if s.byName == nil {
 		s.byName = make(map[string]int, len(s.Cols))
 		for i, c := range s.Cols {
 			s.byName[strings.ToLower(c.Name)] = i
 		}
 	}
-	i, ok := s.byName[strings.ToLower(name)]
+	m := s.byName
+	schemaIndexMu.Unlock()
+	i, ok := m[strings.ToLower(name)]
 	return i, ok
 }
 

@@ -3,6 +3,7 @@ package site
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/obs"
@@ -86,12 +87,28 @@ func TestReplayDedup(t *testing.T) {
 	if r := e.Handle(context.Background(), baseReq("ep1", 1)); r == first {
 		t.Error("different round served stale cache entry")
 	}
-	// A new epoch drops the old cache entirely.
+	// A second epoch gets its own cache — and does not evict the first:
+	// concurrent executions interleave rounds on the same site.
 	if r := e.Handle(context.Background(), baseReq("ep2", 0)); r == first {
 		t.Error("new epoch served old epoch's cache")
 	}
+	if r := e.Handle(context.Background(), baseReq("ep1", 0)); r != first {
+		t.Error("concurrent epoch evicted a live epoch's cache")
+	}
+
+	// Epoch completion drops exactly that epoch's entries.
+	done := e.Handle(context.Background(), &transport.Request{Op: transport.OpEpochDone, Epoch: "ep1"})
+	if done.Error() != nil {
+		t.Fatalf("epoch done: %v", done.Error())
+	}
+	if done.RowCount != 2 {
+		t.Errorf("epoch done evicted %d entries, want 2", done.RowCount)
+	}
 	if r := e.Handle(context.Background(), baseReq("ep1", 0)); r == first {
-		t.Error("old epoch's entry survived the epoch switch")
+		t.Error("completed epoch's entry survived eviction")
+	}
+	if got := o.Metrics.CounterValue("site.dedup_evictions"); got != 2 {
+		t.Errorf("dedup_evictions = %d, want 2", got)
 	}
 }
 
@@ -147,5 +164,82 @@ func TestReplayCacheEviction(t *testing.T) {
 	}
 	if got := o.Metrics.CounterValue("site.dedup_hits"); got != 1 {
 		t.Errorf("newest entry not cached: dedup_hits = %d", got)
+	}
+}
+
+func TestReplayEpochAgeOut(t *testing.T) {
+	e := loadedEngine(t)
+	o := obs.New()
+	e.SetObs(o)
+
+	// Fill the epoch cap, then one more: the least-recently-touched epoch
+	// (ep0) must age out so site memory stays bounded even when a
+	// coordinator dies before sending OpEpochDone.
+	original := e.Handle(context.Background(), baseReq("ep0", 0))
+	if original.Error() != nil {
+		t.Fatal(original.Error())
+	}
+	for i := 1; i <= replayEpochCap; i++ {
+		epoch := fmt.Sprintf("ep%d", i)
+		if r := e.Handle(context.Background(), baseReq(epoch, 0)); r.Error() != nil {
+			t.Fatalf("epoch %s: %v", epoch, r.Error())
+		}
+	}
+	if got := o.Metrics.CounterValue("site.dedup_epochs_evicted"); got != 1 {
+		t.Errorf("dedup_epochs_evicted = %d, want 1", got)
+	}
+	if r := e.Handle(context.Background(), baseReq("ep0", 0)); r == original {
+		t.Error("aged-out epoch still served from cache")
+	}
+	if got := e.ReplayCacheSize(); got > replayEpochCap*replayCacheCap {
+		t.Errorf("cache size %d exceeds bound", got)
+	}
+}
+
+func TestReplayLRUTouchKeepsEpochAlive(t *testing.T) {
+	e := loadedEngine(t)
+
+	keep := e.Handle(context.Background(), baseReq("keep", 0))
+	if keep.Error() != nil {
+		t.Fatal(keep.Error())
+	}
+	// Fill the remaining capacity, re-touching "keep" between admissions
+	// so it is never the least-recently-used epoch.
+	for i := 0; i < replayEpochCap+2; i++ {
+		if r := e.Handle(context.Background(), baseReq(fmt.Sprintf("f%d", i), 0)); r.Error() != nil {
+			t.Fatal(r.Error())
+		}
+		if r := e.Handle(context.Background(), baseReq("keep", 0)); r != keep {
+			t.Fatalf("touched epoch evicted after admitting f%d", i)
+		}
+	}
+}
+
+func TestReplayPerEpochFIFOBound(t *testing.T) {
+	e := loadedEngine(t)
+	o := obs.New()
+	e.SetObs(o)
+
+	for round := 0; round <= replayCacheCap+1; round++ {
+		if r := e.Handle(context.Background(), baseReq("ep", round)); r.Error() != nil {
+			t.Fatal(r.Error())
+		}
+	}
+	if got := e.ReplayCacheSize(); got != replayCacheCap {
+		t.Errorf("cache size = %d, want %d", got, replayCacheCap)
+	}
+	if got := o.Metrics.CounterValue("site.dedup_evictions"); got != 2 {
+		t.Errorf("dedup_evictions = %d, want 2", got)
+	}
+}
+
+func TestEpochDoneUnknownEpoch(t *testing.T) {
+	e := loadedEngine(t)
+	resp := e.Handle(context.Background(), &transport.Request{Op: transport.OpEpochDone, Epoch: "never-seen"})
+	if resp.Error() != nil {
+		t.Fatalf("epoch done on unknown epoch: %v", resp.Error())
+	}
+	if resp.RowCount != 0 {
+		t.Errorf("evicted %d entries from unknown epoch, want 0", resp.RowCount)
 	}
 }

@@ -69,10 +69,24 @@ type Limits struct {
 	MaxResultBytes int64
 }
 
-// replayCacheCap bounds the per-engine replay cache. Replays target the
+// replayCacheCap bounds each epoch's replay cache. Replays target the
 // current round, so only a handful of recent responses ever matter; the
 // cap keeps a misbehaving coordinator from growing site memory.
 const replayCacheCap = 16
+
+// replayEpochCap bounds how many concurrent epochs the replay cache
+// tracks. Concurrent executions interleave their rounds, so the cache is
+// keyed per epoch; the least-recently-touched epoch ages out when a new
+// one would exceed the cap, so abandoned executions (a coordinator that
+// died before sending OpEpochDone) cannot grow site memory without bound.
+const replayEpochCap = 8
+
+// epochCache holds one epoch's replay-dedup entries in FIFO order.
+type epochCache struct {
+	entries map[string]*transport.Response
+	order   []string
+	lastSeq int64 // logical access clock, for LRU epoch age-out
+}
 
 // Engine is one site's local warehouse. It implements transport.Handler.
 type Engine struct {
@@ -85,12 +99,13 @@ type Engine struct {
 
 	// Replay cache: responses to epoch-tagged rounds, so a coordinator
 	// replaying (epoch, round) after a failure gets the cached answer
-	// instead of a recomputation. One epoch at a time: a new epoch clears
-	// the cache.
-	replayMu    sync.Mutex
-	replayEpoch string
-	replay      map[string]*transport.Response
-	replayOrder []string
+	// instead of a recomputation. Keyed per epoch because concurrent
+	// executions interleave; bounded per epoch (replayCacheCap) and
+	// across epochs (replayEpochCap), with epochs evicted when their
+	// execution completes (OpEpochDone) or ages out.
+	replayMu     sync.Mutex
+	replaySeq    int64
+	replayEpochs map[string]*epochCache
 }
 
 // NewEngine returns an empty site engine.
@@ -230,16 +245,20 @@ func (e *Engine) replayHit(req *transport.Request) *transport.Response {
 	}
 	e.replayMu.Lock()
 	defer e.replayMu.Unlock()
-	if e.replayEpoch != req.Epoch {
+	ec := e.replayEpochs[req.Epoch]
+	if ec == nil {
 		return nil
 	}
-	return e.replay[key]
+	e.replaySeq++
+	ec.lastSeq = e.replaySeq
+	return ec.entries[key]
 }
 
 // replayStore caches a successful response under its (epoch, round) key.
-// Seeing a new epoch drops the previous epoch's cache: sites serve one
-// execution at a time per coordinator, and keys from old epochs can never
-// be asked again.
+// Each epoch keeps at most replayCacheCap entries (FIFO — replays target
+// recent rounds), and at most replayEpochCap epochs are tracked at once:
+// admitting a new epoch beyond the cap evicts the least-recently-touched
+// one, so interleaved queries cannot grow the cache without bound.
 func (e *Engine) replayStore(req *transport.Request, resp *transport.Response) {
 	key := replayKey(req)
 	if key == "" || resp == nil || resp.Err != "" {
@@ -247,22 +266,82 @@ func (e *Engine) replayStore(req *transport.Request, resp *transport.Response) {
 	}
 	e.replayMu.Lock()
 	defer e.replayMu.Unlock()
-	if e.replayEpoch != req.Epoch {
-		e.replayEpoch = req.Epoch
-		e.replay = map[string]*transport.Response{}
-		e.replayOrder = e.replayOrder[:0]
+	if e.replayEpochs == nil {
+		e.replayEpochs = map[string]*epochCache{}
 	}
-	if e.replay == nil {
-		e.replay = map[string]*transport.Response{}
+	ec := e.replayEpochs[req.Epoch]
+	if ec == nil {
+		for len(e.replayEpochs) >= replayEpochCap {
+			e.evictOldestEpochLocked()
+		}
+		ec = &epochCache{entries: map[string]*transport.Response{}}
+		e.replayEpochs[req.Epoch] = ec
 	}
-	if _, exists := e.replay[key]; !exists {
-		e.replayOrder = append(e.replayOrder, key)
-		for len(e.replayOrder) > replayCacheCap {
-			delete(e.replay, e.replayOrder[0])
-			e.replayOrder = e.replayOrder[1:]
+	e.replaySeq++
+	ec.lastSeq = e.replaySeq
+	if _, exists := ec.entries[key]; !exists {
+		ec.order = append(ec.order, key)
+		for len(ec.order) > replayCacheCap {
+			delete(ec.entries, ec.order[0])
+			ec.order = ec.order[1:]
+			e.getObs().Count("site.dedup_evictions", 1)
 		}
 	}
-	e.replay[key] = resp
+	ec.entries[key] = resp
+}
+
+// evictOldestEpochLocked drops the least-recently-touched epoch's entries.
+// Caller holds replayMu.
+func (e *Engine) evictOldestEpochLocked() {
+	var victim string
+	var victimSeq int64
+	first := true
+	for epoch, ec := range e.replayEpochs {
+		if first || ec.lastSeq < victimSeq {
+			victim, victimSeq, first = epoch, ec.lastSeq, false
+		}
+	}
+	if first {
+		return
+	}
+	n := len(e.replayEpochs[victim].entries)
+	delete(e.replayEpochs, victim)
+	o := e.getObs()
+	o.Count("site.dedup_epochs_evicted", 1)
+	o.Count("site.dedup_evictions", int64(n))
+	o.Event(obs.EventReplay, e.id, "replay cache epoch aged out",
+		map[string]string{"epoch": victim, "entries": strconv.Itoa(n), "reason": "age-out"})
+}
+
+// epochDone evicts a completed execution's replay entries, returning how
+// many entries were dropped.
+func (e *Engine) epochDone(epoch string) int {
+	e.replayMu.Lock()
+	ec := e.replayEpochs[epoch]
+	n := 0
+	if ec != nil {
+		n = len(ec.entries)
+		delete(e.replayEpochs, epoch)
+	}
+	e.replayMu.Unlock()
+	if ec != nil {
+		o := e.getObs()
+		o.Count("site.dedup_epochs_completed", 1)
+		o.Count("site.dedup_evictions", int64(n))
+	}
+	return n
+}
+
+// ReplayCacheSize reports the total replay-dedup entries across epochs
+// (tests and debugging).
+func (e *Engine) ReplayCacheSize() int {
+	e.replayMu.Lock()
+	defer e.replayMu.Unlock()
+	n := 0
+	for _, ec := range e.replayEpochs {
+		n += len(ec.entries)
+	}
+	return n
 }
 
 // checkLimits enforces the per-request result caps on an outgoing
@@ -350,6 +429,13 @@ func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport
 			RowCount: r.Len(),
 			Rel:      &relation.Relation{Schema: r.Schema},
 		}, nil
+
+	case transport.OpEpochDone:
+		if req.Epoch == "" {
+			return nil, fmt.Errorf("no epoch")
+		}
+		n := e.epochDone(req.Epoch)
+		return &transport.Response{RowCount: n}, nil
 
 	case transport.OpEvalBase:
 		return e.evalBase(req)

@@ -1,9 +1,13 @@
 package sql
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
-// FuzzParse asserts the SQL front-end never panics and that accepted
-// statements are structurally sane.
+// FuzzParse asserts the SQL front-end never panics, that every rejection
+// is the typed *ParseError the HTTP layer classifies on, and that
+// accepted statements are structurally sane.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"SELECT Region, count(*) FROM sales GROUP BY Region",
@@ -12,6 +16,16 @@ func FuzzParse(f *testing.F) {
 		"SELECT a, max(v) FROM t ROLLUP BY a;",
 		"select a from t where s = 'group by' group by a",
 		"SELECT a, count(*) FROM t GROUP BY a HAVING count > 0",
+		// Every statement shape the examples and the concurrent query
+		// service exercise, so the corpus covers the served dialect.
+		"SELECT MktSegment, count(*) AS lines, avg(ExtendedPrice) AS avg_price FROM tpcr WHERE Discount > 0.05 GROUP BY MktSegment HAVING avg_price > 30000",
+		"SELECT RegionKey, sum(Quantity) AS qty, sum(ExtendedPrice * (1 - Discount)) AS revenue FROM tpcr GROUP BY RegionKey",
+		"SELECT RegionKey, MktSegment, sum(Quantity) AS qty FROM tpcr WHERE RegionKey < 2 ROLLUP BY RegionKey, MktSegment",
+		"SELECT CustName, count(*) AS lines FROM tpcr GROUP BY CustName ORDER BY lines DESC LIMIT 5",
+		"SELECT SourceAS, DestAS, count(*) AS cnt, sum(NumBytes) AS bytes FROM flow GROUP BY SourceAS, DestAS",
+		"SELECT SourceAS, sum(NumBytes) AS bytes FROM flow GROUP BY SourceAS ORDER BY bytes DESC",
+		"SELECT SourceAS, DestAS, sum(NumBytes) AS bytes FROM flow CUBE BY SourceAS, DestAS",
+		"SELECT DestAS, count(*) AS cnt FROM flow WHERE NumBytes >= 100 GROUP BY DestAS",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -19,6 +33,10 @@ func FuzzParse(f *testing.F) {
 	f.Fuzz(func(t *testing.T, input string) {
 		st, err := Parse(input)
 		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is not a *ParseError: %q: %v", input, err)
+			}
 			return
 		}
 		if st.Detail == "" {

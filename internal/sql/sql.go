@@ -96,16 +96,34 @@ func (s *Statement) Query() (gmdj.Query, error) {
 // SELECT DISTINCT-style statements.
 const distinctCountCol = "__distinct_n"
 
-// Parse parses one statement. A trailing semicolon is tolerated.
+// ParseError wraps every front-end rejection of a statement, so servers
+// can classify caller mistakes (errors.As → HTTP 400) apart from
+// execution failures. The message is unchanged from the wrapped error.
+type ParseError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse parses one statement. A trailing semicolon is tolerated. Every
+// returned error is a *ParseError.
 func Parse(input string) (*Statement, error) {
 	input = strings.TrimSpace(input)
 	input = strings.TrimSuffix(input, ";")
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, &ParseError{Err: err}
 	}
 	p := &parser{input: input, toks: toks}
-	return p.parse()
+	st, err := p.parse()
+	if err != nil {
+		return nil, &ParseError{Err: err}
+	}
+	return st, nil
 }
 
 // token kinds for the SQL splitter.

@@ -1,0 +1,232 @@
+package transport
+
+//lint:wrap-errors pool failures must stay inspectable with errors.Is/As
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pool multiplexes concurrent executions over a bounded set of
+// connections to one logical site. One TCP connection (or Reconnector)
+// serializes its calls, so a coordinator that runs many queries at once
+// against the same site would otherwise serialize every round on a single
+// stream; the pool dials up to Max connections lazily and hands each call
+// an idle one, queueing callers when every connection is busy — the
+// pool's capacity is the site's client-side in-flight ceiling.
+//
+// Executions do not use the Pool directly: each takes a Lease, a
+// transport.Client view with its own WireStats. Calls on any lease borrow
+// whichever pooled connection is free, so connections are shared across
+// concurrent epochs while byte accounting stays exact per execution.
+//
+// Cancellation is isolated per call: cancelling one execution's context
+// aborts only the connection its call borrowed (the broken connection is
+// discarded, not returned), so a sibling execution's in-flight exchanges
+// on other pooled connections are untouched.
+type Pool struct {
+	id   string
+	dial func() (Client, error)
+	max  int
+
+	slots chan struct{} // capacity tokens; one per potential connection
+
+	mu     sync.Mutex
+	idle   []Client
+	dialed int // connections currently alive (idle or borrowed)
+	closed bool
+	obs    *obs.Obs
+}
+
+// NewPool returns a pool of at most max concurrent connections to the
+// site identified by id, dialing lazily with dial. max < 1 is treated
+// as 1.
+func NewPool(id string, max int, dial func() (Client, error)) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	return &Pool{id: id, dial: dial, max: max, slots: make(chan struct{}, max)}
+}
+
+// SetObs publishes pool activity into o: "transport.pool.dials",
+// "transport.pool.discards", and the "transport.pool.in_use" gauge. The
+// sink is also handed to dialed connections that support SetObs.
+func (p *Pool) SetObs(o *obs.Obs) {
+	p.mu.Lock()
+	p.obs = o
+	p.mu.Unlock()
+}
+
+func (p *Pool) getObs() *obs.Obs {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.obs
+}
+
+// SiteID returns the logical site identifier.
+func (p *Pool) SiteID() string { return p.id }
+
+// InUse reports how many connections are currently borrowed by calls.
+func (p *Pool) InUse() int { return len(p.slots) }
+
+// get borrows a connection, dialing a new one when under capacity and
+// blocking (context-aware) when every connection is busy.
+func (p *Pool) get(ctx context.Context) (Client, error) {
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		// Every connection is busy: the caller queues at the site
+		// boundary until one frees or its context gives up.
+		p.getObs().Count("transport.pool.waits", 1)
+		select {
+		case p.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: pool %s: %w", p.id, ctx.Err())
+		}
+	}
+	p.getObs().SetGauge("transport.pool.in_use", int64(len(p.slots)))
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.slots
+		return nil, fmt.Errorf("transport: pool %s is closed", p.id)
+	}
+	if n := len(p.idle); n > 0 {
+		cl := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return cl, nil
+	}
+	p.mu.Unlock()
+
+	cl, err := p.dial()
+	if err != nil {
+		<-p.slots
+		p.getObs().Count("transport.pool.dial_failures", 1)
+		return nil, fmt.Errorf("transport: pool %s: dial: %w", p.id, err)
+	}
+	if oc, ok := cl.(interface{ SetObs(*obs.Obs) }); ok {
+		oc.SetObs(p.getObs())
+	}
+	p.mu.Lock()
+	p.dialed++
+	p.mu.Unlock()
+	p.getObs().Count("transport.pool.dials", 1)
+	return cl, nil
+}
+
+// put returns a healthy connection to the idle set.
+func (p *Pool) put(cl Client) {
+	p.mu.Lock()
+	if p.closed {
+		p.dialed--
+		p.mu.Unlock()
+		cl.Close()
+	} else {
+		p.idle = append(p.idle, cl)
+		p.mu.Unlock()
+	}
+	<-p.slots
+	p.getObs().SetGauge("transport.pool.in_use", int64(len(p.slots)))
+}
+
+// discard drops a connection whose last exchange failed: its stream may
+// be desynced (or its context-cancelled deadline poke left it broken), so
+// the next borrower gets a fresh dial instead.
+func (p *Pool) discard(cl Client) {
+	cl.Close()
+	p.mu.Lock()
+	p.dialed--
+	p.mu.Unlock()
+	<-p.slots
+	o := p.getObs()
+	o.Count("transport.pool.discards", 1)
+	o.SetGauge("transport.pool.in_use", int64(len(p.slots)))
+}
+
+// Close closes every idle connection and fails subsequent borrows.
+// Borrowed connections are closed as their calls return them.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.dialed -= len(idle)
+	p.mu.Unlock()
+	var first error
+	for _, cl := range idle {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Lease returns a per-execution Client view over the pool. Each call on
+// the lease borrows a pooled connection for exactly one exchange, and the
+// exchange's wire traffic is folded into the lease's own statistics — so
+// concurrent executions sharing the pool each see exact per-execution
+// byte accounting, which the coordinator's per-round ExecStats depend on.
+func (p *Pool) Lease() *Lease {
+	return &Lease{pool: p}
+}
+
+// Lease is one execution's view of a shared connection pool; it
+// implements Client.
+type Lease struct {
+	pool  *Pool
+	stats WireStats
+}
+
+// SiteID implements Client.
+func (l *Lease) SiteID() string { return l.pool.id }
+
+// Stats implements Client, returning this lease's (not the pool's)
+// accumulated statistics.
+func (l *Lease) Stats() *WireStats { return &l.stats }
+
+// Close implements Client. Leases own no connections — the pool does —
+// so closing a lease is a no-op; close the pool to release connections.
+func (l *Lease) Close() error { return nil }
+
+// Call implements Client: borrow a pooled connection, perform one
+// exchange, account its traffic against the lease, and return the
+// connection (discarding it after a transport failure).
+func (l *Lease) Call(ctx context.Context, req *Request) (*Response, error) {
+	cl, err := l.pool.get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s0, r0, _, t0 := cl.Stats().Snapshot()
+	resp, err := cl.Call(ctx, req)
+	s1, r1, _, t1 := cl.Stats().Snapshot()
+	l.addDelta(s1-s0, r1-r0, t1-t0)
+	if err != nil {
+		l.pool.discard(cl)
+		return nil, err
+	}
+	l.pool.put(cl)
+	return resp, nil
+}
+
+// addDelta folds one borrowed connection's traffic into the lease's
+// statistics.
+func (l *Lease) addDelta(sent, recv int64, comm time.Duration) {
+	l.stats.mu.Lock()
+	l.stats.bytesSent += sent
+	l.stats.bytesReceived += recv
+	if sent > 0 {
+		l.stats.messages++
+	}
+	l.stats.commTime += comm
+	l.stats.mu.Unlock()
+}

@@ -82,6 +82,11 @@ const (
 	OpDrop
 	// OpRelInfo returns row count and schema of a stored relation.
 	OpRelInfo
+	// OpEpochDone tells the site that the execution named by Request.Epoch
+	// has completed: its replay-dedup entries can never be asked again and
+	// should be evicted. Best-effort — a site that never hears it ages the
+	// epoch out instead.
+	OpEpochDone
 )
 
 // String returns the opcode mnemonic.
@@ -101,6 +106,8 @@ func (o Op) String() string {
 		return "drop"
 	case OpRelInfo:
 		return "relInfo"
+	case OpEpochDone:
+		return "epochDone"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}

@@ -35,6 +35,12 @@ type Server struct {
 	// Logf logs server-side errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
 
+	// MaxInflight caps how many requests may be inside the handler at
+	// once; excess requests are shed immediately with CodeOverloaded so
+	// coordinators back off or fail over instead of queueing unboundedly
+	// on a saturated site. 0 means unlimited. Set before Listen/Serve.
+	MaxInflight int
+
 	// Obs, when set before Listen/Serve, receives server-side wire
 	// counters ("transport.server.bytes_received", ".bytes_sent",
 	// ".requests") and per-op request counters
@@ -155,6 +161,16 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, pr *pushbackReader
 		s.mu.Unlock()
 		s.Obs.Count("transport.server.drain_rejects", 1)
 		return &Response{Err: "site draining: not accepting new requests", Code: CodeDraining}, true
+	}
+	if s.MaxInflight > 0 && s.inflight >= s.MaxInflight {
+		s.mu.Unlock()
+		s.Obs.Count("transport.server.overload_rejects", 1)
+		s.Obs.Event(obs.EventOverload, "", "request shed: server at max in-flight",
+			map[string]string{"op": req.Op.String(), "max_inflight": fmt.Sprint(s.MaxInflight)})
+		return &Response{
+			Err:  fmt.Sprintf("site at max in-flight (%d): shedding", s.MaxInflight),
+			Code: CodeOverloaded,
+		}, true
 	}
 	s.reqWG.Add(1)
 	s.inflight++

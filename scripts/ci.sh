@@ -37,6 +37,9 @@ go test -race ./...
 echo "== fuzz smoke (agg spec parser) =="
 go test -run '^$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/agg
 
+echo "== fuzz smoke (sql parser) =="
+go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sql
+
 echo "== examples =="
 for ex in quickstart ipflows tpcr cube multitier sql; do
     echo "-- examples/$ex"

@@ -1,6 +1,7 @@
 package skalla
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,12 +71,13 @@ func Rollup(cluster *Cluster, detail string, dims []string, aggs AggList, opts O
 // ships the mergeable primitives of every aggregate (Theorem 1), and each
 // requested set rolls up client-side. Rolled-up dimensions are CubeAll.
 func GroupingSets(cluster *Cluster, detail string, dims []string, sets [][]string, aggs AggList, opts Options) (*Relation, error) {
-	return groupingSets(cluster, detail, dims, sets, aggs, nil, opts)
+	return groupingSets(context.Background(), cluster, detail, dims, sets, aggs, nil, opts)
 }
 
 // groupingSets is GroupingSets with an optional detail-row filter (used
-// by the SQL front-end's WHERE on CUBE BY / ROLLUP BY statements).
-func groupingSets(cluster *Cluster, detail string, dims []string, sets [][]string, aggs AggList, where expr.Expr, opts Options) (*Relation, error) {
+// by the SQL front-end's WHERE on CUBE BY / ROLLUP BY statements) under a
+// caller context.
+func groupingSets(ctx context.Context, cluster *Cluster, detail string, dims []string, sets [][]string, aggs AggList, where expr.Expr, opts Options) (*Relation, error) {
 	if len(dims) == 0 || len(sets) == 0 {
 		return nil, fmt.Errorf("skalla: grouping sets need dimensions and at least one set")
 	}
@@ -119,7 +121,7 @@ func groupingSets(cluster *Cluster, detail string, dims []string, sets [][]strin
 			}
 		}
 	}
-	res, err := cluster.Query(q, detail, opts)
+	res, err := cluster.QueryContext(ctx, q, detail, opts)
 	if err != nil {
 		return nil, fmt.Errorf("skalla: base cuboid: %w", err)
 	}

@@ -141,6 +141,12 @@ type Cluster struct {
 	// leafClients is set for multi-tier clusters: direct handles to the
 	// leaf sites, used by Load (relays cannot split shipped relations).
 	leafClients []transport.Client
+
+	// dialers open additional independent connections to each site, in
+	// ids order. The concurrent query service (NewQueryService) uses them
+	// to build per-site connection pools so simultaneous executions do
+	// not serialize on the cluster's primary clients.
+	dialers []func() (transport.Client, error)
 }
 
 // NewLocalCluster starts an in-process cluster with cfg.Sites sites.
@@ -176,10 +182,23 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			cl.SetObs(cfg.Obs)
 			c.clients = append(c.clients, cl)
+			c.dialers = append(c.dialers, func() (transport.Client, error) {
+				dc, err := transport.DialTCP(id, addr, cfg.Cost)
+				if err != nil {
+					return nil, err
+				}
+				dc.SetObs(cfg.Obs)
+				return dc, nil
+			})
 		} else {
 			lc := transport.NewLocalClient(id, eng, cfg.Cost)
 			lc.SetObs(cfg.Obs)
 			c.clients = append(c.clients, lc)
+			c.dialers = append(c.dialers, func() (transport.Client, error) {
+				dc := transport.NewLocalClient(id, eng, cfg.Cost)
+				dc.SetObs(cfg.Obs)
+				return dc, nil
+			})
 		}
 	}
 	c.coord = core.NewCoordinator(c.clients...)
@@ -293,6 +312,11 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 		c.ids = append(c.ids, id)
 		c.clients = append(c.clients, cl)
 		c.engines = append(c.engines, nil)
+		c.dialers = append(c.dialers, func() (transport.Client, error) {
+			dc := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
+			dc.SetObs(cfg.Obs)
+			return dc, nil
+		})
 	}
 	c.coord = core.NewCoordinator(c.clients...)
 	c.coord.CallTimeout = cfg.CallTimeout
@@ -365,6 +389,9 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 		engines: c.engines[:n],
 		cat:     c.cat,
 		obs:     c.obs,
+	}
+	if len(c.dialers) >= n {
+		sub.dialers = c.dialers[:n]
 	}
 	sub.coord = core.NewCoordinator(sub.clients...)
 	sub.coord.CallTimeout = c.coord.CallTimeout

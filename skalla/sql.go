@@ -1,6 +1,7 @@
 package skalla
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/expr"
@@ -18,6 +19,14 @@ import (
 // synchronized result at the coordinator (it references super-aggregates,
 // which exist nowhere else). The output columns follow the select list.
 func (c *Cluster) SQL(query string, opts Options) (*Relation, error) {
+	return c.SQLContext(context.Background(), query, opts)
+}
+
+// SQLContext is SQL under a context: cancelling ctx (or hitting its
+// deadline) aborts the distributed execution's in-flight site calls and
+// returns promptly. The concurrent serve mode relies on this for
+// per-query cancellation isolation.
+func (c *Cluster) SQLContext(ctx context.Context, query string, opts Options) (*Relation, error) {
 	st, err := sqlfe.Parse(query)
 	if err != nil {
 		return nil, err
@@ -42,7 +51,7 @@ func (c *Cluster) SQL(query string, opts Options) (*Relation, error) {
 				sets = append(sets, append([]string(nil), st.GroupCols[:n]...))
 			}
 		}
-		rel, err = groupingSets(c, st.Detail, st.GroupCols, sets, AggList(st.Aggs), st.Where, opts)
+		rel, err = groupingSets(ctx, c, st.Detail, st.GroupCols, sets, AggList(st.Aggs), st.Where, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +60,7 @@ func (c *Cluster) SQL(query string, opts Options) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.Query(q, st.Detail, opts)
+		res, err := c.QueryContext(ctx, q, st.Detail, opts)
 		if err != nil {
 			return nil, err
 		}
