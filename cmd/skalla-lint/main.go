@@ -6,17 +6,22 @@
 //
 // Usage:
 //
-//	skalla-lint [-list] [-only name[,name...]] [packages]
+//	skalla-lint [-list] [-only name[,name...]] [-json] [-timing] [packages]
 //
-// With no package patterns it analyzes ./... from the module root. Each
-// rule, its invariant, and the //lint:ignore suppression syntax are
-// documented in LINT.md.
+// With no package patterns it analyzes ./... from the module root. -json
+// replaces the line output with a deterministic JSON array (one object per
+// finding, paths relative to the working directory) for tooling; -timing
+// prints per-analyzer wall-clock times to stderr. Each rule, its
+// invariant, and the //lint:ignore suppression syntax are documented in
+// LINT.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -26,10 +31,22 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonFinding is one finding in -json output. The field set matches the
+// CI problem matcher (.github/skalla-lint-matcher.json).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("skalla-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of lines")
+	timing := fs.Bool("timing", false, "print per-analyzer wall-clock times to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,13 +85,42 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "skalla-lint: %v\n", err)
 		return 2
 	}
-	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	diags, timings, err := lint.RunAnalyzersTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skalla-lint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d.String(loader.Fset))
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "skalla-lint: timing %-10s %s\n", t.Name, t.Elapsed)
+		}
+	}
+	if *asJSON {
+		cwd, _ := os.Getwd()
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			file := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			findings = append(findings, jsonFinding{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "skalla-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String(loader.Fset))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "skalla-lint: %d finding(s)\n", len(diags))

@@ -212,7 +212,8 @@ func relFromJSON(in *relationJSON) (*relation.Relation, error) {
 // structures.
 type MemCheckpoints struct {
 	mu sync.Mutex
-	m  map[string][]byte
+	//lint:guarded-by mu
+	m map[string][]byte
 }
 
 // NewMemCheckpoints returns an empty in-memory store.

@@ -73,9 +73,11 @@ type Scheduler struct {
 
 	seq int64 // epoch sequence, atomic
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//lint:guarded-by mu
 	queued int
-	gates  map[string]*SiteGate
+	//lint:guarded-by mu
+	gates map[string]*SiteGate
 }
 
 // NewScheduler returns a scheduler for cfg.
@@ -222,11 +224,17 @@ type SiteGate struct {
 	max  int
 	obs  *obs.Obs
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//lint:guarded-by mu
 	window int
-	inUse  int
+	//lint:guarded-by mu
+	inUse int
+	//lint:guarded-by mu
 	streak int
-	wake   chan struct{} // closed and replaced whenever capacity may free
+	// wake is closed and replaced whenever capacity may free.
+	//
+	//lint:guarded-by mu
+	wake chan struct{}
 }
 
 // NewSiteGate returns a gate for site with the given window ceiling

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 )
 
@@ -50,6 +51,7 @@ func TestSchedulerAdmitFailFast(t *testing.T) {
 }
 
 func TestSchedulerQueueAdmitsWhenFreed(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewScheduler(SchedulerConfig{MaxConcurrent: 1, QueueDepth: 2})
 
 	rel, err := s.Admit(context.Background())
@@ -246,4 +248,44 @@ func TestWrapClientsSharedGateBackoff(t *testing.T) {
 	if got := s.gate("s1").Window(); got != 8 {
 		t.Fatalf("unrelated site window = %d, want 8", got)
 	}
+}
+
+// TestSiteGateAIMDStress hammers one gate from many goroutines mixing
+// shed and clean releases; run under -race it checks the AIMD window
+// bookkeeping (window, streak, inUse, wake rotation) for data races and
+// asserts the window never leaves [1, max] and the gate stays usable.
+func TestSiteGateAIMDStress(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const max = 8
+	g := NewSiteGate("s0", max, obs.New())
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := g.Acquire(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+				if win := g.Window(); win < 1 || win > max {
+					t.Errorf("window = %d, want 1..%d", win, max)
+				}
+				// Deterministic shed mix: roughly one release in seven
+				// halves the window, the rest feed the success streak.
+				g.Release((w+i)%7 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if win := g.Window(); win < 1 || win > max {
+		t.Fatalf("final window = %d, want 1..%d", win, max)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("gate unusable after stress: %v", err)
+	}
+	g.Release(false)
 }

@@ -1,0 +1,238 @@
+// goleak checks goroutine lifecycles: every `go` statement in non-main,
+// non-test code must have a bounded exit path, because skalla's -serve
+// process is long-lived and fire-and-forget goroutines pile up in it.
+//
+// A launch is accepted when any of these hold:
+//   - it is tracked: the statement immediately before the `go` is a
+//     WaitGroup Add, or the goroutine body calls Done on a WaitGroup
+//     (something a Close/Drain can wait on);
+//   - the body has an exit signal: a receive from a channel (covering
+//     select on ctx.Done()/done channels) or a range over a channel;
+//   - the body has no unbounded loop at all (it terminates by reaching
+//     its end).
+//
+// A launch whose target cannot be resolved statically (interface method,
+// function value, other-package function) must be tracked, since nothing
+// else can be proven about it.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak flags fire-and-forget goroutines with no provable exit path.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "goroutine lifecycle checker: every go statement outside " +
+		"package main must be WaitGroup-tracked, carry an exit signal " +
+		"(channel receive / select on ctx.Done or a done channel / range " +
+		"over a channel), or provably terminate (no unbounded loop); " +
+		"launches of unresolvable targets must be tracked.",
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	// Commands and examples are package main: their goroutines die with
+	// the process, which is the bound.
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				gs, ok := unlabelStmt(s).(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				var prev ast.Stmt
+				if i > 0 {
+					prev = list[i-1]
+				}
+				checkGoStmt(pass, decls, gs, prev)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func unlabelStmt(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func checkGoStmt(pass *Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt, prev ast.Stmt) {
+	tracked := prevIsWaitGroupAdd(pass, prev)
+	body := resolveGoBody(pass, decls, gs.Call)
+	if body == nil {
+		if !tracked {
+			pass.Reportf(gs, "goroutine target is not statically resolvable and the launch is not WaitGroup-tracked: no provable exit path")
+		}
+		return
+	}
+	if !tracked && bodyCallsWaitGroupDone(pass, body) {
+		tracked = true
+	}
+	if tracked {
+		return
+	}
+	if bodyHasExitSignal(pass, body) {
+		return
+	}
+	if bodyHasUnboundedLoop(body) {
+		pass.Reportf(gs, "goroutine runs an unbounded loop with no exit signal (channel receive or select) and no WaitGroup tracking: it can never be shut down")
+	}
+}
+
+// prevIsWaitGroupAdd reports whether the statement is `wg.Add(n)` on a
+// sync.WaitGroup — the launch-is-tracked idiom used before `go`.
+func prevIsWaitGroupAdd(pass *Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	return isWaitGroupType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// resolveGoBody returns the launched function's body when it is a literal
+// or a same-package declared function/method; nil otherwise.
+func resolveGoBody(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch f := stripParens(call.Fun).(type) {
+	case *ast.FuncLit:
+		return f.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[f].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyCallsWaitGroupDone reports whether the body (including nested
+// literals) calls Done on a sync.WaitGroup.
+func bodyCallsWaitGroupDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if isWaitGroupType(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasExitSignal reports whether the body receives from a channel
+// (unary <-, which covers every receiving select case) or ranges over
+// one.
+func bodyHasExitSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasUnboundedLoop reports whether the body contains a `for` with no
+// condition.
+func bodyHasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

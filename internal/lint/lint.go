@@ -33,6 +33,11 @@
 //	//lint:wireroot
 //	    On a struct type declaration: marks the type as a gob wire root
 //	    whose transitive field graph wiresafe audits.
+//	//lint:guarded-by <mu>
+//	    On a struct field (or package-level variable) declaration: the
+//	    field may only be accessed while the named mutex — a sibling
+//	    field of the same struct, or a package-level mutex — is held.
+//	    lockguard enforces it.
 package lint
 
 import (
@@ -42,6 +47,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer describes one static-analysis rule.
@@ -55,6 +61,13 @@ type Analyzer struct {
 	// pass.Report. It returns an error only for analyzer malfunctions —
 	// findings are diagnostics, not errors.
 	Run func(pass *Pass) error
+	// Begin, when set, is called once per RunAnalyzers invocation, before
+	// any pass; the value it returns is available as Pass.State in every
+	// subsequent pass of that run. Module-scoped analyzers (lockorder)
+	// accumulate cross-package facts in it — packages arrive in
+	// dependency order, so by the time a package is analyzed every
+	// summary it can reach is already in the state.
+	Begin func() any
 }
 
 // A Pass is one analyzer's view of one package under analysis.
@@ -67,6 +80,10 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's findings for the files.
 	TypesInfo *types.Info
+	// State is the per-run value produced by the analyzer's Begin hook
+	// (nil when the analyzer has none). It is shared across every pass of
+	// one RunAnalyzers invocation, never across invocations.
+	State any
 
 	diags []Diagnostic
 }
@@ -228,8 +245,23 @@ func commentHasDirective(cg *ast.CommentGroup, name string) bool {
 // surviving diagnostics: suppressed findings are dropped, malformed
 // suppressions are added, and the result is sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// A Timing records one analyzer's total wall-clock across all packages of
+// one run; skalla-lint -timing prints them so an analyzer that regresses
+// CI wall-clock is visible.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-clock timings,
+// returned in the analyzers' registration order.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	if len(pkgs) == 0 {
-		return nil, fmt.Errorf("lint: no packages to analyze")
+		return nil, nil, fmt.Errorf("lint: no packages to analyze")
 	}
 	fset := pkgs[0].Fset
 	var allFiles []*ast.File
@@ -237,6 +269,16 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		allFiles = append(allFiles, p.Files...)
 	}
 	sup := CollectSuppressions(fset, allFiles)
+
+	// Per-run analyzer state: Begin runs once per invocation, never shared
+	// across invocations, so a testdata run cannot contaminate a module run.
+	states := make(map[*Analyzer]any, len(analyzers))
+	elapsed := make(map[*Analyzer]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		if a.Begin != nil {
+			states[a] = a.Begin()
+		}
+	}
 
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -247,9 +289,13 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				State:     states[a],
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range pass.diags {
 				if !sup.Suppressed(d) {
@@ -269,10 +315,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	timings := make([]Timing, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = Timing{Name: a.Name, Elapsed: elapsed[a]}
+	}
+	return out, timings, nil
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, WireSafe, DetRand, ErrFlow}
+	return []*Analyzer{CtxFlow, WireSafe, DetRand, ErrFlow, LockGuard, LockOrder, GoLeak}
 }

@@ -45,10 +45,28 @@ func runTestdata(t *testing.T, dir string, analyzers ...*Analyzer) {
 	}
 }
 
-func TestCtxFlow(t *testing.T)  { runTestdata(t, "testdata/src/ctxflow", CtxFlow) }
-func TestWireSafe(t *testing.T) { runTestdata(t, "testdata/src/wiresafe", WireSafe) }
-func TestDetRand(t *testing.T)  { runTestdata(t, "testdata/src/detrand", DetRand) }
-func TestErrFlow(t *testing.T)  { runTestdata(t, "testdata/src/errflow", ErrFlow) }
+func TestCtxFlow(t *testing.T)   { runTestdata(t, "testdata/src/ctxflow", CtxFlow) }
+func TestWireSafe(t *testing.T)  { runTestdata(t, "testdata/src/wiresafe", WireSafe) }
+func TestDetRand(t *testing.T)   { runTestdata(t, "testdata/src/detrand", DetRand) }
+func TestErrFlow(t *testing.T)   { runTestdata(t, "testdata/src/errflow", ErrFlow) }
+func TestLockGuard(t *testing.T) { runTestdata(t, "testdata/src/lockguard", LockGuard) }
+func TestLockOrder(t *testing.T) { runTestdata(t, "testdata/src/lockorder", LockOrder) }
+func TestGoLeak(t *testing.T)    { runTestdata(t, "testdata/src/goleak", GoLeak) }
+
+// TestLockOrderStateIsolation asserts the per-run Begin state does not
+// leak between invocations: the same cycle re-reported on a second run
+// proves the graph was rebuilt, not remembered.
+func TestLockOrderStateIsolation(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		res, err := RunAnalyzerTest(sharedLoader(t), "testdata/src/lockorder", LockOrder)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Failed() {
+			t.Errorf("run %d deviated: unexpected=%v unmatched=%v", i, res.Unexpected, res.Unmatched)
+		}
+	}
+}
 
 // TestSuppressionRequiresReason asserts the framework rejects bare
 // //lint:ignore directives: a suppression without a justification is
@@ -122,7 +140,7 @@ func TestModuleClean(t *testing.T) {
 // TestAnalyzerMetadata pins the suite's names, which LINT.md and
 // //lint:ignore directives refer to.
 func TestAnalyzerMetadata(t *testing.T) {
-	want := []string{"ctxflow", "wiresafe", "detrand", "errflow"}
+	want := []string{"ctxflow", "wiresafe", "detrand", "errflow", "lockguard", "lockorder", "goleak"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,618 @@
+// lockflow.go holds the shared lock-state machinery behind the concurrency
+// analyzers lockguard and lockorder: recognizing sync.Mutex/RWMutex calls,
+// rendering canonical mutex paths ("s.mu", "l.stats.mu", "genMu"),
+// deriving type-level lock identities ("pkg.Type.field"), and a
+// path-sensitive statement walker that tracks which mutexes are held.
+//
+// The walker is syntactic and intraprocedural by design: it keys held
+// locks by the spelled access path, honors defer Unlock (held to function
+// end), joins branch exit states by intersection (a lock counts as held
+// after an if/switch/select only when every live branch holds it), and
+// analyzes function literals with an empty held set — a closure cannot
+// assume its creator's critical section is still open when it runs.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockMode distinguishes an exclusive Lock from a shared RLock.
+type lockMode int
+
+const (
+	lockExclusive lockMode = iota
+	lockShared
+)
+
+// heldLock is one mutex the walker believes is held on the current path.
+type heldLock struct {
+	mode     lockMode
+	deferred bool      // released by a defer Unlock: held until function end
+	pos      token.Pos // acquisition site
+	node     string    // type-level identity ("pkg.Type.mu"), "" if unknown
+}
+
+// heldSet maps canonical mutex paths to their held state.
+type heldSet map[string]heldLock
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedPaths returns the held paths in stable order for deterministic
+// diagnostics.
+func (h heldSet) sortedPaths() []string {
+	out := make([]string, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// undeferred returns the subset of held locks that no defer releases —
+// the ones still locked when a return statement executes.
+func (h heldSet) undeferred() heldSet {
+	out := heldSet{}
+	for k, v := range h {
+		if !v.deferred {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// walkState is the per-path walker state.
+type walkState struct {
+	held       heldSet
+	terminated bool // a return/break/continue left this path
+}
+
+// joinStates intersects the exit states of sibling branches. Terminated
+// branches contribute nothing; if every branch terminated the join is
+// terminated too. When branches disagree on mode, the shared (RLock)
+// claim wins; a lock is deferred-released only if every branch says so.
+func joinStates(branches ...*walkState) walkState {
+	var live []*walkState
+	for _, b := range branches {
+		if !b.terminated {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		return walkState{held: heldSet{}, terminated: true}
+	}
+	out := walkState{held: live[0].held.clone()}
+	for _, b := range live[1:] {
+		for path, h := range out.held {
+			other, ok := b.held[path]
+			if !ok {
+				delete(out.held, path)
+				continue
+			}
+			if other.mode == lockShared {
+				h.mode = lockShared
+			}
+			if !other.deferred {
+				h.deferred = false
+			}
+			out.held[path] = h
+		}
+	}
+	return out
+}
+
+// lockWalker drives the path-sensitive walk of one function body. All
+// hooks are optional.
+type lockWalker struct {
+	pass *Pass
+	// onAcquire fires at each Lock/RLock, before the mutex joins held.
+	onAcquire func(x ast.Expr, path string, mode lockMode, pos token.Pos, held heldSet)
+	// onAccess fires for identifier and selector expressions; write marks
+	// assignment/inc-dec targets, escape marks address-of operands.
+	onAccess func(e ast.Expr, write, escape bool, held heldSet)
+	// onCall fires for every call that is not a mutex operation.
+	onCall func(call *ast.CallExpr, held heldSet)
+	// onExit fires at each return (and at fall-off-the-end) with the
+	// locks still held that no defer releases.
+	onExit func(pos token.Pos, held heldSet)
+	// onFuncLit, when set, replaces the default handling of nested
+	// function literals (recurse with an empty held set); goStmt reports
+	// whether the literal is launched as a goroutine.
+	onFuncLit func(lit *ast.FuncLit, goStmt bool)
+}
+
+// walkFunc analyzes one function body from an empty held set.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	st := &walkState{held: heldSet{}}
+	w.stmts(body.List, st)
+	if !st.terminated && w.onExit != nil {
+		w.onExit(body.Rbrace, st.held.undeferred())
+	}
+}
+
+func (w *lockWalker) funcLit(lit *ast.FuncLit, goStmt bool) {
+	if w.onFuncLit != nil {
+		w.onFuncLit(lit, goStmt)
+		return
+	}
+	w.walkFunc(lit.Body)
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, st *walkState) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		w.stmt(s, st)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *walkState) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(n.X, st)
+	case *ast.SendStmt:
+		w.expr(n.Chan, st)
+		w.expr(n.Value, st)
+	case *ast.IncDecStmt:
+		w.writeTarget(n.X, st)
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range n.Lhs {
+			w.writeTarget(l, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferCall(n.Call, st)
+	case *ast.GoStmt:
+		for _, a := range n.Call.Args {
+			w.expr(a, st)
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			w.funcLit(lit, true)
+		} else {
+			w.expr(n.Call.Fun, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.expr(r, st)
+		}
+		if w.onExit != nil {
+			w.onExit(n.Pos(), st.held.undeferred())
+		}
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear path; the enclosing loop
+		// or label target is approximated by discarding this path.
+		st.terminated = true
+	case *ast.BlockStmt:
+		inner := &walkState{held: st.held.clone()}
+		w.stmts(n.List, inner)
+		*st = *inner
+	case *ast.LabeledStmt:
+		w.stmt(n.Stmt, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		w.expr(n.Cond, st)
+		thenSt := &walkState{held: st.held.clone()}
+		w.stmts(n.Body.List, thenSt)
+		elseSt := &walkState{held: st.held.clone()}
+		if n.Else != nil {
+			w.stmt(n.Else, elseSt)
+		}
+		*st = joinStates(thenSt, elseSt)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		// The body may run zero times, so the loop leaves the entry state
+		// unchanged; the body itself is walked on a discarded copy.
+		loopSt := &walkState{held: st.held.clone()}
+		if n.Cond != nil {
+			w.expr(n.Cond, loopSt)
+		}
+		w.stmts(n.Body.List, loopSt)
+		if n.Post != nil && !loopSt.terminated {
+			w.stmt(n.Post, loopSt)
+		}
+	case *ast.RangeStmt:
+		w.expr(n.X, st)
+		loopSt := &walkState{held: st.held.clone()}
+		if n.Key != nil {
+			w.writeTarget(n.Key, loopSt)
+		}
+		if n.Value != nil {
+			w.writeTarget(n.Value, loopSt)
+		}
+		w.stmts(n.Body.List, loopSt)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			w.expr(n.Tag, st)
+		}
+		w.caseBodies(n.Body, st)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, st)
+		}
+		w.stmt(n.Assign, st)
+		w.caseBodies(n.Body, st)
+	case *ast.SelectStmt:
+		var branches []*walkState
+		for _, c := range n.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			b := &walkState{held: st.held.clone()}
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, b)
+			}
+			w.stmts(cc.Body, b)
+			branches = append(branches, b)
+		}
+		if len(branches) == 0 {
+			st.terminated = true // select{} blocks forever
+			return
+		}
+		*st = joinStates(branches...)
+	}
+}
+
+// caseBodies walks switch/type-switch clause bodies as sibling branches.
+// Without a default clause no case may match, so the entry state joins in.
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, st *walkState) {
+	hasDefault := false
+	var branches []*walkState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		b := &walkState{held: st.held.clone()}
+		w.stmts(cc.Body, b)
+		branches = append(branches, b)
+	}
+	if !hasDefault {
+		branches = append(branches, &walkState{held: st.held.clone()})
+	}
+	if len(branches) == 0 {
+		return
+	}
+	*st = joinStates(branches...)
+}
+
+func (w *lockWalker) deferCall(call *ast.CallExpr, st *walkState) {
+	if mx, verb, ok := mutexCall(w.pass.TypesInfo, call); ok {
+		if verb == "Unlock" || verb == "RUnlock" {
+			path := exprPath(mx)
+			if h, held := st.held[path]; held {
+				h.deferred = true
+				st.held[path] = h
+			}
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			w.expr(a, st)
+		}
+		w.funcLit(lit, false)
+		return
+	}
+	w.expr(call.Fun, st)
+	for _, a := range call.Args {
+		w.expr(a, st)
+	}
+	// Deferred calls run before any defer Unlock registered earlier, so
+	// the current held set is a sound approximation for them.
+	if w.onCall != nil {
+		w.onCall(call, st.held)
+	}
+}
+
+func (w *lockWalker) expr(e ast.Expr, st *walkState) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		if mx, verb, ok := mutexCall(w.pass.TypesInfo, n); ok {
+			path := exprPath(mx)
+			switch verb {
+			case "Lock", "RLock":
+				mode := lockExclusive
+				if verb == "RLock" {
+					mode = lockShared
+				}
+				if w.onAcquire != nil {
+					w.onAcquire(mx, path, mode, n.Pos(), st.held)
+				}
+				if path != "" {
+					st.held[path] = heldLock{mode: mode, pos: n.Pos(), node: lockNode(w.pass, mx)}
+				}
+			case "Unlock", "RUnlock":
+				if path != "" {
+					delete(st.held, path)
+				}
+			}
+			return
+		}
+		w.expr(n.Fun, st)
+		for _, a := range n.Args {
+			w.expr(a, st)
+		}
+		if w.onCall != nil {
+			w.onCall(n, st.held)
+		}
+	case *ast.FuncLit:
+		w.funcLit(n, false)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if sel := stripParens(n.X); isSelectorOrIdent(sel) {
+				if w.onAccess != nil {
+					w.onAccess(sel, false, true, st.held)
+				}
+				if s2, ok := sel.(*ast.SelectorExpr); ok {
+					w.expr(s2.X, st)
+				}
+				return
+			}
+		}
+		w.expr(n.X, st)
+	case *ast.SelectorExpr:
+		if w.onAccess != nil {
+			w.onAccess(n, false, false, st.held)
+		}
+		w.expr(n.X, st)
+	case *ast.Ident:
+		if w.onAccess != nil {
+			w.onAccess(n, false, false, st.held)
+		}
+	case *ast.ParenExpr:
+		w.expr(n.X, st)
+	case *ast.StarExpr:
+		w.expr(n.X, st)
+	case *ast.IndexExpr:
+		w.expr(n.X, st)
+		w.expr(n.Index, st)
+	case *ast.IndexListExpr:
+		w.expr(n.X, st)
+	case *ast.SliceExpr:
+		w.expr(n.X, st)
+		w.expr(n.Low, st)
+		w.expr(n.High, st)
+		w.expr(n.Max, st)
+	case *ast.TypeAssertExpr:
+		w.expr(n.X, st)
+	case *ast.BinaryExpr:
+		w.expr(n.X, st)
+		w.expr(n.Y, st)
+	case *ast.CompositeLit:
+		isStruct := false
+		if t := w.pass.TypesInfo.TypeOf(n); t != nil {
+			if _, ok := t.Underlying().(*types.Struct); ok {
+				isStruct = true
+			}
+		}
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				// Struct literal keys are field names, not accesses.
+				if !isStruct {
+					w.expr(kv.Key, st)
+				}
+				w.expr(kv.Value, st)
+				continue
+			}
+			w.expr(el, st)
+		}
+	}
+}
+
+// writeTarget handles assignment left-hand sides: the ultimate base of an
+// index/star chain is the written object.
+func (w *lockWalker) writeTarget(e ast.Expr, st *walkState) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		if w.onAccess != nil {
+			w.onAccess(n, true, false, st.held)
+		}
+	case *ast.SelectorExpr:
+		if w.onAccess != nil {
+			w.onAccess(n, true, false, st.held)
+		}
+		w.expr(n.X, st)
+	case *ast.IndexExpr:
+		w.writeTarget(n.X, st)
+		w.expr(n.Index, st)
+	case *ast.ParenExpr:
+		w.writeTarget(n.X, st)
+	case *ast.StarExpr:
+		w.expr(n.X, st)
+	default:
+		w.expr(e, st)
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// mutexCall recognizes X.Lock/Unlock/RLock/RUnlock() where X is a mutex,
+// returning the mutex expression and the verb. Promoted calls through an
+// embedded anonymous mutex are not recognized — this module names its
+// mutex fields.
+func mutexCall(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !isMutexType(t) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// exprPath renders the canonical spelled path of an lvalue chain
+// ("s.mu", "l.stats.mu", "genMu"); "" when the expression is not a plain
+// ident/selector chain.
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	}
+	return ""
+}
+
+// lockNode derives the instance-insensitive identity of a mutex: for a
+// struct field, "pkgpath.Type.field"; for a package-level var,
+// "pkgpath.name". Locals and unresolvable expressions yield "".
+func lockNode(pass *Pass, x ast.Expr) string {
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			for {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + e.Sel.Name
+			}
+			return ""
+		}
+		// Qualified reference to another package's mutex var.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Path() + "." + v.Name()
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// calleeFunc resolves a statically-dispatched callee: a package function,
+// or a method on a concrete receiver. Interface method calls and calls
+// through function values return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := stripParens(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return nil
+				}
+			}
+			return fn
+		}
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isSelectorOrIdent(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+		return true
+	}
+	return false
+}
+
+// hasLockedSuffix reports whether a function name documents the
+// caller-holds-the-lock convention (evictOldestEpochLocked, failLocked):
+// lockguard and lockorder trust such functions' callers.
+func hasLockedSuffix(name string) bool {
+	return strings.HasSuffix(name, "Locked")
+}

@@ -1,0 +1,234 @@
+// lockguard enforces //lint:guarded-by annotations: a struct field (or
+// package-level variable) documented as guarded by a mutex may only be
+// read or written while that mutex is held.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockGuard checks that annotated fields are only touched inside their
+// documented critical sections.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "guarded-by checker: fields and package vars annotated " +
+		"//lint:guarded-by <mu> must only be accessed while the named " +
+		"mutex (a sibling field on the same receiver, or a package-level " +
+		"mutex) is held; reads under RLock are allowed, writes are not, " +
+		"and taking a guarded field's address is an escape. Functions " +
+		"whose name ends in Locked are trusted to be called with the " +
+		"lock held.",
+	Run: runLockGuard,
+}
+
+// guardSpec describes the mutex guarding one annotated object.
+type guardSpec struct {
+	name     string // the mutex's declared name
+	pkgLevel bool   // guard is a package-level var, not a sibling field
+}
+
+func runLockGuard(pass *Pass) error {
+	guarded := collectGuardedBy(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasLockedSuffix(fd.Name.Name) {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.onAccess = func(e ast.Expr, write, escape bool, held heldSet) {
+				checkGuardedAccess(pass, guarded, e, write, escape, held)
+			}
+			w.walkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectGuardedBy parses //lint:guarded-by directives on struct fields
+// and package-level vars, reporting malformed ones, and returns the
+// guarded object -> guard mapping.
+func collectGuardedBy(pass *Pass) map[types.Object]guardSpec {
+	guarded := map[types.Object]guardSpec{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStructGuards(pass, st, guarded)
+				case *ast.ValueSpec:
+					name, dir := guardedByName(s.Doc)
+					if dir == nil {
+						name, dir = guardedByName(s.Comment)
+					}
+					if dir == nil && len(gd.Specs) == 1 {
+						name, dir = guardedByName(gd.Doc)
+					}
+					if dir == nil {
+						continue
+					}
+					if name == "" {
+						pass.Reportf(dir, "guarded-by directive missing the mutex name")
+						continue
+					}
+					if !resolvePkgGuard(pass, name) {
+						pass.Reportf(dir, "guarded-by names %q, which is not a package-level sync.Mutex/RWMutex", name)
+						continue
+					}
+					for _, id := range s.Names {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							guarded[obj] = guardSpec{name: name, pkgLevel: true}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+func collectStructGuards(pass *Pass, st *ast.StructType, guarded map[types.Object]guardSpec) {
+	for _, field := range st.Fields.List {
+		name, dir := guardedByName(field.Doc)
+		if dir == nil {
+			name, dir = guardedByName(field.Comment)
+		}
+		if dir == nil {
+			continue
+		}
+		if name == "" {
+			pass.Reportf(dir, "guarded-by directive missing the mutex name")
+			continue
+		}
+		spec, ok := resolveStructGuard(pass, st, name)
+		if !ok {
+			pass.Reportf(dir, "guarded-by names %q, which is neither a sibling sync.Mutex/RWMutex field nor a package-level mutex", name)
+			continue
+		}
+		for _, id := range field.Names {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				guarded[obj] = spec
+			}
+		}
+	}
+}
+
+// guardedByName extracts the mutex name from a //lint:guarded-by comment
+// in the group, returning the directive comment for error anchoring.
+func guardedByName(cg *ast.CommentGroup) (string, *ast.Comment) {
+	if cg == nil {
+		return "", nil
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), directivePrefix+"guarded-by")
+		if !ok || (rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t")) {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return "", c
+		}
+		return fields[0], c
+	}
+	return "", nil
+}
+
+// resolveStructGuard checks the named guard is a sibling mutex field of
+// the struct, or falls back to a package-level mutex var.
+func resolveStructGuard(pass *Pass, st *ast.StructType, name string) (guardSpec, bool) {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name != name {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj != nil && isMutexType(obj.Type()) {
+				return guardSpec{name: name}, true
+			}
+			return guardSpec{}, false
+		}
+	}
+	if resolvePkgGuard(pass, name) {
+		return guardSpec{name: name, pkgLevel: true}, true
+	}
+	return guardSpec{}, false
+}
+
+// resolvePkgGuard reports whether name is a package-level mutex var.
+func resolvePkgGuard(pass *Pass, name string) bool {
+	obj := pass.Pkg.Scope().Lookup(name)
+	v, ok := obj.(*types.Var)
+	return ok && isMutexType(v.Type())
+}
+
+// checkGuardedAccess reports an access to a guarded object made outside
+// its critical section.
+func checkGuardedAccess(pass *Pass, guarded map[types.Object]guardSpec, e ast.Expr, write, escape bool, held heldSet) {
+	var obj types.Object
+	var baseExpr ast.Expr
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			obj = sel.Obj()
+			baseExpr = x.X
+		} else if u, ok := pass.TypesInfo.Uses[x.Sel]; ok {
+			obj = u // qualified package-level var
+		}
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[x]
+	}
+	if obj == nil {
+		return
+	}
+	spec, ok := guarded[obj]
+	if !ok {
+		return
+	}
+	var guardPath string
+	if spec.pkgLevel {
+		guardPath = spec.name
+	} else {
+		base := exprPath(baseExpr)
+		if base == "" {
+			pass.Reportf(e, "guarded field %q accessed through an unresolvable expression; cannot prove %q is held", obj.Name(), spec.name)
+			return
+		}
+		guardPath = base + "." + spec.name
+	}
+	noun := "field"
+	if v, ok := obj.(*types.Var); ok && !v.IsField() {
+		noun = "variable"
+	}
+	if escape {
+		pass.Reportf(e, "address of guarded %s %q escapes its critical section (guarded by %q)", noun, obj.Name(), guardPath)
+		return
+	}
+	h, heldNow := held[guardPath]
+	verb := "read"
+	if write {
+		verb = "written"
+	}
+	if !heldNow {
+		pass.Reportf(e, "guarded %s %q %s without holding %q", noun, obj.Name(), verb, guardPath)
+		return
+	}
+	if write && h.mode == lockShared {
+		pass.Reportf(e, "guarded %s %q written while %q is held for reading (RLock)", noun, obj.Name(), guardPath)
+	}
+}

@@ -1,0 +1,375 @@
+// lockorder builds a static lock-acquisition graph across the whole
+// module and reports cycles as potential deadlocks, plus any Lock() that
+// can reach a return with no Unlock on that path.
+//
+// Nodes are instance-insensitive lock identities ("pkg.Type.mu" for field
+// mutexes, "pkg.var" for package-level ones). An edge A -> B is recorded
+// when B is acquired while A is held — directly, or interprocedurally
+// through statically-dispatched calls: each function's acquired-lock
+// summary is closed over its call graph, and a call made with A held adds
+// edges from A to everything the callee can acquire. The analyzer keeps
+// its graph in per-run state (Analyzer.Begin); packages arrive in
+// dependency order, so a cycle is reported in the pass that adds its
+// closing edge, deduplicated by the cycle's node set.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects potential deadlocks from inconsistent lock ordering
+// and lock/unlock imbalance.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "static lock-order checker: builds the module-wide mutex " +
+		"acquisition graph (an edge when one mutex is acquired while " +
+		"another is held, followed through direct calls) and reports " +
+		"cycles as potential deadlocks, double-acquisition of the same " +
+		"mutex, and functions that return with a lock still held on some " +
+		"path. Functions whose name ends in Locked may return held.",
+	Begin: func() any { return newLockOrderState() },
+	Run:   runLockOrder,
+}
+
+// lockOrderState is the module-wide graph accumulated across packages of
+// one run.
+type lockOrderState struct {
+	// acquires maps a function's FullName to the lock nodes it acquires
+	// directly in its own body.
+	acquires map[string]map[string]bool
+	// calls maps a function to its statically-resolved callees.
+	calls map[string]map[string]bool
+	// edges is the direct acquired-while-held graph, first position wins.
+	edges map[string]map[string]token.Pos
+	// pending records calls made while a lock was held; they are expanded
+	// against the transitive acquires of the callee after each package.
+	pending []lockPending
+	// reported holds canonical node-set keys of cycles already diagnosed.
+	reported map[string]bool
+}
+
+type lockPending struct {
+	heldNode string
+	callee   string
+	pos      token.Pos
+}
+
+func newLockOrderState() *lockOrderState {
+	return &lockOrderState{
+		acquires: map[string]map[string]bool{},
+		calls:    map[string]map[string]bool{},
+		edges:    map[string]map[string]token.Pos{},
+		reported: map[string]bool{},
+	}
+}
+
+func (st *lockOrderState) acquire(fn, node string) {
+	m := st.acquires[fn]
+	if m == nil {
+		m = map[string]bool{}
+		st.acquires[fn] = m
+	}
+	m[node] = true
+}
+
+func (st *lockOrderState) call(fn, callee string) {
+	m := st.calls[fn]
+	if m == nil {
+		m = map[string]bool{}
+		st.calls[fn] = m
+	}
+	m[callee] = true
+}
+
+func addLockEdge(edges map[string]map[string]token.Pos, from, to string, pos token.Pos) {
+	m := edges[from]
+	if m == nil {
+		m = map[string]token.Pos{}
+		edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+func runLockOrder(pass *Pass) error {
+	st, ok := pass.State.(*lockOrderState)
+	if !ok {
+		return fmt.Errorf("lockorder: missing per-run state")
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fnObj == nil {
+				continue
+			}
+			walkLockOrderFunc(pass, st, fd, fnObj.FullName())
+		}
+	}
+	reportLockCycles(pass, st)
+	return nil
+}
+
+func walkLockOrderFunc(pass *Pass, st *lockOrderState, fd *ast.FuncDecl, fullName string) {
+	// cur tracks which summary acquisitions fold into; goroutine bodies
+	// get a synthetic never-called name so a lock taken inside `go func`
+	// does not look like a lock the enclosing function holds for callers.
+	cur := fullName
+	skipExit := hasLockedSuffix(fd.Name.Name)
+	var w *lockWalker
+	w = &lockWalker{pass: pass}
+	w.onAcquire = func(x ast.Expr, path string, mode lockMode, pos token.Pos, held heldSet) {
+		node := lockNode(pass, x)
+		if node == "" {
+			return
+		}
+		st.acquire(cur, node)
+		if h, dup := held[path]; dup {
+			pass.Report(pos, "mutex %s locked again while already held (acquired at %s): deadlock",
+				path, pass.Fset.Position(h.pos))
+			return
+		}
+		for _, p := range held.sortedPaths() {
+			h := held[p]
+			if h.node == "" {
+				continue
+			}
+			addLockEdge(st.edges, h.node, node, pos)
+		}
+	}
+	w.onCall = func(call *ast.CallExpr, held heldSet) {
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return
+		}
+		name := callee.FullName()
+		st.call(cur, name)
+		for _, p := range held.sortedPaths() {
+			if h := held[p]; h.node != "" {
+				st.pending = append(st.pending, lockPending{heldNode: h.node, callee: name, pos: call.Pos()})
+			}
+		}
+	}
+	w.onExit = func(pos token.Pos, held heldSet) {
+		if skipExit {
+			return
+		}
+		for _, p := range held.sortedPaths() {
+			pass.Report(pos, "returns with %s still locked (acquired at %s): no Unlock on this path",
+				p, pass.Fset.Position(held[p].pos))
+		}
+	}
+	w.onFuncLit = func(lit *ast.FuncLit, goStmt bool) {
+		prev := cur
+		if goStmt {
+			cur = prev + "·go"
+		}
+		w.walkFunc(lit.Body)
+		cur = prev
+	}
+	w.walkFunc(fd.Body)
+}
+
+// reportLockCycles closes the acquires summaries over the call graph,
+// expands call-while-holding edges, and reports each new cycle once.
+func reportLockCycles(pass *Pass, st *lockOrderState) {
+	// Transitive acquires via memoized DFS; the call graph may itself be
+	// recursive, so an in-progress marker breaks cycles.
+	memo := map[string]map[string]bool{}
+	inProgress := map[string]bool{}
+	var expand func(fn string) map[string]bool
+	expand = func(fn string) map[string]bool {
+		if m, ok := memo[fn]; ok {
+			return m
+		}
+		if inProgress[fn] {
+			return nil
+		}
+		inProgress[fn] = true
+		out := map[string]bool{}
+		for n := range st.acquires[fn] {
+			out[n] = true
+		}
+		for callee := range st.calls[fn] {
+			for n := range expand(callee) {
+				out[n] = true
+			}
+		}
+		delete(inProgress, fn)
+		memo[fn] = out
+		return out
+	}
+
+	edges := map[string]map[string]token.Pos{}
+	for from, m := range st.edges {
+		for to, pos := range m {
+			addLockEdge(edges, from, to, pos)
+		}
+	}
+	for _, p := range st.pending {
+		acq := expand(p.callee)
+		nodes := make([]string, 0, len(acq))
+		for n := range acq {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			addLockEdge(edges, p.heldNode, n, p.pos)
+		}
+	}
+
+	for _, cycle := range lockCycles(edges) {
+		key := cycleKey(cycle)
+		if st.reported[key] {
+			continue
+		}
+		st.reported[key] = true
+		pos := edges[cycle[0]][cycle[1]]
+		if len(cycle) == 2 && cycle[0] == cycle[1] {
+			pass.Report(pos, "lock order cycle: %s can be acquired while an instance of it is already held (potential deadlock)", cycle[0])
+			continue
+		}
+		pass.Report(pos, "lock order cycle: %s (potential deadlock)", strings.Join(cycle, " -> "))
+	}
+}
+
+// cycleKey canonicalizes a cycle by its sorted distinct node set.
+func cycleKey(cycle []string) string {
+	set := map[string]bool{}
+	for _, n := range cycle {
+		set[n] = true
+	}
+	nodes := make([]string, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return strings.Join(nodes, "|")
+}
+
+// lockCycles finds, for every strongly-connected component with a cycle,
+// one concrete closed path through it, deterministically (smallest node
+// first, smallest successor preferred).
+func lockCycles(edges map[string]map[string]token.Pos) [][]string {
+	nodes := map[string]bool{}
+	for from, m := range edges {
+		nodes[from] = true
+		for to := range m {
+			nodes[to] = true
+		}
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	succ := func(n string) []string {
+		m := edges[n]
+		out := make([]string, 0, len(m))
+		for to := range m {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	// Tarjan's SCC algorithm, iterating in sorted order for determinism.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range succ(v) {
+			if _, seen := index[wn]; !seen {
+				strongconnect(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				wn := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[wn] = false
+				comp = append(comp, wn)
+				if wn == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var out [][]string
+	for _, comp := range sccs {
+		if len(comp) == 1 {
+			n := comp[0]
+			if _, self := edges[n][n]; self {
+				out = append(out, []string{n, n})
+			}
+			continue
+		}
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		if path := closedPath(comp[0], inComp, succ); path != nil {
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// closedPath finds a cycle from start back to start inside one SCC.
+func closedPath(start string, inComp map[string]bool, succ func(string) []string) []string {
+	visited := map[string]bool{}
+	var dfs func(n string, path []string) []string
+	dfs = func(n string, path []string) []string {
+		for _, to := range succ(n) {
+			if !inComp[to] {
+				continue
+			}
+			if to == start {
+				return append(append([]string{}, path...), start)
+			}
+			if visited[to] {
+				continue
+			}
+			visited[to] = true
+			if r := dfs(to, append(path, to)); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	visited[start] = true
+	return dfs(start, []string{start})
+}

@@ -1,0 +1,101 @@
+// Package goleak exercises the goleak analyzer: positive cases launch
+// unbounded or unresolvable goroutines with no tracking, negative cases
+// select on a done channel, range over a channel, are WaitGroup-tracked,
+// or provably terminate.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// spawnLooper leaks: unbounded loop, no signal, no tracking.
+func spawnLooper() {
+	go func() { // want `unbounded loop with no exit signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnCtx exits when the context is cancelled.
+func spawnCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// spawnTracked is tracked by the WaitGroup Add immediately before the
+// launch: a Close/Drain can wait for it.
+func spawnTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// spawnBounded terminates by reaching the end of its body.
+func spawnBounded(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+type runner interface{ Run() }
+
+// spawnDynamic launches through an interface: nothing can be proven, so
+// the launch must be tracked — and is not.
+func spawnDynamic(r runner) {
+	go r.Run() // want `not statically resolvable`
+}
+
+func spawnDynamicTracked(r runner, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go r.Run()
+}
+
+// loop is resolvable within the package and has an exit signal.
+func loop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func spawnDecl(done chan struct{}) {
+	go loop(done)
+}
+
+// hot spins forever with no way out.
+func hot() {
+	for {
+		work()
+	}
+}
+
+func spawnHot() {
+	go hot() // want `unbounded loop with no exit signal`
+}
+
+// spawnRange ends when the channel is closed.
+func spawnRange(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}

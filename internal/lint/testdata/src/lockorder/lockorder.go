@@ -1,0 +1,145 @@
+// Package lockorder exercises the lockorder analyzer: a direct two-lock
+// ordering cycle, an interprocedural cycle through a called function, a
+// same-type self cycle, double acquisition, and a return with the lock
+// still held; negative cases use consistent ordering, defer-unlock, and
+// the Locked-suffix convention.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+var (
+	ga a
+	gb b
+)
+
+// abOrder takes a.mu before b.mu; combined with baOrder below the graph
+// has the cycle a.mu -> b.mu -> a.mu, reported on the edge from the
+// cycle's smallest node.
+func abOrder() {
+	ga.mu.Lock()
+	gb.mu.Lock() // want `lock order cycle: testdata/lockorder\.a\.mu -> testdata/lockorder\.b\.mu -> testdata/lockorder\.a\.mu`
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func baOrder() {
+	gb.mu.Lock()
+	ga.mu.Lock()
+	ga.mu.Unlock()
+	gb.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+
+type d struct{ mu sync.Mutex }
+
+var (
+	gc c
+	gd d
+)
+
+func lockD() {
+	gd.mu.Lock()
+	gd.mu.Unlock()
+}
+
+// cdViaCall acquires d.mu through a call while holding c.mu: the edge is
+// interprocedural, and dcOrder closes the cycle.
+func cdViaCall() {
+	gc.mu.Lock()
+	lockD() // want `lock order cycle: testdata/lockorder\.c\.mu -> testdata/lockorder\.d\.mu -> testdata/lockorder\.c\.mu`
+	gc.mu.Unlock()
+}
+
+func dcOrder() {
+	gd.mu.Lock()
+	gc.mu.Lock()
+	gc.mu.Unlock()
+	gd.mu.Unlock()
+}
+
+// node locks two instances of the same type: instance-insensitively that
+// is a self cycle (lock two nodes in opposite orders and they deadlock).
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func (n *node) link() {
+	n.mu.Lock()
+	n.next.mu.Lock() // want `testdata/lockorder\.node\.mu can be acquired while an instance of it is already held`
+	n.next.mu.Unlock()
+	n.mu.Unlock()
+}
+
+type e struct {
+	mu sync.Mutex
+	n  int
+}
+
+func doubleLock(x *e) {
+	x.mu.Lock()
+	x.mu.Lock() // want `mutex x\.mu locked again while already held`
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// leakLock forgets to unlock on the early-return path.
+func leakLock(x *e, cond bool) int {
+	x.mu.Lock()
+	if cond {
+		return x.n // want `returns with x\.mu still locked`
+	}
+	x.mu.Unlock()
+	return 0
+}
+
+func goodDefer(x *e) int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.n
+}
+
+func goodBranches(x *e, cond bool) int {
+	x.mu.Lock()
+	if cond {
+		x.mu.Unlock()
+		return 1
+	}
+	x.mu.Unlock()
+	return 0
+}
+
+// acquireLocked returns holding the lock by contract: the Locked suffix
+// suppresses the exit-held report.
+func acquireLocked(x *e) {
+	x.mu.Lock()
+}
+
+// consistent nests in one direction only: no cycle.
+type f struct{ mu sync.Mutex }
+
+type g struct{ mu sync.Mutex }
+
+var (
+	gf f
+	gg g
+)
+
+func consistentOne() {
+	gf.mu.Lock()
+	gg.mu.Lock()
+	gg.mu.Unlock()
+	gf.mu.Unlock()
+}
+
+func consistentTwo() {
+	gf.mu.Lock()
+	gg.mu.Lock()
+	gg.mu.Unlock()
+	gf.mu.Unlock()
+}

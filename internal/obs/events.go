@@ -71,12 +71,21 @@ type Event struct {
 // capacity evicts the oldest entries, so a long-running daemon's incident
 // history stays fresh and its memory stays bounded.
 type EventLog struct {
-	mu   sync.Mutex
-	buf  []Event
-	head int   // index of the oldest event when full
-	next int64 // next sequence number
-	cap  int
-	now  func() time.Time
+	mu sync.Mutex
+	//lint:guarded-by mu
+	buf []Event
+	// head is the index of the oldest event when full.
+	//
+	//lint:guarded-by mu
+	head int
+	// next is the next sequence number.
+	//
+	//lint:guarded-by mu
+	next int64
+	//lint:guarded-by mu
+	cap int
+	//lint:guarded-by mu
+	now func() time.Time
 }
 
 // NewEventLog returns an event log evicting beyond capacity (minimum 1).

@@ -10,10 +10,13 @@ import "sync"
 // consult /readyz skip it instead of burning a call that would only be
 // refused with ErrDraining.
 type Health struct {
-	mu     sync.Mutex
-	ready  bool
+	mu sync.Mutex
+	//lint:guarded-by mu
+	ready bool
+	//lint:guarded-by mu
 	reason string
-	check  func() (bool, string)
+	//lint:guarded-by mu
+	check func() (bool, string)
 }
 
 // NewHealth returns a Health that starts ready.

@@ -44,6 +44,7 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.server = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goleak Serve returns when Close closes the listener, ending the goroutine
 	go s.server.Serve(l)
 	return s, nil
 }

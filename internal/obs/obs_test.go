@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -308,5 +309,43 @@ func TestDebugServer(t *testing.T) {
 
 	if _, err := ServeDebug("127.0.0.1:0", nil); err == nil {
 		t.Error("ServeDebug accepted nil Obs")
+	}
+}
+
+// TestTracerSetNowConcurrent is the regression test for a data race found
+// by the lockguard analyzer: Start and End used to read Tracer.now without
+// t.mu while SetNow writes it under the lock. Run with -race.
+func TestTracerSetNowConcurrent(t *testing.T) {
+	tr := NewTracer()
+	base := time.Unix(0, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			at := base.Add(time.Duration(i) * time.Millisecond)
+			tr.SetNow(func() time.Time { return at })
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		_, span := tr.Start(context.Background(), "q", "")
+		span.SetArg("i", "x")
+		span.End()
+		// Yield so the race is observable even on GOMAXPROCS=1.
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if tr.Len() == 0 {
+		t.Fatal("no spans recorded")
 	}
 }

@@ -40,12 +40,26 @@ type spanRecord struct {
 // timeline. Tracks map to Chrome thread lanes; spans on one track nest by
 // time containment.
 type Tracer struct {
-	mu      sync.Mutex
-	epoch   time.Time
-	spans   []spanRecord
+	mu sync.Mutex
+	//lint:guarded-by mu
+	epoch time.Time
+	//lint:guarded-by mu
+	spans []spanRecord
+	//lint:guarded-by mu
 	dropped int64
-	max     int
-	now     func() time.Time
+	//lint:guarded-by mu
+	max int
+	//lint:guarded-by mu
+	now func() time.Time
+}
+
+// clock returns the tracer's current clock function. Start and End read
+// the clock through here so a concurrent SetNow (which writes t.now under
+// t.mu) never races with span timestamping.
+func (t *Tracer) clock() func() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
 }
 
 // NewTracer returns a tracer retaining up to DefaultSpanCap spans.
@@ -83,8 +97,10 @@ type Span struct {
 	track  string
 	start  time.Time
 
-	mu    sync.Mutex
-	args  map[string]string
+	mu sync.Mutex
+	//lint:guarded-by mu
+	args map[string]string
+	//lint:guarded-by mu
 	ended bool
 }
 
@@ -99,7 +115,7 @@ func (t *Tracer) Start(ctx context.Context, name, track string) (context.Context
 			track = TrackDefault
 		}
 	}
-	s := &Span{tracer: t, name: name, track: track, start: t.now()}
+	s := &Span{tracer: t, name: name, track: track, start: t.clock()()}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
@@ -133,7 +149,7 @@ func (s *Span) End() {
 	s.mu.Unlock()
 
 	t := s.tracer
-	end := t.now()
+	end := t.clock()()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.spans) >= t.max {

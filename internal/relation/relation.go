@@ -28,6 +28,7 @@ type Schema struct {
 	// byName maps lower-cased column names to positions. It is rebuilt
 	// lazily after gob decoding, which does not transmit private fields.
 	//
+	//lint:guarded-by schemaIndexMu
 	//lint:ignore wiresafe derived index, rebuilt lazily on first Lookup after decode
 	byName map[string]int
 }
@@ -35,6 +36,8 @@ type Schema struct {
 // NewSchema builds a schema from columns, validating name uniqueness.
 func NewSchema(cols ...Column) (*Schema, error) {
 	s := &Schema{Cols: cols}
+	schemaIndexMu.Lock()
+	defer schemaIndexMu.Unlock()
 	s.byName = make(map[string]int, len(cols))
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)

@@ -33,7 +33,8 @@ import (
 type Generator func(spec *transport.GenSpec) (*relation.Relation, error)
 
 var (
-	genMu      sync.RWMutex
+	genMu sync.RWMutex
+	//lint:guarded-by genMu
 	generators = map[string]Generator{}
 )
 
@@ -92,9 +93,12 @@ type epochCache struct {
 type Engine struct {
 	id string
 
-	mu     sync.RWMutex
-	rels   map[string]*relation.Relation
-	obs    *obs.Obs
+	mu sync.RWMutex
+	//lint:guarded-by mu
+	rels map[string]*relation.Relation
+	//lint:guarded-by mu
+	obs *obs.Obs
+	//lint:guarded-by mu
 	limits Limits
 
 	// Replay cache: responses to epoch-tagged rounds, so a coordinator
@@ -103,8 +107,10 @@ type Engine struct {
 	// executions interleave; bounded per epoch (replayCacheCap) and
 	// across epochs (replayEpochCap), with epochs evicted when their
 	// execution completes (OpEpochDone) or ages out.
-	replayMu     sync.Mutex
-	replaySeq    int64
+	replayMu sync.Mutex
+	//lint:guarded-by replayMu
+	replaySeq int64
+	//lint:guarded-by replayMu
 	replayEpochs map[string]*epochCache
 }
 

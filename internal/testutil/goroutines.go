@@ -1,0 +1,92 @@
+// Package testutil holds shared helpers for the module's tests. It is
+// test-support code: nothing here is imported by production packages.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long a finished test waits for stragglers to exit
+// before declaring them leaked. Shutdown paths are allowed to take a
+// moment (deferred closes, connection teardown), but anything still
+// alive after the grace period has no exit path wired to the test's
+// lifecycle.
+const leakGrace = 2 * time.Second
+
+// CheckGoroutines snapshots the goroutines alive now and registers a
+// cleanup that fails the test if new goroutines outlive it. Call it
+// first thing in any test that exercises a shutdown path (pool close,
+// scheduler drain, service shutdown): it is the runtime complement to
+// the static goleak analyzer — goleak proves every launch has an exit
+// path in the source, this proves the exit path actually fired.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	base := map[string]int{}
+	for _, s := range stacks() {
+		base[stackKey(s)]++
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			seen := map[string]int{}
+			for _, s := range stacks() {
+				k := stackKey(s)
+				seen[k]++
+				if seen[k] > base[k] {
+					leaked = append(leaked, s)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("testutil: %d goroutine(s) leaked past the test:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// stacks returns one stanza per live goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+}
+
+// stackKey reduces a goroutine stanza to a stable identity — its top
+// function plus its creation site — so comparing before/after sets
+// tolerates changing goroutine IDs, states, and argument values.
+func stackKey(stanza string) string {
+	lines := strings.Split(stanza, "\n")
+	var top, created string
+	if len(lines) > 1 {
+		top = trimCallArgs(strings.TrimSpace(lines[1]))
+	}
+	for _, l := range lines {
+		if rest, ok := strings.CutPrefix(l, "created by "); ok {
+			created, _, _ = strings.Cut(rest, " in goroutine")
+		}
+	}
+	return top + " <- " + created
+}
+
+// trimCallArgs strips the argument list from a stack-frame function
+// line, keeping method receivers intact.
+func trimCallArgs(l string) string {
+	if i := strings.LastIndex(l, "("); i > 0 {
+		return l[:i]
+	}
+	return l
+}

@@ -65,17 +65,30 @@ type Fault struct {
 type Chaos struct {
 	inner Client
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	queues   map[Op][]Fault
-	at       map[Op]map[int]Fault // positional one-shots, keyed by per-op call number
-	opCalls  map[Op]int           // calls seen per opcode (for InjectAt)
-	errRate  float64
+	mu sync.Mutex
+	//lint:guarded-by mu
+	rng *rand.Rand
+	//lint:guarded-by mu
+	queues map[Op][]Fault
+	// at holds positional one-shots, keyed by per-op call number.
+	//
+	//lint:guarded-by mu
+	at map[Op]map[int]Fault
+	// opCalls counts calls seen per opcode (for InjectAt).
+	//
+	//lint:guarded-by mu
+	opCalls map[Op]int
+	//lint:guarded-by mu
+	errRate float64
+	//lint:guarded-by mu
 	delayMax time.Duration
-	calls    int
+	//lint:guarded-by mu
+	calls int
+	//lint:guarded-by mu
 	injected int
 	closed   chan struct{}
-	obs      *obs.Obs
+	//lint:guarded-by mu
+	obs *obs.Obs
 }
 
 // NewChaos wraps inner with a fault injector whose random decisions are

@@ -40,11 +40,15 @@ func (c CostModel) TransferTime(n int) time.Duration {
 // WireStats accumulates per-client communication statistics. It is safe
 // for concurrent use.
 type WireStats struct {
-	mu            sync.Mutex
-	bytesSent     int64
+	mu sync.Mutex
+	//lint:guarded-by mu
+	bytesSent int64
+	//lint:guarded-by mu
 	bytesReceived int64
-	messages      int64
-	commTime      time.Duration
+	//lint:guarded-by mu
+	messages int64
+	//lint:guarded-by mu
+	commTime time.Duration
 }
 
 // AddSent records n bytes sent plus its modeled transfer time.

@@ -20,9 +20,11 @@ type HTTPHealth struct {
 	client *http.Client
 	ttl    time.Duration
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//lint:guarded-by mu
 	cache map[string]healthEntry
-	now   func() time.Time
+	//lint:guarded-by mu
+	now func() time.Time
 }
 
 type healthEntry struct {

@@ -22,7 +22,8 @@ type LocalClient struct {
 	cost    CostModel
 	stats   WireStats
 
-	mu  sync.Mutex
+	mu sync.Mutex
+	//lint:guarded-by mu
 	obs *obs.Obs
 }
 

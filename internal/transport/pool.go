@@ -35,11 +35,17 @@ type Pool struct {
 
 	slots chan struct{} // capacity tokens; one per potential connection
 
-	mu     sync.Mutex
-	idle   []Client
-	dialed int // connections currently alive (idle or borrowed)
+	mu sync.Mutex
+	//lint:guarded-by mu
+	idle []Client
+	// dialed counts connections currently alive (idle or borrowed).
+	//
+	//lint:guarded-by mu
+	dialed int
+	//lint:guarded-by mu
 	closed bool
-	obs    *obs.Obs
+	//lint:guarded-by mu
+	obs *obs.Obs
 }
 
 // NewPool returns a pool of at most max concurrent connections to the

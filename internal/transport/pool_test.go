@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/testutil"
 )
 
 // gateHandler answers pings immediately and blocks OpDrop requests until
@@ -240,6 +241,7 @@ func TestPoolDialFailure(t *testing.T) {
 }
 
 func TestPoolClose(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := NewPool("s0", 2, localDial(newGateHandler()))
 	l := p.Lease()
 	if _, err := l.Call(context.Background(), &Request{Op: OpPing}); err != nil {

@@ -47,13 +47,20 @@ type Reconnector struct {
 	// least 2s). Set before the first Call.
 	MaxBackoff time.Duration
 
-	mu    sync.Mutex
-	cur   Client
-	ep    int // current endpoint index; sticky across calls
-	rng   *rand.Rand
+	mu sync.Mutex
+	//lint:guarded-by mu
+	cur Client
+	// ep is the current endpoint index; sticky across calls.
+	//
+	//lint:guarded-by mu
+	ep int
+	//lint:guarded-by mu
+	rng *rand.Rand
+	//lint:guarded-by mu
 	sleep func(ctx context.Context, d time.Duration) error
 	stats WireStats
-	obs   *obs.Obs
+	//lint:guarded-by mu
+	obs *obs.Obs
 }
 
 // NewReconnector returns a client for a single-endpoint site that dials
@@ -200,7 +207,7 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 						"error":    lastErr.Error(),
 					})
 				if r.backoff > 0 {
-					if err := r.sleep(ctx, r.jitteredBackoff(attempt)); err != nil {
+					if err := r.sleep(ctx, r.jitteredBackoffLocked(attempt)); err != nil {
 						return nil, fmt.Errorf("transport: %s: %w", r.id, err)
 					}
 				}
@@ -210,7 +217,7 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 			return nil, fmt.Errorf("transport: %s: %w", r.id, err)
 		}
 		if r.cur == nil {
-			c, err := r.dial()
+			c, err := r.dialLocked()
 			if err != nil {
 				lastErr = err
 				r.obs.Count("transport.redial_failures", 1)
@@ -290,9 +297,9 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 	return nil, fmt.Errorf("transport: %s failed after %d attempt(s): %w", r.id, total, lastErr)
 }
 
-// dial connects to the current endpoint, handing the obs sink down to
-// inner clients that support it.
-func (r *Reconnector) dial() (Client, error) {
+// dialLocked connects to the current endpoint, handing the obs sink down
+// to inner clients that support it; callers hold r.mu.
+func (r *Reconnector) dialLocked() (Client, error) {
 	c, err := r.dials[r.ep]()
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s[%d]: %w", r.id, r.ep, err)
@@ -303,10 +310,11 @@ func (r *Reconnector) dial() (Client, error) {
 	return c, nil
 }
 
-// jitteredBackoff returns the delay before retry number attempt (≥1) at
-// one endpoint: exponential in the attempt with full jitter in the upper
-// half of the window, capped at MaxBackoff.
-func (r *Reconnector) jitteredBackoff(attempt int) time.Duration {
+// jitteredBackoffLocked returns the delay before retry number attempt
+// (≥1) at one endpoint: exponential in the attempt with full jitter in
+// the upper half of the window, capped at MaxBackoff; callers hold r.mu
+// (the jitter rng is guarded by it).
+func (r *Reconnector) jitteredBackoffLocked(attempt int) time.Duration {
 	d := r.backoff << uint(attempt-1)
 	if d > r.MaxBackoff || d <= 0 { // d <= 0 on shift overflow
 		d = r.MaxBackoff

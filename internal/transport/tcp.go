@@ -23,14 +23,23 @@ type Server struct {
 	handler  Handler
 	listener net.Listener
 
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   bool
+	mu sync.Mutex
+	//lint:guarded-by mu
+	conns map[net.Conn]struct{}
+	//lint:guarded-by mu
+	closed bool
+	//lint:guarded-by mu
 	draining bool
-	inflight int   // requests currently inside the handler
-	served   int64 // requests ever admitted to the handler
-	wg       sync.WaitGroup
-	reqWG    sync.WaitGroup // outstanding handler invocations
+	// inflight counts requests currently inside the handler.
+	//
+	//lint:guarded-by mu
+	inflight int
+	// served counts requests ever admitted to the handler.
+	//
+	//lint:guarded-by mu
+	served int64
+	wg     sync.WaitGroup
+	reqWG  sync.WaitGroup // outstanding handler invocations
 
 	// Logf logs server-side errors; defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -365,10 +374,12 @@ type TCPClient struct {
 	cr   *countingReader
 	cost CostModel
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//lint:guarded-by mu
 	broken bool
 	stats  WireStats
-	obs    *obs.Obs
+	//lint:guarded-by mu
+	obs *obs.Obs
 }
 
 // DialTCP connects to a site server.
@@ -445,7 +456,7 @@ func (c *TCPClient) Call(ctx context.Context, req *Request) (*Response, error) {
 
 	before := c.cw.n
 	if err := c.enc.Encode(req); err != nil {
-		return nil, c.fail("send to", err, ctx)
+		return nil, c.failLocked("send to", err, ctx)
 	}
 	c.stats.AddSent(int(c.cw.n-before), c.cost)
 	c.obs.Count("transport.bytes_sent", c.cw.n-before)
@@ -454,18 +465,18 @@ func (c *TCPClient) Call(ctx context.Context, req *Request) (*Response, error) {
 	beforeR := c.cr.n
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, c.fail("receive from", err, ctx)
+		return nil, c.failLocked("receive from", err, ctx)
 	}
 	c.stats.AddReceived(int(c.cr.n-beforeR), c.cost)
 	c.obs.Count("transport.bytes_received", c.cr.n-beforeR)
 	return &resp, nil
 }
 
-// fail marks the client broken after a mid-stream error and closes the
-// connection. It prefers reporting the context error when the failure was
-// caused by cancellation (the raw I/O error is then just "i/o timeout"
-// from the deadline poke).
-func (c *TCPClient) fail(verb string, err error, ctx context.Context) error {
+// failLocked marks the client broken after a mid-stream error and closes
+// the connection; callers hold c.mu. It prefers reporting the context
+// error when the failure was caused by cancellation (the raw I/O error is
+// then just "i/o timeout" from the deadline poke).
+func (c *TCPClient) failLocked(verb string, err error, ctx context.Context) error {
 	c.broken = true
 	c.conn.Close()
 	ctxErr := ctx.Err()

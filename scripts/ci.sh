@@ -28,8 +28,8 @@ go test -race ./internal/lint/...
 # linted first for a targeted signal — errflow guards the ErrOverloaded /
 # ErrDraining chains the Reconnector classifies with errors.Is — then the
 # whole tree.
-go run ./cmd/skalla-lint ./internal/transport/... ./internal/core/... ./internal/site/...
-go run ./cmd/skalla-lint ./...
+go run ./cmd/skalla-lint -timing ./internal/transport/... ./internal/core/... ./internal/site/...
+go run ./cmd/skalla-lint -timing ./...
 
 echo "== tests (race) =="
 go test -race ./...

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Gating known-vulnerability scan: govulncheck findings fail the build
+# unless every reported OSV ID is listed — with a reason — in
+# .govulncheck-allow at the repo root. Allowlisting is for advisories
+# that demonstrably do not affect this module (e.g. a stdlib fix already
+# present in the pinned toolchain, or a vulnerable symbol we never
+# reach); fixing the dependency is always preferred.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# govulncheck exits 3 when it finds vulnerabilities affecting the module;
+# any other nonzero exit is an operational error and fails as-is.
+status=0
+go run golang.org/x/vuln/cmd/govulncheck@latest ./... >"$out" 2>&1 || status=$?
+cat "$out"
+if [ "$status" -eq 0 ]; then
+    echo "vulncheck: clean"
+    exit 0
+fi
+if [ "$status" -ne 3 ]; then
+    echo "vulncheck: govulncheck failed (exit $status)" >&2
+    exit "$status"
+fi
+
+# Compare the reported OSV IDs against the allowlist. Format: one
+# "GO-YYYY-NNNN reason..." per line; the reason is mandatory, '#'
+# comments and blank lines are skipped.
+ids=$(grep -oE 'GO-[0-9]{4}-[0-9]+' "$out" | sort -u)
+blocked=""
+for id in $ids; do
+    entry=$(grep -E "^$id([[:space:]]|\$)" .govulncheck-allow 2>/dev/null || true)
+    if [ -z "$entry" ]; then
+        blocked="$blocked $id"
+        continue
+    fi
+    reason=$(printf '%s\n' "$entry" | sed -E "s/^$id[[:space:]]*//")
+    if [ -z "$reason" ]; then
+        echo "vulncheck: $id is allowlisted without a reason; add one to .govulncheck-allow" >&2
+        blocked="$blocked $id"
+        continue
+    fi
+    echo "vulncheck: $id allowlisted: $reason"
+done
+
+if [ -n "$blocked" ]; then
+    echo "vulncheck: blocking vulnerabilities:$blocked" >&2
+    echo "vulncheck: fix the dependency, or allowlist the ID with a reason in .govulncheck-allow" >&2
+    exit 1
+fi
+echo "vulncheck: all findings allowlisted"

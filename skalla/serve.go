@@ -225,6 +225,7 @@ type prober struct {
 	dial func() (transport.Client, error)
 
 	mu sync.Mutex
+	//lint:guarded-by mu
 	cl transport.Client
 }
 

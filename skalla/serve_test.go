@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/testutil"
 	"repro/internal/transport"
 	"repro/internal/value"
 )
@@ -72,6 +73,7 @@ func serveBaseline(t *testing.T, cluster *Cluster, q string) *Relation {
 // draining mid-wave. Every admitted query must come back byte-exact
 // against its serial baseline — never a hang, never a wrong answer.
 func TestServeConcurrentE2E(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	parts, _ := flowParts(3)
 	var sites []string
 	var servers [][]*transport.Server
