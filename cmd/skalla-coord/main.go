@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/catalog"
+	"repro/internal/gmdj"
 	"repro/internal/ipflow"
 	"repro/internal/obs"
 	"repro/internal/tpcr"
@@ -77,7 +78,12 @@ func main() {
 	serveQueueTimeout := flag.Duration("serve-queue-timeout", 2*time.Second, "max time a queued query waits for a slot before rejection (0 = bounded only by the request)")
 	serveSiteInflight := flag.Int("serve-site-inflight", 4, "per-site connection-pool size and backpressure-window ceiling in -serve mode")
 	serveQueryTimeout := flag.Duration("serve-query-timeout", 0, "per-query execution bound in -serve mode (0 = none)")
+	rowEngine := flag.Bool("row-engine", false, "run any in-process GMDJ evaluation on the row-at-a-time reference engine instead of the vectorized default (site processes take their own -row-engine flag)")
 	flag.Parse()
+
+	if *rowEngine {
+		gmdj.SetDefaultEngine(gmdj.EngineRow)
+	}
 
 	opts, err := parseOpts(*opt)
 	if err != nil {

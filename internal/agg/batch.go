@@ -1,0 +1,182 @@
+package agg
+
+//lint:deterministic batch accumulation must fold lanes in the same order Add would
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Batch accumulation: the vectorized GMDJ engine feeds matched detail
+// lanes column-wise instead of calling Add per boxed value. Every method
+// folds lanes in ascending index order with the exact arithmetic Add
+// uses, so batch and row accumulation produce bit-identical states (float
+// sums are order-sensitive).
+
+// AddRows folds n COUNT(*) rows. It is only valid for star-counting
+// PCount accumulators; other primitives never see a nil argument.
+func (a *Acc) AddRows(n int) error {
+	if a.prim != PCount || !a.star {
+		return fmt.Errorf("agg: AddRows on non-star primitive %d", a.prim)
+	}
+	if n > 0 {
+		a.i += int64(n)
+		a.seen = true
+	}
+	return nil
+}
+
+// AddInts folds int64 lanes of the given kind (KindInt or KindBool);
+// nulls, when non-nil, marks NULL lanes, which are skipped exactly as Add
+// skips them.
+func (a *Acc) AddInts(kind value.Kind, vals []int64, nulls []bool) error {
+	switch a.prim {
+	case PCount:
+		if a.star {
+			return a.AddRows(len(vals))
+		}
+		for i := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			a.i++
+			a.seen = true
+		}
+		return nil
+	case PSum:
+		for i, v := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			if a.isInt {
+				a.i += v
+			}
+			a.f += float64(v)
+			a.seen = true
+		}
+		return nil
+	case PSumSq:
+		a.isInt = false
+		for i, v := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			f := float64(v)
+			a.f += f * f
+			a.seen = true
+		}
+		return nil
+	default:
+		return a.addBoxed(kind, vals, nil, nil, nulls)
+	}
+}
+
+// AddFloats folds float64 lanes; nulls, when non-nil, marks NULL lanes.
+func (a *Acc) AddFloats(vals []float64, nulls []bool) error {
+	switch a.prim {
+	case PCount:
+		if a.star {
+			return a.AddRows(len(vals))
+		}
+		for i := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			a.i++
+			a.seen = true
+		}
+		return nil
+	case PSum:
+		for i, v := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			a.isInt = false
+			a.f += v
+			a.seen = true
+		}
+		return nil
+	case PSumSq:
+		for i, v := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			a.isInt = false
+			a.f += v * v
+			a.seen = true
+		}
+		return nil
+	default:
+		return a.addBoxed(value.KindFloat, nil, vals, nil, nulls)
+	}
+}
+
+// AddStrings folds string lanes; nulls, when non-nil, marks NULL lanes.
+func (a *Acc) AddStrings(vals []string, nulls []bool) error {
+	switch a.prim {
+	case PCount:
+		if a.star {
+			return a.AddRows(len(vals))
+		}
+		for i := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			a.i++
+			a.seen = true
+		}
+		return nil
+	case PSum, PSumSq:
+		for i := range vals {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			return fmt.Errorf("agg: sum over non-numeric value %s", value.NewString(vals[i]))
+		}
+		return nil
+	default:
+		return a.addBoxed(value.KindString, nil, nil, vals, nulls)
+	}
+}
+
+// AddRepeat folds the same value n times. A broadcast scalar must still
+// loop: repeated float addition is not multiplication.
+func (a *Acc) AddRepeat(v value.V, n int) error {
+	for i := 0; i < n; i++ {
+		if err := a.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addBoxed is the per-lane fallback for order-dependent primitives
+// (min/max comparison chains, HLL, exact sets): it boxes each non-null
+// lane and defers to Add, preserving Add's exact semantics.
+func (a *Acc) addBoxed(kind value.Kind, ints []int64, floats []float64, strs []string, nulls []bool) error {
+	n := len(ints)
+	if floats != nil {
+		n = len(floats)
+	}
+	if strs != nil {
+		n = len(strs)
+	}
+	for i := 0; i < n; i++ {
+		var v value.V
+		switch {
+		case nulls != nil && nulls[i]:
+			v = value.Null
+		case strs != nil:
+			v = value.NewString(strs[i])
+		case floats != nil:
+			v = value.NewFloat(floats[i])
+		default:
+			v = value.V{K: kind, I: ints[i]}
+		}
+		if err := a.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

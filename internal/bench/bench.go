@@ -44,6 +44,10 @@ type Config struct {
 	// with the lowest evaluation time, smoothing scheduler noise out of
 	// the reported curves. Default 1.
 	Repeat int
+	// RowEngine forces the sites onto the row-at-a-time reference
+	// engine instead of the vectorized default (the -row-engine escape
+	// hatch of the daemons); the vec experiment compares the two.
+	RowEngine bool
 }
 
 // Defaults fills zero fields.
@@ -100,7 +104,9 @@ func (c Config) tpcrConfig() tpcr.Config {
 // partitioning knowledge.
 func NewHarness(cfg Config) (*Harness, error) {
 	cfg = cfg.Defaults()
-	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: cfg.Sites, Cost: cfg.Cost})
+	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{
+		Sites: cfg.Sites, Cost: cfg.Cost, RowEngine: cfg.RowEngine,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,385 @@
+package bench
+
+// The vectorized-engine experiment: the same GMDJ work measured twice,
+// once on the row-at-a-time reference engine and once on the columnar
+// engine of internal/vec. The kernel half times the Fig. 2 / Fig. 4
+// operator chain directly at the gmdj.EvalSub level (no cluster, no
+// modeled network) so the engine speedup is visible in isolation; the
+// cluster half runs the combined query end to end at each optimization
+// level O0-O3 on two otherwise-identical clusters, one forced onto the
+// row engine via ClusterConfig.RowEngine. Both halves assert the two
+// engines produce bit-identical results before any timing is reported.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/tpcr"
+	"repro/internal/value"
+	"repro/internal/vec"
+	"repro/skalla"
+)
+
+// VecKernelPoint is one kernel-level measurement: the two-operator group
+// reduction chain over the full dataset, single process.
+type VecKernelPoint struct {
+	Label  string // "fig2_high" / "fig4_low"
+	Rows   int    // detail rows
+	Groups int    // base-values rows
+	Row    time.Duration
+	Vec1   time.Duration // vectorized, one worker
+	Vec    time.Duration // vectorized, GOMAXPROCS workers
+}
+
+// Speedup is row time over vectorized-parallel time — the factor the
+// default site configuration gains over the reference engine.
+func (p VecKernelPoint) Speedup() float64 {
+	if p.Vec <= 0 {
+		return 0
+	}
+	return float64(p.Row) / float64(p.Vec)
+}
+
+// VecLevelPoint is one end-to-end measurement pair: the combined query
+// at one optimization level, row engine vs vectorized engine.
+type VecLevelPoint struct {
+	Level string // O0..O3
+	Row   Measure
+	Vec   Measure
+}
+
+// Speedup is row evaluation time over vectorized evaluation time.
+func (p VecLevelPoint) Speedup() float64 {
+	if p.Vec.EvalTime <= 0 {
+		return 0
+	}
+	return float64(p.Row.EvalTime) / float64(p.Vec.EvalTime)
+}
+
+// VecResult is the full row-vs-vectorized comparison.
+type VecResult struct {
+	Workers int // GOMAXPROCS at measurement time
+	Sites   int
+	Kernel  []VecKernelPoint
+	Levels  []VecLevelPoint
+}
+
+// BestKernelSpeedup returns the largest kernel-level speedup — the
+// regression-guard quantity (vec slower than row on every shape means
+// the vectorized default lost its reason to exist).
+func (r *VecResult) BestKernelSpeedup() float64 {
+	best := 0.0
+	for _, p := range r.Kernel {
+		if s := p.Speedup(); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// vecLevels is the cumulative optimization ladder: O0 nothing, O1
+// coalescing, O2 adds both group reductions, O3 adds synchronization
+// reduction (everything).
+var vecLevels = []struct {
+	Level string
+	Opts  skalla.Options
+}{
+	{"O0", skalla.Options{}},
+	{"O1", skalla.Options{Coalesce: true}},
+	{"O2", skalla.Options{Coalesce: true, GroupReduceSites: true, GroupReduceCoord: true}},
+	{"O3", skalla.AllOptimizations},
+}
+
+// VecExperiment measures the vectorized engine against the row engine at
+// both levels. The kernel half uses the full (unpartitioned) dataset;
+// the cluster half runs cfg.Sites sites per engine.
+func VecExperiment(cfg Config) (*VecResult, error) {
+	cfg = cfg.Defaults()
+	res := &VecResult{Workers: runtime.GOMAXPROCS(0), Sites: cfg.Sites}
+
+	detail := tpcr.Generate(cfg.tpcrConfig())
+	for _, k := range []struct{ label, attr string }{
+		{"fig2_high", HighCard},
+		{"fig4_low", LowCard},
+	} {
+		p, err := vecKernelPoint(k.label, detail, k.attr, cfg.Repeat, res.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vec kernel %s: %w", k.label, err)
+		}
+		res.Kernel = append(res.Kernel, p)
+	}
+
+	rowCfg := cfg
+	rowCfg.RowEngine = true
+	rowH, err := NewHarness(rowCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: vec row-engine cluster: %w", err)
+	}
+	defer rowH.Close()
+	vecCfg := cfg
+	vecCfg.RowEngine = false
+	vecH, err := NewHarness(vecCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: vec cluster: %w", err)
+	}
+	defer vecH.Close()
+
+	q := CombinedQuery(HighCard)
+	if err := vecEnginesAgree(rowH, vecH, q, cfg.Sites); err != nil {
+		return nil, err
+	}
+	for _, lv := range vecLevels {
+		rm, err := rowH.run(cfg.Sites, q, lv.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vec %s row engine: %w", lv.Level, err)
+		}
+		vm, err := vecH.run(cfg.Sites, q, lv.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: vec %s: %w", lv.Level, err)
+		}
+		res.Levels = append(res.Levels, VecLevelPoint{Level: lv.Level, Row: rm, Vec: vm})
+	}
+	return res, nil
+}
+
+// vecKernelMDs builds the Fig. 2 / Fig. 4 operator chain grouped on
+// attr: MD1 computes COUNT and AVG per group, MD2 correlates with MD1's
+// average, so the chain cannot coalesce and both the equi-probe and the
+// residual-comparison kernels are exercised.
+func vecKernelMDs(attr string) (gmdj.MD, gmdj.MD) {
+	eq := fmt.Sprintf("F.%s = B.%s", attr, attr)
+	md1 := gmdj.MD{
+		Aggs: [][]agg.Spec{{
+			agg.MustParseSpec("count(*) AS cnt1"),
+			agg.MustParseSpec("avg(F.Quantity) AS avg1"),
+		}},
+		Thetas: []expr.Expr{expr.MustParse(eq)},
+	}
+	md2 := gmdj.MD{
+		Aggs: [][]agg.Spec{{
+			agg.MustParseSpec("count(*) AS cnt2"),
+			agg.MustParseSpec("avg(F.ExtendedPrice) AS avg2"),
+		}},
+		Thetas: []expr.Expr{expr.MustParse(eq + " AND F.Quantity >= B.avg1")},
+	}
+	return md1, md2
+}
+
+// vecChain evaluates the two-operator chain: the finalized output of MD1
+// is the base-values relation of MD2, exactly as the multi-round
+// protocol chains them on a single site.
+func vecChain(base, detail *relation.Relation, md1, md2 gmdj.MD, opts gmdj.SubOpts) (*relation.Relation, error) {
+	opts.Finalize = true
+	out1, err := gmdj.EvalSub(base, detail, md1, opts)
+	if err != nil {
+		return nil, err
+	}
+	return gmdj.EvalSub(out1, detail, md2, opts)
+}
+
+// vecKernelPoint verifies the engines agree bit for bit on the chain,
+// then times each configuration (fastest of repeat runs).
+func vecKernelPoint(label string, detail *relation.Relation, attr string, repeat, workers int) (VecKernelPoint, error) {
+	base, err := gmdj.EvalBase(detail, gmdj.BaseDef{Cols: []string{attr}})
+	if err != nil {
+		return VecKernelPoint{}, err
+	}
+	md1, md2 := vecKernelMDs(attr)
+	// The batch is prebuilt outside the timed region, matching the site
+	// engine's per-relation batch cache.
+	batch, err := vec.FromRelation(detail)
+	if err != nil {
+		return VecKernelPoint{}, err
+	}
+	configs := []gmdj.SubOpts{
+		{Engine: gmdj.EngineRow},
+		{Engine: gmdj.EngineVector, Workers: 1, DetailBatch: batch},
+		{Engine: gmdj.EngineVector, Workers: workers, DetailBatch: batch},
+	}
+
+	want, err := vecChain(base, detail, md1, md2, configs[0])
+	if err != nil {
+		return VecKernelPoint{}, err
+	}
+	for _, o := range configs[1:] {
+		got, err := vecChain(base, detail, md1, md2, o)
+		if err != nil {
+			return VecKernelPoint{}, err
+		}
+		if d := relationDiff(want, got); d != "" {
+			return VecKernelPoint{}, fmt.Errorf("engines diverge (workers=%d): %s", o.Workers, d)
+		}
+	}
+
+	p := VecKernelPoint{Label: label, Rows: detail.Len(), Groups: base.Len()}
+	times := make([]time.Duration, len(configs))
+	for i, o := range configs {
+		d, err := vecTimeChain(base, detail, md1, md2, o, repeat)
+		if err != nil {
+			return VecKernelPoint{}, err
+		}
+		times[i] = d
+	}
+	p.Row, p.Vec1, p.Vec = times[0], times[1], times[2]
+	return p, nil
+}
+
+func vecTimeChain(base, detail *relation.Relation, md1, md2 gmdj.MD, opts gmdj.SubOpts, repeat int) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < repeat || i == 0; i++ {
+		start := time.Now()
+		if _, err := vecChain(base, detail, md1, md2, opts); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// vecEnginesAgree runs the query on both clusters at the unoptimized and
+// fully optimized levels and requires bit-identical result relations.
+func vecEnginesAgree(rowH, vecH *Harness, q skalla.Query, sites int) error {
+	rowSub, err := rowH.Cluster.Subset(sites)
+	if err != nil {
+		return err
+	}
+	vecSub, err := vecH.Cluster.Subset(sites)
+	if err != nil {
+		return err
+	}
+	for _, opts := range []skalla.Options{{}, skalla.AllOptimizations} {
+		rr, err := rowSub.Query(q, "tpcr", opts)
+		if err != nil {
+			return fmt.Errorf("bench: vec agreement row engine: %w", err)
+		}
+		vr, err := vecSub.Query(q, "tpcr", opts)
+		if err != nil {
+			return fmt.Errorf("bench: vec agreement: %w", err)
+		}
+		// Result row order depends on site arrival order (it varies even
+		// between two runs on the same cluster), so the cross-engine
+		// comparison is on the canonically sorted multiset; the values
+		// themselves must still match bit for bit.
+		if d := rowsDiff(sortedRows(rr.Relation), sortedRows(vr.Relation)); d != "" {
+			return fmt.Errorf("bench: engines diverge end to end (opts %+v): %s", opts, d)
+		}
+	}
+	return nil
+}
+
+// relationDiff reports the first difference between two relations in row
+// order, comparing float payloads bit for bit ("" when identical).
+func relationDiff(a, b *relation.Relation) string {
+	if !a.Schema.Equal(b.Schema) {
+		return fmt.Sprintf("schemas differ: %s vs %s", a.Schema, b.Schema)
+	}
+	return rowsDiff(a.Rows, b.Rows)
+}
+
+func rowsDiff(a, b []relation.Row) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d vs %d rows", len(a), len(b))
+	}
+	for i, ra := range a {
+		for j, x := range ra {
+			if valCmp(x, b[i][j]) != 0 {
+				return fmt.Sprintf("row %d col %d: %v vs %v", i, j, x, b[i][j])
+			}
+		}
+	}
+	return ""
+}
+
+// sortedRows copies the rows into a canonical total order.
+func sortedRows(r *relation.Relation) []relation.Row {
+	rows := make([]relation.Row, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if c := valCmp(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// valCmp totally orders values on their representation (kind, int
+// payload, float bits, string payload) — equality under it is exactly
+// bit-for-bit equality.
+func valCmp(x, y value.V) int {
+	if x.K != y.K {
+		return int(x.K) - int(y.K)
+	}
+	if x.I != y.I {
+		if x.I < y.I {
+			return -1
+		}
+		return 1
+	}
+	if xb, yb := math.Float64bits(x.F), math.Float64bits(y.F); xb != yb {
+		if xb < yb {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(x.S, y.S)
+}
+
+// String renders the experiment report.
+func (r *VecResult) String() string {
+	t1 := &table{
+		title: fmt.Sprintf("Vectorized engine: kernel-level GMDJ chain (%d workers)", r.Workers),
+		header: []string{"query", "rows", "groups", "row (ms)", "vec x1 (ms)",
+			fmt.Sprintf("vec x%d (ms)", r.Workers), "speedup"},
+	}
+	for _, p := range r.Kernel {
+		t1.add(p.Label, fmt.Sprint(p.Rows), fmt.Sprint(p.Groups),
+			ms(p.Row), ms(p.Vec1), ms(p.Vec), fmt.Sprintf("%.2fx", p.Speedup()))
+	}
+	t2 := &table{
+		title:  fmt.Sprintf("Vectorized engine: combined query end to end (%d sites)", r.Sites),
+		header: []string{"level", "row (ms)", "vec (ms)", "speedup", "rounds"},
+	}
+	for _, p := range r.Levels {
+		t2.add(p.Level, ms(p.Row.EvalTime), ms(p.Vec.EvalTime),
+			fmt.Sprintf("%.2fx", p.Speedup()), fmt.Sprint(p.Vec.Rounds))
+	}
+	return t1.String() + "\n" + t2.String()
+}
+
+// Metrics flattens the experiment under the "vec" figure key.
+func (r *VecResult) Metrics() Results {
+	out := map[string]float64{
+		"workers": float64(r.Workers),
+		"sites":   float64(r.Sites),
+	}
+	for _, p := range r.Kernel {
+		suffix := "@" + p.Label
+		out["kernel_rows"+suffix] = float64(p.Rows)
+		out["kernel_row_ms"+suffix] = msF(p.Row)
+		out["kernel_vec1_ms"+suffix] = msF(p.Vec1)
+		out["kernel_vec_ms"+suffix] = msF(p.Vec)
+		out["kernel_speedup"+suffix] = p.Speedup()
+	}
+	for _, p := range r.Levels {
+		suffix := "@" + p.Level
+		out["row_eval_ms"+suffix] = msF(p.Row.EvalTime)
+		out["vec_eval_ms"+suffix] = msF(p.Vec.EvalTime)
+		out["speedup"+suffix] = p.Speedup()
+		out["rounds"+suffix] = float64(p.Vec.Rounds)
+	}
+	return Results{"vec": out}
+}

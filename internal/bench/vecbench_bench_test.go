@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gmdj"
+	"repro/internal/relation"
+	"repro/internal/tpcr"
+	"repro/internal/vec"
+)
+
+// The kernel-chain benchmarks pit the two engines against each other on
+// the Fig. 2 shape at full dataset scale — the profiling targets behind
+// the vec experiment's speedup numbers.
+
+func chainSetup(b *testing.B) (base, detail *relation.Relation, md1, md2 gmdj.MD) {
+	b.Helper()
+	cfg := Config{Rows: 48000, Customers: 4000, LowCardGroups: 2000, Seed: 1}.Defaults()
+	detail = tpcr.Generate(cfg.tpcrConfig())
+	base, err := gmdj.EvalBase(detail, gmdj.BaseDef{Cols: []string{HighCard}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	md1, md2 = vecKernelMDs(HighCard)
+	return base, detail, md1, md2
+}
+
+func BenchmarkChainRow(b *testing.B) {
+	base, detail, md1, md2 := chainSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vecChain(base, detail, md1, md2, gmdj.SubOpts{Engine: gmdj.EngineRow}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainVec(b *testing.B) {
+	base, detail, md1, md2 := chainSetup(b)
+	batch, err := vec.FromRelation(detail)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := gmdj.SubOpts{Engine: gmdj.EngineVector, Workers: 1, DetailBatch: batch}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vecChain(base, detail, md1, md2, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

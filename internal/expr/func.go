@@ -208,6 +208,11 @@ func compileCall(n Call, bd Binding) (evalFn, error) {
 	return nil, errorf("unhandled function %q", name)
 }
 
+// LikeMatch reports whether s matches the SQL LIKE pattern, using the same
+// semantics as the bound evaluator. Exported for the vectorized kernels,
+// which pre-evaluate patterns per dictionary entry.
+func LikeMatch(s, pattern string) bool { return likeMatch(s, pattern) }
+
 // likeMatch implements SQL LIKE: '%' matches any run (including empty),
 // '_' matches exactly one byte. Matching is iterative with greedy '%'
 // backtracking, the classic wildcard algorithm.

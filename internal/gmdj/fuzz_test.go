@@ -1,0 +1,65 @@
+package gmdj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// FuzzVecVsRow is the differential fuzzer: a seeded generator expands
+// (seed, size, shape) into a mixed-kind detail relation and an MD, and
+// both engines must agree — byte-exact results on success, and matching
+// error presence on failure. Shapes rotate through the kernel families
+// (equi probe, nested loop, string keys, LIKE/IN/BETWEEN, arithmetic
+// with NULLs, multi-θ).
+func FuzzVecVsRow(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(0))
+	f.Add(int64(2), uint8(50), uint8(1))
+	f.Add(int64(3), uint8(7), uint8(2))
+	f.Add(int64(4), uint8(120), uint8(3))
+	f.Add(int64(5), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, size, shape uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		detail := fuzzDetail(rng, int(size))
+		b, err := EvalBase(detail, BaseDef{Cols: []string{"K", "G"}})
+		if err != nil {
+			t.Skip()
+		}
+		mds := diffMDs()
+		md := mds[int(shape)%len(mds)]
+		for _, workers := range []int{1, 3} {
+			want, rowErr := EvalSub(b, detail, md, SubOpts{Engine: EngineRow, Finalize: true, Touched: true})
+			got, vecErr := EvalSub(b, detail, md,
+				SubOpts{Engine: EngineVector, Workers: workers, Finalize: true, Touched: true})
+			if (rowErr != nil) != (vecErr != nil) {
+				t.Fatalf("W=%d: row err %v, vec err %v", workers, rowErr, vecErr)
+			}
+			if rowErr != nil {
+				return
+			}
+			if d := exactRows(want, got); d != "" {
+				t.Fatalf("W=%d: engines diverge: %s", workers, d)
+			}
+		}
+	})
+}
+
+// fuzzDetail is randDetail plus fuzz-only hostility: occasional kind
+// strays in the Q column (forcing the row fallback) and duplicated rows.
+// Floats stay within int64 range: Key() overflows int64 conversion on
+// out-of-range integral floats, which is platform-defined and not a
+// contract either engine needs to chase.
+func fuzzDetail(rng *rand.Rand, n int) *relation.Relation {
+	r := randDetail(rng, n)
+	for i := range r.Rows {
+		if rng.Intn(40) == 0 {
+			r.Rows[i][2] = value.NewFloat(float64(rng.Intn(100)) / 4) // Float straying into the Int column
+		}
+		if rng.Intn(20) == 0 && i > 0 {
+			r.Rows[i] = r.Rows[i-1]
+		}
+	}
+	return r
+}

@@ -24,8 +24,10 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/value"
+	"repro/internal/vec"
 )
 
 // MD is one GMDJ operator: m condition/aggregate-list pairs evaluated
@@ -119,7 +121,8 @@ func (md MD) Validate(base, detail *relation.Schema) error {
 	return nil
 }
 
-// SubOpts selects what EvalSub appends to the base columns.
+// SubOpts selects what EvalSub appends to the base columns and how the
+// evaluation runs.
 type SubOpts struct {
 	// Finalize appends the finalized aggregate columns (named Spec.As) in
 	// addition to the primitive state columns. Local chained evaluation
@@ -130,6 +133,19 @@ type SubOpts struct {
 	// It is positive iff |RNG(b, R, θ_1 ∨ ... ∨ θ_m)| > 0, the test of
 	// Proposition 1 (distribution-independent group reduction).
 	Touched bool
+	// Engine selects the evaluation engine; EngineAuto uses the process
+	// default (the vectorized engine unless SetDefaultEngine changed it).
+	Engine Engine
+	// Workers bounds the vectorized engine's parallelism; <= 0 means
+	// GOMAXPROCS. The row engine is always single-threaded.
+	Workers int
+	// Obs, when set, receives the vec.batches / vec.rows /
+	// vec.selectivity counters of the vectorized evaluation.
+	Obs *obs.Obs
+	// DetailBatch optionally supplies a pre-built columnar batch of the
+	// detail relation (it must have been built from exactly this
+	// relation); nil converts on the fly.
+	DetailBatch *vec.Batch
 }
 
 // TouchedCol is the name of the match-count column appended by
@@ -149,18 +165,22 @@ func Eval(b, r *relation.Relation, md MD) (*relation.Relation, error) {
 // from disjoint partitions of R merge at the coordinator into the same
 // result Eval would give on the whole of R.
 func EvalSub(b, r *relation.Relation, md MD, opts SubOpts) (*relation.Relation, error) {
+	if resolveEngine(opts.Engine) == EngineVector {
+		out, err, handled := evalVec(b, r, md, true, opts.Finalize, opts.Touched, opts)
+		if handled {
+			return out, err
+		}
+		// Fall back to the row engine: the detail relation or a condition
+		// is outside the vectorized kernels' reach.
+	}
 	return eval(b, r, md, true, opts.Finalize, opts.Touched)
 }
 
-func eval(b, r *relation.Relation, md MD, prims, final, touched bool) (*relation.Relation, error) {
-	if err := md.Validate(b.Schema, r.Schema); err != nil {
-		return nil, err
-	}
-	specs := md.Specs()
-
-	// Output schema: base columns, then per-spec prim columns and/or
-	// finalized columns, then the touched counter.
-	outCols := append([]relation.Column(nil), b.Schema.Cols...)
+// outputSchema builds the result schema shared by both engines: base
+// columns, then per-spec prim columns and/or finalized columns, then the
+// touched counter.
+func outputSchema(base *relation.Schema, specs []agg.Spec, prims, final, touched bool) (*relation.Schema, error) {
+	outCols := append([]relation.Column(nil), base.Cols...)
 	if prims {
 		for _, s := range specs {
 			outCols = append(outCols, s.SubColumns()...)
@@ -178,15 +198,71 @@ func eval(b, r *relation.Relation, md MD, prims, final, touched bool) (*relation
 	if err != nil {
 		return nil, fmt.Errorf("gmdj: output schema: %w", err)
 	}
+	return outSchema, nil
+}
 
-	// Accumulator state per base row per spec.
-	accs := make([][][]*agg.Acc, len(b.Rows))
+// assemble materializes the output rows from the per-base-row accumulator
+// and match-count state — shared by both engines so their outputs are
+// byte-identical.
+func assemble(outSchema *relation.Schema, b *relation.Relation, specs []agg.Spec,
+	accs [][][]*agg.Acc, matched []int64, prims, final, touched bool) (*relation.Relation, error) {
+	out := relation.New(outSchema)
+	out.Rows = make([]relation.Row, 0, len(b.Rows))
+	for gi, bRow := range b.Rows {
+		row := make(relation.Row, 0, outSchema.Len())
+		row = append(row, bRow...)
+		if prims {
+			for si := range specs {
+				for _, a := range accs[gi][si] {
+					row = append(row, a.Result())
+				}
+			}
+		}
+		if final {
+			for si, s := range specs {
+				states := make([]value.V, len(accs[gi][si]))
+				for pi, a := range accs[gi][si] {
+					states[pi] = a.Result()
+				}
+				v, err := s.Finalize(states)
+				if err != nil {
+					return nil, fmt.Errorf("gmdj: finalize %s: %w", s, err)
+				}
+				row = append(row, v)
+			}
+		}
+		if touched {
+			row = append(row, value.NewInt(matched[gi]))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// newAccState allocates the per-base-row per-spec accumulator grid.
+func newAccState(nBase int, specs []agg.Spec) [][][]*agg.Acc {
+	accs := make([][][]*agg.Acc, nBase)
 	for gi := range accs {
 		accs[gi] = make([][]*agg.Acc, len(specs))
 		for si, s := range specs {
 			accs[gi][si] = agg.NewAccs(s)
 		}
 	}
+	return accs
+}
+
+func eval(b, r *relation.Relation, md MD, prims, final, touched bool) (*relation.Relation, error) {
+	if err := md.Validate(b.Schema, r.Schema); err != nil {
+		return nil, err
+	}
+	specs := md.Specs()
+	outSchema, err := outputSchema(b.Schema, specs, prims, final, touched)
+	if err != nil {
+		return nil, err
+	}
+
+	// Accumulator state per base row per spec.
+	accs := newAccState(len(b.Rows), specs)
 	matched := make([]int64, len(b.Rows))
 
 	bd := md.Binding(b.Schema, r.Schema)
@@ -295,38 +371,7 @@ func eval(b, r *relation.Relation, md MD, prims, final, touched bool) (*relation
 		specBase += len(md.Aggs[ti])
 	}
 
-	// Assemble output rows.
-	out := relation.New(outSchema)
-	out.Rows = make([]relation.Row, 0, len(b.Rows))
-	for gi, bRow := range b.Rows {
-		row := make(relation.Row, 0, outSchema.Len())
-		row = append(row, bRow...)
-		if prims {
-			for si := range specs {
-				for _, a := range accs[gi][si] {
-					row = append(row, a.Result())
-				}
-			}
-		}
-		if final {
-			for si, s := range specs {
-				states := make([]value.V, len(accs[gi][si]))
-				for pi, a := range accs[gi][si] {
-					states[pi] = a.Result()
-				}
-				v, err := s.Finalize(states)
-				if err != nil {
-					return nil, fmt.Errorf("gmdj: finalize %s: %w", s, err)
-				}
-				row = append(row, v)
-			}
-		}
-		if touched {
-			row = append(row, value.NewInt(matched[gi]))
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+	return assemble(outSchema, b, specs, accs, matched, prims, final, touched)
 }
 
 // FilterTouched returns only the rows with a positive touched count,

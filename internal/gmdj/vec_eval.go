@@ -1,0 +1,503 @@
+package gmdj
+
+//lint:deterministic vectorized evaluation must match the row engine byte-for-byte
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/value"
+	"repro/internal/vec"
+)
+
+// Vectorized GMDJ evaluation. The plan per θ_i mirrors the row engine:
+// equality conjuncts are extracted, the residual is evaluated per candidate
+// pair, and matched detail rows feed the aggregate accumulators. The
+// orientation flips, though: instead of hashing B and scanning R row by
+// row, the DETAIL side is bucketed by equi-key hash once, and each base
+// row probes its bucket, filters candidates with a compiled
+// column-program, and accumulates the matched lanes column-wise.
+//
+// Byte-exactness with the row engine follows from two invariants:
+//   - bucket lanes are kept in detail scan order and Filter preserves
+//     selection order, so every accumulator folds exactly the values the
+//     row engine's detail scan would feed it, in the same order (float
+//     accumulation is order-sensitive);
+//   - each base row is owned by exactly one worker (full-row hash mod W),
+//     so accumulator state is single-writer and the merge-free result is
+//     identical for any worker count.
+//
+// On evaluation errors the two engines agree on error presence (the same
+// (base row, detail row, θ) combinations are evaluated), but may surface a
+// different one first because iteration order differs.
+
+// evalVec is the vectorized counterpart of eval. handled=false means the
+// detail relation or a condition is outside the kernels' reach and the
+// caller must fall back to the row engine.
+func evalVec(b, r *relation.Relation, md MD, prims, final, touched bool, opts SubOpts) (*relation.Relation, error, bool) {
+	if err := md.Validate(b.Schema, r.Schema); err != nil {
+		return nil, err, true
+	}
+	batch := opts.DetailBatch
+	if batch == nil || batch.Schema != r.Schema || batch.Len() != len(r.Rows) {
+		var err error
+		batch, err = vec.FromRelation(r)
+		if err != nil {
+			return nil, nil, false
+		}
+	}
+	specs := md.Specs()
+	outSchema, err := outputSchema(b.Schema, specs, prims, final, touched)
+	if err != nil {
+		return nil, err, true
+	}
+
+	bd := md.Binding(b.Schema, r.Schema)
+	detailOnly := expr.Binding{Detail: r.Schema, DetailAliases: bd.DetailAliases}
+
+	plans, ok := planThetas(b, r, md, bd, batch)
+	if !ok {
+		return nil, nil, false
+	}
+
+	accs := newAccState(len(b.Rows), specs)
+	matched := make([]int64, len(b.Rows))
+
+	// Worker partitioning: each base row is owned by exactly one worker
+	// (full-row hash mod W), so the shared accs/matched slots a worker
+	// writes are disjoint from every other worker's — single-owner state,
+	// no locks, and a result independent of W.
+	W := opts.Workers
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
+	}
+	if W > len(b.Rows) {
+		W = len(b.Rows)
+	}
+	if W < 1 {
+		W = 1
+	}
+	var assign []int
+	if W > 1 {
+		baseCols := make([]int, b.Schema.Len())
+		for i := range baseCols {
+			baseCols[i] = i
+		}
+		assign = make([]int, len(b.Rows))
+		for g, row := range b.Rows {
+			assign[g] = int(relation.HashRow(row, baseCols) % uint64(W))
+		}
+	}
+
+	states := make([]vecWorker, W)
+	if W == 1 {
+		states[0].run(0, b, batch, bd, detailOnly, plans, assign, accs, matched)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < W; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				states[w].run(w, b, batch, bd, detailOnly, plans, assign, accs, matched)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic error choice for a fixed W: each worker records its
+	// first error in its own (base row, θ) iteration order; pick the
+	// minimum (θ, base row) across workers.
+	var total vec.Stats
+	best := -1
+	for w := range states {
+		total.Batches += states[w].stats.Batches
+		total.Rows += states[w].stats.Rows
+		total.FilterRows += states[w].stats.FilterRows
+		total.Selected += states[w].stats.Selected
+		if states[w].err == nil {
+			continue
+		}
+		if best < 0 ||
+			states[w].errTheta < states[best].errTheta ||
+			(states[w].errTheta == states[best].errTheta && states[w].errG < states[best].errG) {
+			best = w
+		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.Count("vec.batches", total.Batches)
+		opts.Obs.Count("vec.rows", total.Rows)
+		if total.FilterRows > 0 {
+			opts.Obs.SetGauge("vec.selectivity", total.Selected*1000/total.FilterRows)
+		}
+	}
+	if best >= 0 {
+		return nil, states[best].err, true
+	}
+
+	out, err := assemble(outSchema, b, specs, accs, matched, prims, final, touched)
+	return out, err, true
+}
+
+// thetaPlan is the static, worker-shared plan for one θ_i.
+type thetaPlan struct {
+	residual expr.Expr
+	// trivial marks a constant-TRUE residual (a pure equi condition):
+	// every bucket candidate matches and the filter pass is skipped.
+	trivial  bool
+	args     []vecArg
+	bIdx     []int // base positions of the equi key; nil when no equi pairs
+	rIdx     []int // detail positions of the equi key
+	matchers []keyMatcher
+	// buckets maps the chained key hash to detail lanes in scan order;
+	// nil when the condition has no equi pairs (every lane is a
+	// candidate). Probed concurrently, never mutated after planning.
+	buckets map[uint64][]int32
+}
+
+// vecArg is one aggregate argument of a θ: the flattened spec index and
+// the argument expression (nil for COUNT(*)).
+type vecArg struct {
+	spec int
+	arg  expr.Expr
+}
+
+// planThetas builds the shared per-θ plans: equi keys, detail-side hash
+// buckets, and a compile probe of every residual and argument so
+// unsupported expressions are discovered before any worker starts. ok is
+// false when the row engine must take over.
+func planThetas(b, r *relation.Relation, md MD, bd expr.Binding, batch *vec.Batch) ([]thetaPlan, bool) {
+	detailOnly := expr.Binding{Detail: r.Schema, DetailAliases: bd.DetailAliases}
+	plans := make([]thetaPlan, len(md.Thetas))
+	specBase := 0
+	for ti, theta := range md.Thetas {
+		pl := &plans[ti]
+		pairs := expr.EquiPairs(theta, bd)
+		pl.residual = expr.Residual(theta, bd, pairs)
+		pl.trivial = expr.IsTrue(pl.residual)
+		if _, err := vec.Compile(pl.residual, bd, batch); err != nil {
+			return nil, false
+		}
+		if len(pairs) > 0 {
+			pl.bIdx = make([]int, len(pairs))
+			pl.rIdx = make([]int, len(pairs))
+			for i, p := range pairs {
+				bi, err := b.Schema.MustLookup(p.Base.Name)
+				if err != nil {
+					return nil, false
+				}
+				ri, err := r.Schema.MustLookup(p.Detail.Name)
+				if err != nil {
+					return nil, false
+				}
+				pl.bIdx[i], pl.rIdx[i] = bi, ri
+			}
+			var err error
+			pl.buckets, err = batch.Buckets(pl.rIdx)
+			if err != nil {
+				return nil, false
+			}
+			pl.matchers = make([]keyMatcher, len(pairs))
+			for i := range pairs {
+				pl.matchers[i] = keyMatcher{col: &batch.Cols[pl.rIdx[i]], bIdx: pl.bIdx[i]}
+			}
+		}
+		for j, s := range md.Aggs[ti] {
+			if s.Arg != nil {
+				if _, err := vec.Compile(s.Arg, detailOnly, batch); err != nil {
+					return nil, false
+				}
+			}
+			pl.args = append(pl.args, vecArg{spec: specBase + j, arg: s.Arg})
+		}
+		specBase += len(md.Aggs[ti])
+	}
+	return plans, true
+}
+
+func allLanesOf(batch *vec.Batch) []int32 {
+	all := make([]int32, batch.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return all
+}
+
+// vecWorker is the per-worker state: its own compiled programs and
+// scratch, plus the first error it hit (errTheta/errG locate it for the
+// deterministic cross-worker pick).
+type vecWorker struct {
+	stats    vec.Stats
+	err      error
+	errTheta int
+	errG     int
+}
+
+// errAccStop aborts EvalEach when an accumulator rejects a value, so the
+// accumulator error is distinguishable from an argument evaluation error
+// (the row engine wraps the two differently).
+var errAccStop = errors.New("gmdj: accumulator stop")
+
+func (ws *vecWorker) fail(ti, g int, err error) {
+	ws.err = err
+	ws.errTheta = ti
+	ws.errG = g
+}
+
+func (ws *vecWorker) run(w int, b *relation.Relation, batch *vec.Batch,
+	bd, detailOnly expr.Binding, plans []thetaPlan, assign []int,
+	accs [][][]*agg.Acc, matched []int64) {
+	// Per-worker program instances: compiled nodes carry scratch vectors
+	// and per-base-row scalar caches, so they cannot be shared.
+	res := make([]*vec.Program, len(plans))
+	argProgs := make([][]*vec.Program, len(plans))
+	for ti := range plans {
+		p, err := vec.Compile(plans[ti].residual, bd, batch)
+		if err != nil {
+			ws.fail(ti, 0, fmt.Errorf("gmdj: θ_%d residual: %w", ti+1, err))
+			return
+		}
+		p.SetStats(&ws.stats)
+		res[ti] = p
+		argProgs[ti] = make([]*vec.Program, len(plans[ti].args))
+		for j, ap := range plans[ti].args {
+			if ap.arg == nil {
+				continue
+			}
+			q, err := vec.Compile(ap.arg, detailOnly, batch)
+			if err != nil {
+				ws.fail(ti, 0, fmt.Errorf("gmdj: aggregate arg: %w", err))
+				return
+			}
+			q.SetStats(&ws.stats)
+			argProgs[ti][j] = q
+		}
+	}
+
+	allLanes := allLanesOf(batch)
+	maxKeys := 0
+	for ti := range plans {
+		if len(plans[ti].matchers) > maxKeys {
+			maxKeys = len(plans[ti].matchers)
+		}
+	}
+	needles := make([]needle, maxKeys)
+	var candBuf, matchBuf []int32
+	for g, row := range b.Rows {
+		if assign != nil && assign[g] != w {
+			continue
+		}
+		for ti := range plans {
+			pl := &plans[ti]
+			cands := allLanes
+			if pl.buckets != nil {
+				bucket := pl.buckets[relation.HashRow(row, pl.bIdx)]
+				candBuf = candBuf[:0]
+				if len(bucket) > 0 {
+					// Hoist the base-side key classification out of the
+					// candidate loop; each lane then verifies on raw
+					// payloads.
+					for k := range pl.matchers {
+						needles[k] = pl.matchers[k].resolve(row[pl.matchers[k].bIdx])
+					}
+					for _, lane := range bucket {
+						ok := true
+						for k := range pl.matchers {
+							if !pl.matchers[k].matches(needles[k], lane) {
+								ok = false
+								break
+							}
+						}
+						if ok {
+							candBuf = append(candBuf, lane)
+						}
+					}
+				}
+				cands = candBuf
+			}
+			if len(cands) == 0 {
+				// No candidate pairs: the row engine evaluates nothing
+				// for this base row, not even scalar subtrees.
+				continue
+			}
+			sel := cands
+			if !pl.trivial {
+				res[ti].SetBase(row)
+				matchBuf = matchBuf[:0]
+				var err error
+				matchBuf, err = res[ti].Filter(cands, matchBuf)
+				if err != nil {
+					ws.fail(ti, g, fmt.Errorf("gmdj: θ_%d: %w", ti+1, err))
+					return
+				}
+				sel = matchBuf
+			}
+			matched[g] += int64(len(sel))
+			if len(sel) == 0 {
+				continue
+			}
+			for j, ap := range pl.args {
+				accList := accs[g][ap.spec]
+				prog := argProgs[ti][j]
+				if prog == nil {
+					// COUNT(*): the row engine adds a non-NULL int
+					// marker per matched pair.
+					for _, a := range accList {
+						aerr := a.AddRows(len(sel))
+						if aerr != nil {
+							aerr = a.AddRepeat(value.NewInt(1), len(sel))
+						}
+						if aerr != nil {
+							ws.fail(ti, g, fmt.Errorf("gmdj: %w", aerr))
+							return
+						}
+					}
+					continue
+				}
+				prog.SetBase(row)
+				var accErr error
+				err := prog.EvalEach(sel, func(l *vec.Lanes) error {
+					for _, a := range accList {
+						if e := feedAcc(a, l); e != nil {
+							accErr = e
+							return errAccStop
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					if errors.Is(err, errAccStop) {
+						err = fmt.Errorf("gmdj: %w", accErr)
+					} else {
+						err = fmt.Errorf("gmdj: aggregate arg: %w", err)
+					}
+					ws.fail(ti, g, err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// keyMatcher verifies hash-bucket candidates for one equi-key column:
+// the detail lane must fall in the same Key() equivalence class as the
+// base row's value — the exact match rule of the row engine's string-key
+// probe (NULL matches NULL, integral floats match ints, NaN matches NaN
+// and nothing else). value.Equal is not usable here: Compare returns 0
+// for NaN-vs-number (no float ordering), but their Key() strings differ.
+// The matcher works on raw column payloads; the base side is classified
+// once per base row (resolve) and each candidate lane is then a direct
+// payload comparison (matches).
+type keyMatcher struct {
+	col  *vec.Col
+	bIdx int
+}
+
+// needle is a base-row key value resolved against a detail column: its
+// Key() class plus, for string columns, the dictionary code (-1 when the
+// string is absent from the dictionary, so no lane can match).
+type needle struct {
+	tag  byte
+	i    int64
+	f    float64
+	code int32
+}
+
+func (m *keyMatcher) resolve(v value.V) needle {
+	tag, i, f := keyClass(v)
+	nd := needle{tag: tag, i: i, f: f, code: -1}
+	if tag == 3 {
+		nd.f = 0
+		if c, ok := m.col.DictCode(v.S); ok {
+			nd.code = c
+		}
+	}
+	return nd
+}
+
+func (m *keyMatcher) matches(nd needle, lane int32) bool {
+	c := m.col
+	if c.IsNull(int(lane)) {
+		return nd.tag == 0
+	}
+	switch c.Kind {
+	case value.KindBool, value.KindInt:
+		return nd.tag == 1 && nd.i == c.Ints[lane]
+	case value.KindFloat:
+		f := c.Floats[lane]
+		if f == math.Trunc(f) && !math.IsInf(f, 0) &&
+			f >= math.MinInt64 && f <= math.MaxInt64 {
+			return nd.tag == 1 && nd.i == int64(f)
+		}
+		if nd.tag != 2 {
+			return false
+		}
+		// Non-integral floats: Key() formats with 'g'/-1, which is
+		// injective on non-NaN values; every NaN prints "NaN".
+		if math.IsNaN(f) || math.IsNaN(nd.f) {
+			return math.IsNaN(f) && math.IsNaN(nd.f)
+		}
+		return nd.f == f
+	case value.KindString:
+		return nd.tag == 3 && nd.code == c.Codes[lane]
+	default:
+		// A KindNull column holds no non-NULL lanes.
+		return false
+	}
+}
+
+// keyClass mirrors value.V.Key's tagging: 0 NULL, 1 integral (ints,
+// bools, and in-range integral floats), 2 non-integral float, 3 string.
+func keyClass(v value.V) (tag byte, i int64, f float64) {
+	switch v.K {
+	case value.KindNull:
+		return 0, 0, 0
+	case value.KindBool, value.KindInt:
+		return 1, v.I, 0
+	case value.KindFloat:
+		if f := v.F; f == math.Trunc(f) && !math.IsInf(f, 0) &&
+			f >= math.MinInt64 && f <= math.MaxInt64 {
+			return 1, int64(f), 0
+		}
+		return 2, 0, v.F
+	case value.KindString:
+		return 3, 0, 0
+	}
+	return 0, 0, 0
+}
+
+// feedAcc folds an evaluated argument vector into one accumulator,
+// column-wise when the accumulator supports it and boxed per lane
+// otherwise.
+func feedAcc(a *agg.Acc, l *vec.Lanes) error {
+	if l.Const {
+		return a.AddRepeat(l.ConstV, l.N)
+	}
+	switch l.Kind {
+	case value.KindBool, value.KindInt:
+		return a.AddInts(l.Kind, l.Ints[:l.N], l.Nulls)
+	case value.KindFloat:
+		return a.AddFloats(l.Floats[:l.N], l.Nulls)
+	case value.KindString:
+		return addDictLanes(a, l)
+	default:
+		// A KindNull vector: every lane is NULL.
+		return a.AddRepeat(value.Null, l.N)
+	}
+}
+
+// addDictLanes feeds dictionary-encoded string lanes per value; min/max
+// and distinct-count accumulators need the boxed string anyway.
+func addDictLanes(a *agg.Acc, l *vec.Lanes) error {
+	for i := 0; i < l.N; i++ {
+		if err := a.Add(l.Value(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

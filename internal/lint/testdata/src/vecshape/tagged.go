@@ -1,0 +1,86 @@
+// Package vecshape exercises the vecshape analyzer. This file is tagged,
+// so exported functions taking a []int32 selection must validate shape in
+// their first statement.
+//
+//lint:vecshape
+package vecshape
+
+import "fmt"
+
+type batch struct {
+	n    int
+	ints []int64
+}
+
+func (b *batch) Check() error {
+	if len(b.ints) != b.n {
+		return fmt.Errorf("bad shape")
+	}
+	return nil
+}
+
+func (b *batch) checkSel(sel []int32) error {
+	for _, s := range sel {
+		if int(s) < 0 || int(s) >= b.n {
+			return fmt.Errorf("lane out of range")
+		}
+	}
+	return nil
+}
+
+// Gather validates first: compliant.
+func Gather(b *batch, sel []int32, dst []int64) ([]int64, error) {
+	if err := b.checkSel(sel); err != nil {
+		return nil, err
+	}
+	for _, lane := range sel {
+		dst = append(dst, b.ints[lane])
+	}
+	return dst, nil
+}
+
+// GatherChecked validates through Check in the first statement: compliant.
+func GatherChecked(b *batch, sel []int32) (int64, error) {
+	if err := b.Check(); err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, lane := range sel {
+		sum += b.ints[lane]
+	}
+	return sum, nil
+}
+
+func GatherUnchecked(b *batch, sel []int32) int64 { // want `exported kernel GatherUnchecked takes a selection but its first statement is not a shape validation`
+	var sum int64
+	for _, lane := range sel {
+		sum += b.ints[lane]
+	}
+	return sum
+}
+
+func SumLate(b *batch, sel []int32) (int64, error) { // want `exported kernel SumLate takes a selection but its first statement is not a shape validation`
+	var sum int64
+	if err := b.checkSel(sel); err != nil { // too late: not the first statement
+		return 0, err
+	}
+	for _, lane := range sel {
+		sum += b.ints[lane]
+	}
+	return sum, nil
+}
+
+// gatherInternal is unexported: internal helpers run after the exported
+// boundary validated, so they are exempt.
+func gatherInternal(b *batch, sel []int32) int64 {
+	var sum int64
+	for _, lane := range sel {
+		sum += b.ints[lane]
+	}
+	return sum
+}
+
+// NoSelection takes no []int32, so the rule does not apply.
+func NoSelection(b *batch) int {
+	return b.n
+}

@@ -1,0 +1,11 @@
+// This file carries no //lint:vecshape tag: the same constructions that
+// are findings in tagged.go are legal here.
+package vecshape
+
+func UntaggedGather(b *batch, sel []int32) int64 {
+	var sum int64
+	for _, lane := range sel {
+		sum += b.ints[lane]
+	}
+	return sum
+}

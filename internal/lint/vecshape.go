@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VecShape enforces the shape-validation discipline of the columnar
+// kernels in files tagged //lint:vecshape: an exported function that
+// takes a selection vector ([]int32 of lane indices) must validate shape
+// — batch/column lane counts, null-bitmap agreement, selection bounds —
+// before touching any payload. Concretely, its first statement must
+// contain a call to a shape validator (Check, CheckSel, checkSel, or
+// checkShape). Kernels index payload slices by unchecked lane values;
+// one out-of-range selection entry corrupts reads silently instead of
+// failing loudly at the boundary.
+var VecShape = &Analyzer{
+	Name: "vecshape",
+	Doc: "exported kernels in //lint:vecshape files that take a []int32 " +
+		"selection must call a shape validator (Check/CheckSel/checkSel/" +
+		"checkShape) in their first statement",
+	Run: runVecShape,
+}
+
+func runVecShape(pass *Pass) error {
+	for _, file := range pass.Files {
+		if !fileHasDirective(file, "vecshape") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if isShapeValidator(fn.Name.Name) {
+				continue // the validators are the boundary, not kernels
+			}
+			if !takesSelection(pass, fn) {
+				continue
+			}
+			if !validatesShapeFirst(fn.Body) {
+				pass.Reportf(fn.Name, "exported kernel %s takes a selection but its first "+
+					"statement is not a shape validation; call Check/checkSel before touching payloads",
+					fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// takesSelection reports whether any parameter is a []int32 — the lane
+// selection type of the columnar kernels.
+func takesSelection(pass *Pass, fn *ast.FuncDecl) bool {
+	for _, f := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Int32 {
+			return true
+		}
+	}
+	return false
+}
+
+// validatesShapeFirst reports whether the body's first statement contains
+// a shape-validator call (typically `if err := b.Check(); err != nil`).
+func validatesShapeFirst(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body.List[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		case *ast.Ident:
+			name = f.Name
+		}
+		if isShapeValidator(name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isShapeValidator(name string) bool {
+	switch name {
+	case "Check", "CheckSel", "checkSel", "checkShape":
+		return true
+	}
+	return false
+}

@@ -28,9 +28,22 @@ func benchRelation(n int) *Relation {
 func BenchmarkRowKey(b *testing.B) {
 	r := benchRelation(1)
 	idx := []int{0, 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = RowKey(r.Rows[0], idx)
+	}
+}
+
+// BenchmarkHashRow is the allocation-free replacement for RowKey on the
+// grouping hot paths; compare its allocs/op against BenchmarkRowKey.
+func BenchmarkHashRow(b *testing.B) {
+	r := benchRelation(1)
+	idx := []int{0, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HashRow(r.Rows[0], idx)
 	}
 }
 

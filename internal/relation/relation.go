@@ -206,6 +206,9 @@ func (r *Relation) Clone() *Relation {
 }
 
 // RowKey builds a composite map key from the row values at positions idx.
+// It allocates a string per call; the hash-grouping paths use HashRow plus
+// a value.Equal collision check instead and keep RowKey only where a
+// printable key is genuinely needed.
 func RowKey(row Row, idx []int) string {
 	var b strings.Builder
 	for _, i := range idx {
@@ -215,21 +218,65 @@ func RowKey(row Row, idx []int) string {
 	return b.String()
 }
 
+// HashRow folds the row values at positions idx into one 64-bit hash.
+// Rows whose projected values are pairwise Equal hash identically (the
+// same equivalence classes as RowKey), so it can replace RowKey-keyed
+// maps when paired with a KeysEqual collision check.
+func HashRow(row Row, idx []int) uint64 {
+	h := value.HashSeed
+	for _, i := range idx {
+		h = value.UpdateHash(h, row[i])
+	}
+	return h
+}
+
+// KeysEqual reports whether two rows agree on the projected key columns,
+// using the same equivalence as RowKey (NULL matches NULL, numerically
+// equal ints and floats match).
+func KeysEqual(a Row, aIdx []int, b Row, bIdx []int) bool {
+	for i := range aIdx {
+		av, bv := a[aIdx[i]], b[bIdx[i]]
+		if av.IsNull() || bv.IsNull() {
+			if av.K != bv.K {
+				return false
+			}
+			continue
+		}
+		if !value.Equal(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
 // DistinctProject computes the set projection π_names(r): the named columns
-// with duplicate rows removed, preserving first-seen order.
+// with duplicate rows removed, preserving first-seen order. Grouping is by
+// 64-bit row hash with a value-equality check on collisions, avoiding the
+// per-row key-string allocation of the RowKey path.
 func (r *Relation) DistinctProject(names []string) (*Relation, error) {
 	ps, idx, err := r.Schema.Project(names)
 	if err != nil {
 		return nil, err
 	}
 	out := New(ps)
-	seen := make(map[string]struct{}, len(r.Rows))
+	outIdx := make([]int, len(idx))
+	for i := range outIdx {
+		outIdx[i] = i
+	}
+	seen := make(map[uint64][]int, len(r.Rows))
 	for _, row := range r.Rows {
-		k := RowKey(row, idx)
-		if _, dup := seen[k]; dup {
+		h := HashRow(row, idx)
+		dup := false
+		for _, p := range seen[h] {
+			if KeysEqual(row, idx, out.Rows[p], outIdx) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[h] = append(seen[h], len(out.Rows))
 		nr := make(Row, len(idx))
 		for i, p := range idx {
 			nr[i] = row[p]
@@ -302,10 +349,13 @@ func (r *Relation) SortKeys(keys ...SortKey) error {
 }
 
 // Index is a hash index mapping a composite key over key columns to the
-// row positions holding that key.
+// row positions holding that key. Buckets are keyed by 64-bit row hash;
+// lookups re-verify candidates with value equality, so hash collisions
+// cannot produce false matches.
 type Index struct {
 	Cols    []int
-	buckets map[string][]int
+	rows    []Row
+	buckets map[uint64][]int
 }
 
 // BuildIndex indexes the relation on the named columns.
@@ -318,22 +368,35 @@ func (r *Relation) BuildIndex(names []string) (*Index, error) {
 		}
 		idx[i] = p
 	}
-	ix := &Index{Cols: idx, buckets: make(map[string][]int, len(r.Rows))}
+	ix := &Index{Cols: idx, rows: r.Rows, buckets: make(map[uint64][]int, len(r.Rows))}
 	for pos, row := range r.Rows {
-		k := RowKey(row, idx)
-		ix.buckets[k] = append(ix.buckets[k], pos)
+		h := HashRow(row, idx)
+		ix.buckets[h] = append(ix.buckets[h], pos)
 	}
 	return ix, nil
 }
 
 // LookupKey returns the positions of rows whose key columns equal vals.
 func (ix *Index) LookupKey(vals []value.V) []int {
-	var b strings.Builder
+	h := value.HashSeed
 	for _, v := range vals {
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
+		h = value.UpdateHash(h, v)
 	}
-	return ix.buckets[b.String()]
+	cands := ix.buckets[h]
+	if len(cands) == 0 {
+		return nil
+	}
+	valIdx := make([]int, len(vals))
+	for i := range valIdx {
+		valIdx[i] = i
+	}
+	out := cands[:0:0]
+	for _, pos := range cands {
+		if KeysEqual(vals, valIdx, ix.rows[pos], ix.Cols) {
+			out = append(out, pos)
+		}
+	}
+	return out
 }
 
 // String renders the relation as an aligned text table (for examples and

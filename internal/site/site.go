@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/transport"
+	"repro/internal/vec"
 )
 
 // Generator synthesizes one site's partition of a dataset; generators are
@@ -100,6 +102,15 @@ type Engine struct {
 	obs *obs.Obs
 	//lint:guarded-by mu
 	limits Limits
+	//lint:guarded-by mu
+	engine gmdj.Engine
+	// batches caches the columnar form of loaded relations, keyed by
+	// lowercase name and validated by relation pointer identity (Load
+	// replaces the pointer, invalidating the entry on next access). A nil
+	// cached batch records that conversion failed, so unsupported
+	// relations are not re-converted per round.
+	//lint:guarded-by mu
+	batches map[string]*batchEntry
 
 	// Replay cache: responses to epoch-tagged rounds, so a coordinator
 	// replaying (epoch, round) after a failure gets the cached answer
@@ -114,9 +125,54 @@ type Engine struct {
 	replayEpochs map[string]*epochCache
 }
 
+// batchEntry is one cached columnar conversion.
+type batchEntry struct {
+	rel   *relation.Relation // the exact relation the batch was built from
+	batch *vec.Batch         // nil: conversion unsupported, use rows
+}
+
 // NewEngine returns an empty site engine.
 func NewEngine(id string) *Engine {
-	return &Engine{id: id, rels: map[string]*relation.Relation{}}
+	return &Engine{
+		id:      id,
+		rels:    map[string]*relation.Relation{},
+		batches: map[string]*batchEntry{},
+	}
+}
+
+// SetEvalEngine selects the GMDJ evaluation engine for this site
+// (gmdj.EngineAuto defers to the process default, the vectorized engine).
+func (e *Engine) SetEvalEngine(eng gmdj.Engine) {
+	e.mu.Lock()
+	e.engine = eng
+	e.mu.Unlock()
+}
+
+func (e *Engine) getEvalEngine() gmdj.Engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.engine
+}
+
+// detailBatch returns the cached columnar form of the named relation,
+// converting on first use. nil means the relation cannot be vectorized
+// (mixed-kind columns); gmdj then converts nothing and falls back to rows.
+func (e *Engine) detailBatch(name string, r *relation.Relation) *vec.Batch {
+	key := strings.ToLower(name)
+	e.mu.RLock()
+	ent := e.batches[key]
+	e.mu.RUnlock()
+	if ent != nil && ent.rel == r {
+		return ent.batch
+	}
+	b, err := vec.FromRelation(r)
+	if err != nil {
+		b = nil
+	}
+	e.mu.Lock()
+	e.batches[key] = &batchEntry{rel: r, batch: b}
+	e.mu.Unlock()
+	return b
 }
 
 // SetLimits installs per-request resource limits (zero fields disable).
@@ -153,11 +209,14 @@ func (e *Engine) getObs() *obs.Obs {
 	return e.obs
 }
 
-// Load stores a relation under the given name, replacing any previous one.
+// Load stores a relation under the given name, replacing any previous one
+// (and dropping any cached columnar form of the replaced relation).
 func (e *Engine) Load(name string, r *relation.Relation) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.rels[strings.ToLower(name)] = r
+	key := strings.ToLower(name)
+	e.rels[key] = r
+	delete(e.batches, key)
 }
 
 // Relation returns the stored relation with the given name.
@@ -424,6 +483,7 @@ func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		delete(e.rels, strings.ToLower(req.Rel))
+		delete(e.batches, strings.ToLower(req.Rel))
 		return &transport.Response{}, nil
 
 	case transport.OpRelInfo:
@@ -523,6 +583,11 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 	anyTouched := false
 	var finalCols []string
 
+	o := e.getObs()
+	engine := e.getEvalEngine()
+	workers := runtime.GOMAXPROCS(0)
+	o.SetGauge("site.eval_workers", int64(workers))
+
 	for ri, spec := range req.Rounds {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("round %d: %w", ri+1, err)
@@ -536,8 +601,12 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 			return nil, fmt.Errorf("round %d: %w", ri+1, err)
 		}
 		h, err := gmdj.EvalSub(base, detail, md, gmdj.SubOpts{
-			Finalize: spec.Finalize,
-			Touched:  spec.Touched,
+			Finalize:    spec.Finalize,
+			Touched:     spec.Touched,
+			Engine:      engine,
+			Workers:     workers,
+			Obs:         o,
+			DetailBatch: e.detailBatch(spec.Detail, detail),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("round %d: %w", ri+1, err)
@@ -579,7 +648,6 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 	if err := e.checkLimits(out); err != nil {
 		return nil, err
 	}
-	o := e.getObs()
 	o.Count("site.rounds_served", int64(len(req.Rounds)))
 	if req.Base != nil {
 		o.Count("site.groups_in", int64(req.Base.Len()))

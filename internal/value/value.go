@@ -10,7 +10,6 @@ package value
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -210,51 +209,69 @@ func Less(a, b V) bool {
 	return c < 0
 }
 
-// Hash returns a 64-bit hash of the value, suitable for hash grouping.
-// Numerically equal int and float values hash identically.
-func (v V) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+// HashSeed is the initial state for an UpdateHash chain (the 64-bit FNV-1a
+// offset basis). For any value v, v.Hash() == UpdateHash(HashSeed, v), so
+// multi-column keys can be hashed by folding each column into the running
+// state without allocating per-row key strings.
+const HashSeed uint64 = 14695981039346656037
+
+const fnvPrime uint64 = 1099511628211
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashUint64(h uint64, u uint64) uint64 {
+	h = hashByte(h, byte(u))
+	h = hashByte(h, byte(u>>8))
+	h = hashByte(h, byte(u>>16))
+	h = hashByte(h, byte(u>>24))
+	h = hashByte(h, byte(u>>32))
+	h = hashByte(h, byte(u>>40))
+	h = hashByte(h, byte(u>>48))
+	h = hashByte(h, byte(u>>56))
+	return h
+}
+
+// UpdateHash folds v into a running FNV-1a state h and returns the new
+// state. The byte sequence folded per value matches Hash exactly, so
+// single-column chains agree with Hash and equal values (per Equal/Key)
+// produce equal states.
+func UpdateHash(h uint64, v V) uint64 {
 	switch v.K {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		return hashByte(h, 0)
 	case KindBool, KindInt:
 		// Integral values hash via their float form when exactly
 		// representable so 1 and 1.0 land in the same bucket.
 		f := float64(v.I)
 		if int64(f) == v.I {
-			buf[0] = 2
-			putUint64(buf[1:], math.Float64bits(f))
-			h.Write(buf[:9])
-		} else {
-			buf[0] = 1
-			putUint64(buf[1:], uint64(v.I))
-			h.Write(buf[:9])
+			return hashUint64(hashByte(h, 2), math.Float64bits(f))
 		}
+		return hashUint64(hashByte(h, 1), uint64(v.I))
 	case KindFloat:
-		buf[0] = 2
-		putUint64(buf[1:], math.Float64bits(v.F))
-		h.Write(buf[:9])
+		// Normalize -0.0 and NaN payloads so every value a Key/Equal
+		// equivalence class contains hashes identically (hash grouping
+		// relies on Equal values never landing in different buckets).
+		f := v.F
+		if f == 0 {
+			f = 0
+		} else if math.IsNaN(f) {
+			f = math.NaN()
+		}
+		return hashUint64(hashByte(h, 2), math.Float64bits(f))
 	case KindString:
-		buf[0] = 3
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
+		h = hashByte(h, 3)
+		for i := 0; i < len(v.S); i++ {
+			h = hashByte(h, v.S[i])
+		}
+		return h
 	}
-	return h.Sum64()
+	return h
 }
 
-func putUint64(b []byte, u uint64) {
-	_ = b[7]
-	b[0] = byte(u)
-	b[1] = byte(u >> 8)
-	b[2] = byte(u >> 16)
-	b[3] = byte(u >> 24)
-	b[4] = byte(u >> 32)
-	b[5] = byte(u >> 40)
-	b[6] = byte(u >> 48)
-	b[7] = byte(u >> 56)
-}
+// Hash returns a 64-bit hash of the value, suitable for hash grouping.
+// Numerically equal int and float values hash identically. It allocates
+// nothing.
+func (v V) Hash() uint64 { return UpdateHash(HashSeed, v) }
 
 // Key returns a compact string usable as a Go map key, distinguishing
 // kind classes but identifying numerically equal ints and floats.

@@ -1,6 +1,7 @@
 package value
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -110,6 +111,59 @@ func TestHashConsistency(t *testing.T) {
 	}
 	if Null.Key() == NewInt(0).Key() {
 		t.Error("NULL and 0 share a key")
+	}
+}
+
+// TestHashMatchesFNVReference pins the allocation-free Hash to the tagged
+// FNV-1a byte encoding it replaced: tag byte then, for numerics, the
+// little-endian 8-byte payload.
+func TestHashMatchesFNVReference(t *testing.T) {
+	ref := func(bs ...byte) uint64 {
+		h := fnv.New64a()
+		h.Write(bs)
+		return h.Sum64()
+	}
+	le := func(tag byte, u uint64) []byte {
+		b := []byte{tag, 0, 0, 0, 0, 0, 0, 0, 0}
+		for i := 0; i < 8; i++ {
+			b[1+i] = byte(u >> (8 * i))
+		}
+		return b
+	}
+	cases := []struct {
+		v    V
+		want uint64
+	}{
+		{Null, ref(0)},
+		{NewBool(true), ref(le(2, math.Float64bits(1))...)},
+		{NewInt(42), ref(le(2, math.Float64bits(42))...)},
+		{NewInt(math.MaxInt64 - 1), ref(le(1, uint64(math.MaxInt64-1))...)},
+		{NewFloat(3.25), ref(le(2, math.Float64bits(3.25))...)},
+		{NewString("ab"), ref(3, 'a', 'b')},
+	}
+	for _, c := range cases {
+		if got := c.v.Hash(); got != c.want {
+			t.Errorf("Hash(%s) = %#x, want %#x", c.v, got, c.want)
+		}
+	}
+	// Chained updates must equal hashing the concatenated encodings.
+	h := UpdateHash(UpdateHash(HashSeed, NewInt(42)), NewString("ab"))
+	if want := ref(append(le(2, math.Float64bits(42)), 3, 'a', 'b')...); h != want {
+		t.Errorf("UpdateHash chain = %#x, want %#x", h, want)
+	}
+}
+
+func TestHashNormalizesFloatEquivalents(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	if NewFloat(negZero).Hash() != NewFloat(0).Hash() {
+		t.Error("-0.0 and 0.0 hash differently")
+	}
+	if NewFloat(negZero).Hash() != NewInt(0).Hash() {
+		t.Error("-0.0 and int 0 hash differently")
+	}
+	odd := math.Float64frombits(0x7ff8000000000123) // non-canonical NaN payload
+	if NewFloat(odd).Hash() != NewFloat(math.NaN()).Hash() {
+		t.Error("NaN payloads hash differently")
 	}
 }
 

@@ -1,0 +1,1192 @@
+package vec
+
+//lint:deterministic vectorized evaluation must match the row engine byte for byte
+//lint:vecshape exported kernels validate batch/selection shape up front
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/expr"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Stats counts kernel work for the vec.* observability counters: Batches
+// is the number of kernel-batch evaluations, Rows the lanes scanned
+// through them, Selected the lanes that survived condition filters.
+type Stats struct {
+	Batches    int64
+	Rows       int64
+	FilterRows int64
+	Selected   int64
+}
+
+// Lanes is the result of evaluating a program node over a selection: a
+// dense vector of len N, either a broadcast constant (Const/ConstV) or a
+// typed payload in the same layout as Col, with Nulls marking NULL lanes
+// (nil when none). Payload slices are scratch owned by the program and
+// valid until its next evaluation.
+type Lanes struct {
+	Kind   value.Kind
+	N      int
+	Ints   []int64
+	Floats []float64
+	Codes  []int32
+	Dict   []string
+	Nulls  []bool
+	Const  bool
+	ConstV value.V
+
+	nullBuf []bool
+}
+
+// Value boxes lane i of the vector.
+func (l *Lanes) Value(i int) value.V {
+	if l.Const {
+		return l.ConstV
+	}
+	if l.Nulls != nil && l.Nulls[i] {
+		return value.Null
+	}
+	switch l.Kind {
+	case value.KindBool:
+		return value.V{K: value.KindBool, I: l.Ints[i]}
+	case value.KindInt:
+		return value.NewInt(l.Ints[i])
+	case value.KindFloat:
+		return value.NewFloat(l.Floats[i])
+	case value.KindString:
+		return value.NewString(l.Dict[l.Codes[i]])
+	default:
+		return value.Null
+	}
+}
+
+func (l *Lanes) isNull(i int) bool {
+	if l.Const {
+		return l.ConstV.IsNull()
+	}
+	return l.Kind == value.KindNull || (l.Nulls != nil && l.Nulls[i])
+}
+
+// truthy reports SQL WHERE truthiness of lane i, matching value.V.Bool.
+func (l *Lanes) truthy(i int) bool {
+	if l.Const {
+		return l.ConstV.Bool()
+	}
+	if l.isNull(i) {
+		return false
+	}
+	switch l.Kind {
+	case value.KindBool, value.KindInt:
+		return l.Ints[i] != 0
+	case value.KindFloat:
+		return l.Floats[i] != 0
+	default:
+		return false
+	}
+}
+
+func (l *Lanes) effKind() value.Kind {
+	if l.Const {
+		return l.ConstV.K
+	}
+	return l.Kind
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// reset prepares the scratch vector for n lanes of the given kind.
+func (l *Lanes) reset(kind value.Kind, n int) {
+	l.Kind, l.N, l.Const, l.Nulls, l.ConstV = kind, n, false, nil, value.Null
+	l.Codes, l.Dict = nil, nil
+	switch kind {
+	case value.KindBool, value.KindInt:
+		l.Ints = growI64(l.Ints, n)
+	case value.KindFloat:
+		l.Floats = growF64(l.Floats, n)
+	}
+}
+
+func (l *Lanes) setConst(v value.V, n int) *Lanes {
+	l.Kind, l.N, l.Const, l.ConstV, l.Nulls = v.K, n, true, v, nil
+	return l
+}
+
+// node is one compiled operator; eval produces the node's vector over the
+// selected batch lanes. Nodes own their output scratch, so a Program must
+// not be shared across goroutines.
+type node interface {
+	eval(p *Program, sel []int32) (*Lanes, error)
+}
+
+// Program is a column-program: an expr condition or scalar compiled
+// against one batch for repeated masked evaluation. A Program is bound to
+// a single base row at a time via SetBase and is not safe for concurrent
+// use; parallel evaluators compile one Program per worker.
+type Program struct {
+	batch  *Batch
+	root   node
+	bounds []*expr.Bound
+	slots  []scalarSlot
+	base   relation.Row
+	stats  *Stats
+}
+
+type scalarSlot struct {
+	done bool
+	v    value.V
+	err  error
+}
+
+// chunkLanes bounds per-node scratch: selections are evaluated in
+// segments of at most this many lanes.
+const chunkLanes = 4096
+
+// Compile builds a column-program for e over batch b using the binding's
+// detail side for column references; detail-free subtrees (constants and
+// base-side references) become per-base-row scalars. Expressions the
+// kernels cannot express report ErrUnsupported.
+func Compile(e expr.Expr, bd expr.Binding, b *Batch) (*Program, error) {
+	if err := b.Check(); err != nil {
+		return nil, err
+	}
+	p := &Program{batch: b}
+	root, err := p.compile(e, bd)
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	p.slots = make([]scalarSlot, len(p.bounds))
+	return p, nil
+}
+
+// SetBase binds the program to a base row, invalidating cached scalar
+// subtree results from the previous row.
+func (p *Program) SetBase(base relation.Row) {
+	p.base = base
+	for i := range p.slots {
+		p.slots[i] = scalarSlot{}
+	}
+}
+
+// SetStats directs kernel work counters to s (nil disables counting).
+func (p *Program) SetStats(s *Stats) { p.stats = s }
+
+func (p *Program) scalarValue(slot int) (value.V, error) {
+	s := &p.slots[slot]
+	if !s.done {
+		s.v, s.err = p.bounds[slot].Eval(p.base, nil)
+		s.done = true
+	}
+	return s.v, s.err
+}
+
+func (p *Program) countFilter(scanned, selected int) {
+	if p.stats != nil {
+		p.stats.Batches++
+		p.stats.Rows += int64(scanned)
+		p.stats.FilterRows += int64(scanned)
+		p.stats.Selected += int64(selected)
+	}
+}
+
+func (p *Program) countEval(scanned int) {
+	if p.stats != nil {
+		p.stats.Batches++
+		p.stats.Rows += int64(scanned)
+	}
+}
+
+// Filter evaluates the program as a predicate over the selected lanes and
+// appends the truthy lanes to dst, preserving selection order. NULL
+// results are false, as in SQL WHERE semantics.
+func (p *Program) Filter(sel, dst []int32) ([]int32, error) {
+	if err := p.batch.checkSel(sel); err != nil {
+		return nil, err
+	}
+	// Constant-true residuals (the common equi-join case) select
+	// everything without touching the kernels.
+	if c, ok := p.root.(*constNode); ok {
+		n := 0
+		if c.v.Bool() {
+			dst = append(dst, sel...)
+			n = len(sel)
+		}
+		p.countFilter(len(sel), n)
+		return dst, nil
+	}
+	for start := 0; start < len(sel); start += chunkLanes {
+		end := start + chunkLanes
+		if end > len(sel) {
+			end = len(sel)
+		}
+		seg := sel[start:end]
+		out, err := p.root.eval(p, seg)
+		if err != nil {
+			return nil, err
+		}
+		picked := 0
+		for i := range seg {
+			if out.truthy(i) {
+				dst = append(dst, seg[i])
+				picked++
+			}
+		}
+		p.countFilter(len(seg), picked)
+	}
+	return dst, nil
+}
+
+// EvalEach evaluates the program as a scalar expression over the selected
+// lanes in segments, invoking fn once per segment with the resulting
+// vector. The vector is scratch: fn must consume it before returning.
+func (p *Program) EvalEach(sel []int32, fn func(*Lanes) error) error {
+	if err := p.batch.checkSel(sel); err != nil {
+		return err
+	}
+	for start := 0; start < len(sel); start += chunkLanes {
+		end := start + chunkLanes
+		if end > len(sel) {
+			end = len(sel)
+		}
+		seg := sel[start:end]
+		out, err := p.root.eval(p, seg)
+		if err != nil {
+			return err
+		}
+		p.countEval(len(seg))
+		if err := fn(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) compile(e expr.Expr, bd expr.Binding) (node, error) {
+	// Subtrees that never read the detail side evaluate once per base row
+	// through the row-engine evaluator itself, so scalar semantics
+	// (including error behavior) are identical by construction.
+	if _, detail := expr.SidesUsed(e, bd); !detail {
+		if c, ok := e.(expr.Const); ok {
+			return &constNode{v: c.Val}, nil
+		}
+		bound, err := expr.Bind(e, bd)
+		if err != nil {
+			return nil, err
+		}
+		slot := len(p.bounds)
+		p.bounds = append(p.bounds, bound)
+		return &scalarNode{slot: slot}, nil
+	}
+	switch n := e.(type) {
+	case expr.Col:
+		side, ok := bd.SideOf(n)
+		if !ok || side != expr.SideDetail {
+			// Mirror the row binder's error for unknown/ambiguous columns.
+			if _, err := expr.Bind(e, bd); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: non-detail column %s in detail subtree", ErrUnsupported, n)
+		}
+		idx, err := p.batch.Schema.MustLookup(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &colNode{col: idx}, nil
+
+	case expr.Unary:
+		x, err := p.compile(n.X, bd)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "NOT" {
+			return &notNode{x: x}, nil
+		}
+		return &negNode{x: x}, nil
+
+	case expr.Binary:
+		l, err := p.compile(n.L, bd)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compile(n.R, bd)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "AND", "OR":
+			return &logicNode{and: n.Op == "AND", l: l, r: r}, nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			cn := &cmpNode{l: l, r: r}
+			switch n.Op {
+			case "=":
+				cn.eqOK = true
+			case "!=":
+				cn.ltOK, cn.gtOK = true, true
+			case "<":
+				cn.ltOK = true
+			case "<=":
+				cn.ltOK, cn.eqOK = true, true
+			case ">":
+				cn.gtOK = true
+			case ">=":
+				cn.gtOK, cn.eqOK = true, true
+			}
+			return cn, nil
+		case "+", "-", "*", "/", "%":
+			return &arithNode{op: n.Op[0], l: l, r: r}, nil
+		default:
+			return nil, fmt.Errorf("expr: unknown operator %q", n.Op)
+		}
+
+	case expr.InList:
+		x, err := p.compile(n.X, bd)
+		if err != nil {
+			return nil, err
+		}
+		in := &inNode{x: x, neg: n.Neg,
+			ints: make(map[int64]struct{}),
+			fbit: make(map[uint64]struct{}),
+			strs: make(map[string]struct{}),
+		}
+		for _, v := range n.Vals {
+			switch v.K {
+			case value.KindBool, value.KindInt:
+				in.ints[v.I] = struct{}{}
+			case value.KindFloat:
+				if iv, ok := integralKey(v.F); ok {
+					in.ints[iv] = struct{}{}
+				} else if math.IsNaN(v.F) {
+					in.hasNaN = true
+				} else {
+					in.fbit[math.Float64bits(v.F)] = struct{}{}
+				}
+			case value.KindString:
+				in.strs[v.S] = struct{}{}
+			}
+		}
+		return in, nil
+
+	case expr.Like:
+		x, err := p.compile(n.X, bd)
+		if err != nil {
+			return nil, err
+		}
+		return &likeNode{x: x, pattern: n.Pattern, neg: n.Neg}, nil
+
+	case expr.Between:
+		x, err := p.compile(n.X, bd)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.compile(n.Lo, bd)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.compile(n.Hi, bd)
+		if err != nil {
+			return nil, err
+		}
+		return &betweenNode{x: x, lo: lo, hi: hi, neg: n.Neg}, nil
+
+	case expr.Const:
+		return &constNode{v: n.Val}, nil
+
+	case expr.Case, expr.Call:
+		return nil, fmt.Errorf("%w: %T", ErrUnsupported, e)
+	}
+	return nil, fmt.Errorf("expr: cannot compile %T", e)
+}
+
+// integralKey mirrors value.V.Key's integral-float classification: floats
+// that Key renders as integers return their int64 form.
+func integralKey(f float64) (int64, bool) {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) &&
+		f >= math.MinInt64 && f <= math.MaxInt64 {
+		return int64(f), true
+	}
+	return 0, false
+}
+
+func numericish(k value.Kind) bool {
+	return k == value.KindBool || k == value.KindInt || k == value.KindFloat
+}
+
+// floatLanes materializes the vector as float64 lanes into scratch (bool
+// and int lanes convert; const broadcasts). Null lanes hold 0.
+func floatLanes(l *Lanes, n int, scratch []float64) []float64 {
+	scratch = growF64(scratch, n)
+	if l.Const {
+		f, _ := l.ConstV.AsFloat()
+		for i := range scratch {
+			scratch[i] = f
+		}
+		return scratch
+	}
+	if l.Kind == value.KindFloat {
+		copy(scratch, l.Floats)
+		return scratch
+	}
+	for i := 0; i < n; i++ {
+		scratch[i] = float64(l.Ints[i])
+	}
+	return scratch
+}
+
+// intLanes materializes the vector as int64 lanes, using value.AsInt
+// truncation for float lanes (the %% operator's semantics).
+func intLanes(l *Lanes, n int, scratch []int64) []int64 {
+	scratch = growI64(scratch, n)
+	if l.Const {
+		iv, _ := l.ConstV.AsInt()
+		for i := range scratch {
+			scratch[i] = iv
+		}
+		return scratch
+	}
+	if l.Kind == value.KindFloat {
+		for i := 0; i < n; i++ {
+			scratch[i] = int64(l.Floats[i])
+		}
+		return scratch
+	}
+	copy(scratch, l.Ints)
+	return scratch
+}
+
+// rawIntLanes materializes int64 lanes for +,-,* over integral kinds,
+// which read the int payload directly.
+func rawIntLanes(l *Lanes, n int, scratch []int64) []int64 {
+	scratch = growI64(scratch, n)
+	if l.Const {
+		for i := range scratch {
+			scratch[i] = l.ConstV.I
+		}
+		return scratch
+	}
+	copy(scratch, l.Ints)
+	return scratch
+}
+
+func laneStr(l *Lanes, i int) string {
+	if l.Const {
+		return l.ConstV.S
+	}
+	return l.Dict[l.Codes[i]]
+}
+
+// nullLanes merges the null masks of both operands into scratch; the
+// second result reports whether any lane is null.
+func nullLanes(l, r *Lanes, n int, scratch []bool) ([]bool, bool) {
+	scratch = growB(scratch, n)
+	any := false
+	for i := 0; i < n; i++ {
+		if l.isNull(i) || r.isNull(i) {
+			scratch[i] = true
+			any = true
+		}
+	}
+	return scratch, any
+}
+
+type constNode struct {
+	v   value.V
+	out Lanes
+}
+
+func (n *constNode) eval(_ *Program, sel []int32) (*Lanes, error) {
+	return n.out.setConst(n.v, len(sel)), nil
+}
+
+type scalarNode struct {
+	slot int
+	out  Lanes
+}
+
+func (n *scalarNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	v, err := p.scalarValue(n.slot)
+	if err != nil {
+		return nil, err
+	}
+	return n.out.setConst(v, len(sel)), nil
+}
+
+type colNode struct {
+	col int
+	out Lanes
+}
+
+func (n *colNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	c := &p.batch.Cols[n.col]
+	ln := len(sel)
+	out := &n.out
+	out.reset(c.Kind, ln)
+	switch c.Kind {
+	case value.KindBool, value.KindInt:
+		for i, lane := range sel {
+			out.Ints[i] = c.Ints[lane]
+		}
+	case value.KindFloat:
+		for i, lane := range sel {
+			out.Floats[i] = c.Floats[lane]
+		}
+	case value.KindString:
+		out.Codes = growI32(out.Codes, ln)
+		for i, lane := range sel {
+			out.Codes[i] = c.Codes[lane]
+		}
+		out.Dict = c.Dict
+	}
+	if c.Nulls != nil {
+		nulls := growB(out.nullBuf, ln)
+		any := false
+		for i, lane := range sel {
+			if c.Nulls.Get(int(lane)) {
+				nulls[i] = true
+				any = true
+			}
+		}
+		out.nullBuf = nulls
+		if any {
+			out.Nulls = nulls
+		}
+	}
+	return out, nil
+}
+
+type notNode struct {
+	x   node
+	out Lanes
+}
+
+func (n *notNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	x, err := n.x.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	if x.Const {
+		return n.out.setConst(value.NewBool(!x.ConstV.Bool()), ln), nil
+	}
+	out := &n.out
+	out.reset(value.KindBool, ln)
+	for i := 0; i < ln; i++ {
+		if x.truthy(i) {
+			out.Ints[i] = 0
+		} else {
+			out.Ints[i] = 1
+		}
+	}
+	return out, nil
+}
+
+type negNode struct {
+	x   node
+	out Lanes
+}
+
+func (n *negNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	x, err := n.x.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	out := &n.out
+	if x.Const {
+		v, err := value.Neg(x.ConstV)
+		if err != nil {
+			return nil, err
+		}
+		return out.setConst(v, ln), nil
+	}
+	switch x.Kind {
+	case value.KindNull:
+		return out.setConst(value.Null, ln), nil
+	case value.KindInt:
+		out.reset(value.KindInt, ln)
+		for i := 0; i < ln; i++ {
+			out.Ints[i] = -x.Ints[i]
+		}
+		out.Nulls = x.Nulls
+	case value.KindFloat:
+		out.reset(value.KindFloat, ln)
+		for i := 0; i < ln; i++ {
+			out.Floats[i] = -x.Floats[i]
+		}
+		out.Nulls = x.Nulls
+	default:
+		// BOOL and STRING lanes: NULL negates to NULL, anything else is
+		// the row engine's error.
+		for i := 0; i < ln; i++ {
+			if !x.isNull(i) {
+				_, err := value.Neg(x.Value(i))
+				return nil, err
+			}
+		}
+		return out.setConst(value.Null, ln), nil
+	}
+	return out, nil
+}
+
+type logicNode struct {
+	and    bool
+	l, r   node
+	out    Lanes
+	subsel []int32
+	subpos []int32
+}
+
+func (n *logicNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	l, err := n.l.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	if l.Const {
+		lt := l.ConstV.Bool()
+		// Short-circuit: AND with false left (OR with true left) never
+		// evaluates the right child, exactly like the row engine.
+		if n.and && !lt {
+			return n.out.setConst(value.NewBool(false), ln), nil
+		}
+		if !n.and && lt {
+			return n.out.setConst(value.NewBool(true), ln), nil
+		}
+		r, err := n.r.eval(p, sel)
+		if err != nil {
+			return nil, err
+		}
+		if r.Const {
+			return n.out.setConst(value.NewBool(r.ConstV.Bool()), ln), nil
+		}
+		out := &n.out
+		out.reset(value.KindBool, ln)
+		for i := 0; i < ln; i++ {
+			if r.truthy(i) {
+				out.Ints[i] = 1
+			} else {
+				out.Ints[i] = 0
+			}
+		}
+		return out, nil
+	}
+	// Masked evaluation: the right child sees only the lanes the left
+	// child did not decide, preserving row-engine short-circuit (and
+	// therefore error) behavior.
+	n.subsel = n.subsel[:0]
+	n.subpos = n.subpos[:0]
+	for i := 0; i < ln; i++ {
+		if l.truthy(i) == n.and {
+			n.subsel = append(n.subsel, sel[i])
+			n.subpos = append(n.subpos, int32(i))
+		}
+	}
+	out := &n.out
+	// The left result may live in a descendant's scratch that the right
+	// child's evaluation reuses, so decide left lanes before recursing.
+	out.reset(value.KindBool, ln)
+	base := int64(0)
+	if !n.and {
+		base = 1
+	}
+	for i := 0; i < ln; i++ {
+		out.Ints[i] = base
+	}
+	if len(n.subsel) == 0 {
+		return out, nil
+	}
+	r, err := n.r.eval(p, n.subsel)
+	if err != nil {
+		return nil, err
+	}
+	for k, pos := range n.subpos {
+		if r.truthy(k) {
+			out.Ints[pos] = 1
+		} else {
+			out.Ints[pos] = 0
+		}
+	}
+	return out, nil
+}
+
+type cmpNode struct {
+	l, r             node
+	ltOK, eqOK, gtOK bool
+	out              Lanes
+	lf, rf           []float64
+	li, ri           []int64
+}
+
+func (n *cmpNode) ok(c int) bool {
+	switch {
+	case c < 0:
+		return n.ltOK
+	case c > 0:
+		return n.gtOK
+	default:
+		return n.eqOK
+	}
+}
+
+func (n *cmpNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	l, err := n.l.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	if l.Const && r.Const {
+		if l.ConstV.IsNull() || r.ConstV.IsNull() {
+			return n.out.setConst(value.NewBool(false), ln), nil
+		}
+		c, err := value.Compare(l.ConstV, r.ConstV)
+		if err != nil {
+			return nil, err
+		}
+		return n.out.setConst(value.NewBool(n.ok(c)), ln), nil
+	}
+	out := &n.out
+	out.reset(value.KindBool, ln)
+	lk, rk := l.effKind(), r.effKind()
+	switch {
+	case lk == value.KindNull || rk == value.KindNull:
+		// One side is all-NULL: every comparison is false.
+		for i := 0; i < ln; i++ {
+			out.Ints[i] = 0
+		}
+	case numericish(lk) && numericish(rk):
+		if lk == value.KindFloat || rk == value.KindFloat {
+			n.lf = floatLanes(l, ln, n.lf)
+			n.rf = floatLanes(r, ln, n.rf)
+			lf, rf := n.lf, n.rf
+			for i := 0; i < ln; i++ {
+				if l.isNull(i) || r.isNull(i) {
+					out.Ints[i] = 0
+					continue
+				}
+				c := 0
+				switch {
+				case lf[i] < rf[i]:
+					c = -1
+				case lf[i] > rf[i]:
+					c = 1
+				}
+				if n.ok(c) {
+					out.Ints[i] = 1
+				} else {
+					out.Ints[i] = 0
+				}
+			}
+		} else {
+			n.li = rawIntLanes(l, ln, n.li)
+			n.ri = rawIntLanes(r, ln, n.ri)
+			li, ri := n.li, n.ri
+			for i := 0; i < ln; i++ {
+				if l.isNull(i) || r.isNull(i) {
+					out.Ints[i] = 0
+					continue
+				}
+				c := 0
+				switch {
+				case li[i] < ri[i]:
+					c = -1
+				case li[i] > ri[i]:
+					c = 1
+				}
+				if n.ok(c) {
+					out.Ints[i] = 1
+				} else {
+					out.Ints[i] = 0
+				}
+			}
+		}
+	case lk == value.KindString && rk == value.KindString:
+		for i := 0; i < ln; i++ {
+			if l.isNull(i) || r.isNull(i) {
+				out.Ints[i] = 0
+				continue
+			}
+			ls, rs := laneStr(l, i), laneStr(r, i)
+			c := 0
+			switch {
+			case ls < rs:
+				c = -1
+			case ls > rs:
+				c = 1
+			}
+			if n.ok(c) {
+				out.Ints[i] = 1
+			} else {
+				out.Ints[i] = 0
+			}
+		}
+	default:
+		// String vs number: NULL lanes are false, the first lane with
+		// both sides non-NULL raises the row engine's compare error.
+		for i := 0; i < ln; i++ {
+			if l.isNull(i) || r.isNull(i) {
+				out.Ints[i] = 0
+				continue
+			}
+			_, err := value.Compare(l.Value(i), r.Value(i))
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type arithNode struct {
+	op     byte // + - * / %
+	l, r   node
+	out    Lanes
+	lf, rf []float64
+	li, ri []int64
+	nulls  []bool
+}
+
+func (n *arithNode) apply(a, b value.V) (value.V, error) {
+	switch n.op {
+	case '+':
+		return value.Add(a, b)
+	case '-':
+		return value.Sub(a, b)
+	case '*':
+		return value.Mul(a, b)
+	case '/':
+		return value.Div(a, b)
+	default:
+		return value.Mod(a, b)
+	}
+}
+
+func (n *arithNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	l, err := n.l.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.r.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	out := &n.out
+	if l.Const && r.Const {
+		v, err := n.apply(l.ConstV, r.ConstV)
+		if err != nil {
+			return nil, err
+		}
+		return out.setConst(v, ln), nil
+	}
+	lk, rk := l.effKind(), r.effKind()
+	if lk == value.KindNull || rk == value.KindNull {
+		// NULL propagates before any numeric check.
+		return out.setConst(value.Null, ln), nil
+	}
+	if lk == value.KindString || rk == value.KindString {
+		// NULL lanes still yield NULL; the first lane with both sides
+		// non-NULL raises the row engine's non-numeric error.
+		for i := 0; i < ln; i++ {
+			if !l.isNull(i) && !r.isNull(i) {
+				_, err := n.apply(l.Value(i), r.Value(i))
+				return nil, err
+			}
+		}
+		return out.setConst(value.Null, ln), nil
+	}
+	nulls, anyNull := nullLanes(l, r, ln, n.nulls)
+	n.nulls = nulls
+	switch n.op {
+	case '%':
+		n.li = intLanes(l, ln, n.li)
+		n.ri = intLanes(r, ln, n.ri)
+		li, ri := n.li, n.ri
+		out.reset(value.KindInt, ln)
+		for i := 0; i < ln; i++ {
+			if nulls[i] {
+				out.Ints[i] = 0
+				continue
+			}
+			if ri[i] == 0 {
+				nulls[i] = true
+				anyNull = true
+				out.Ints[i] = 0
+				continue
+			}
+			out.Ints[i] = li[i] % ri[i]
+		}
+	case '/':
+		n.lf = floatLanes(l, ln, n.lf)
+		n.rf = floatLanes(r, ln, n.rf)
+		lf, rf := n.lf, n.rf
+		out.reset(value.KindFloat, ln)
+		for i := 0; i < ln; i++ {
+			if nulls[i] {
+				out.Floats[i] = 0
+				continue
+			}
+			if rf[i] == 0 {
+				nulls[i] = true
+				anyNull = true
+				out.Floats[i] = 0
+				continue
+			}
+			out.Floats[i] = lf[i] / rf[i]
+		}
+	default:
+		if lk == value.KindFloat || rk == value.KindFloat {
+			n.lf = floatLanes(l, ln, n.lf)
+			n.rf = floatLanes(r, ln, n.rf)
+			lf, rf := n.lf, n.rf
+			out.reset(value.KindFloat, ln)
+			switch n.op {
+			case '+':
+				for i := 0; i < ln; i++ {
+					out.Floats[i] = lf[i] + rf[i]
+				}
+			case '-':
+				for i := 0; i < ln; i++ {
+					out.Floats[i] = lf[i] - rf[i]
+				}
+			case '*':
+				for i := 0; i < ln; i++ {
+					out.Floats[i] = lf[i] * rf[i]
+				}
+			}
+		} else {
+			n.li = rawIntLanes(l, ln, n.li)
+			n.ri = rawIntLanes(r, ln, n.ri)
+			li, ri := n.li, n.ri
+			out.reset(value.KindInt, ln)
+			switch n.op {
+			case '+':
+				for i := 0; i < ln; i++ {
+					out.Ints[i] = li[i] + ri[i]
+				}
+			case '-':
+				for i := 0; i < ln; i++ {
+					out.Ints[i] = li[i] - ri[i]
+				}
+			case '*':
+				for i := 0; i < ln; i++ {
+					out.Ints[i] = li[i] * ri[i]
+				}
+			}
+		}
+	}
+	if anyNull {
+		out.Nulls = nulls
+	}
+	return out, nil
+}
+
+type inNode struct {
+	x      node
+	ints   map[int64]struct{}
+	fbit   map[uint64]struct{}
+	strs   map[string]struct{}
+	hasNaN bool
+	neg    bool
+	out    Lanes
+}
+
+// contains mirrors the row engine's Key()-based membership test for a
+// non-NULL value.
+func (n *inNode) contains(v value.V) bool {
+	switch v.K {
+	case value.KindBool, value.KindInt:
+		_, in := n.ints[v.I]
+		return in
+	case value.KindFloat:
+		if iv, ok := integralKey(v.F); ok {
+			_, in := n.ints[iv]
+			return in
+		}
+		if math.IsNaN(v.F) {
+			return n.hasNaN
+		}
+		_, in := n.fbit[math.Float64bits(v.F)]
+		return in
+	case value.KindString:
+		_, in := n.strs[v.S]
+		return in
+	default:
+		return false
+	}
+}
+
+func (n *inNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	x, err := n.x.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	if x.Const {
+		if x.ConstV.IsNull() {
+			return n.out.setConst(value.NewBool(false), ln), nil
+		}
+		return n.out.setConst(value.NewBool(n.contains(x.ConstV) != n.neg), ln), nil
+	}
+	out := &n.out
+	out.reset(value.KindBool, ln)
+	for i := 0; i < ln; i++ {
+		if x.isNull(i) {
+			out.Ints[i] = 0
+			continue
+		}
+		if n.contains(x.Value(i)) != n.neg {
+			out.Ints[i] = 1
+		} else {
+			out.Ints[i] = 0
+		}
+	}
+	return out, nil
+}
+
+type likeNode struct {
+	x       node
+	pattern string
+	neg     bool
+	out     Lanes
+	match   []bool // lazily computed per dictionary entry
+}
+
+func (n *likeNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	x, err := n.x.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	if x.Const {
+		v := x.ConstV
+		if v.IsNull() {
+			return n.out.setConst(value.NewBool(false), ln), nil
+		}
+		if v.K != value.KindString {
+			return nil, fmt.Errorf("expr: LIKE on %s value", v.K)
+		}
+		return n.out.setConst(value.NewBool(expr.LikeMatch(v.S, n.pattern) != n.neg), ln), nil
+	}
+	if x.Kind != value.KindString {
+		// NULL lanes are false; any non-NULL lane raises the row
+		// engine's LIKE type error.
+		for i := 0; i < ln; i++ {
+			if !x.isNull(i) {
+				return nil, fmt.Errorf("expr: LIKE on %s value", x.Kind)
+			}
+		}
+		out := &n.out
+		out.reset(value.KindBool, ln)
+		return out, nil
+	}
+	// The program is bound to one batch, so the column dictionary is
+	// stable: match the pattern once per dictionary entry.
+	if len(n.match) != len(x.Dict) {
+		n.match = make([]bool, len(x.Dict))
+		for di, s := range x.Dict {
+			n.match[di] = expr.LikeMatch(s, n.pattern)
+		}
+	}
+	out := &n.out
+	out.reset(value.KindBool, ln)
+	for i := 0; i < ln; i++ {
+		if x.isNull(i) {
+			out.Ints[i] = 0
+			continue
+		}
+		if n.match[x.Codes[i]] != n.neg {
+			out.Ints[i] = 1
+		} else {
+			out.Ints[i] = 0
+		}
+	}
+	return out, nil
+}
+
+type betweenNode struct {
+	x, lo, hi node
+	neg       bool
+	out       Lanes
+}
+
+func (n *betweenNode) eval(p *Program, sel []int32) (*Lanes, error) {
+	x, err := n.x.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := n.lo.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := n.hi.eval(p, sel)
+	if err != nil {
+		return nil, err
+	}
+	ln := len(sel)
+	out := &n.out
+	if x.Const && lo.Const && hi.Const {
+		v, err := betweenOne(x.ConstV, lo.ConstV, hi.ConstV, n.neg)
+		if err != nil {
+			return nil, err
+		}
+		return out.setConst(v, ln), nil
+	}
+	out.reset(value.KindBool, ln)
+	for i := 0; i < ln; i++ {
+		v, err := betweenOne(x.Value(i), lo.Value(i), hi.Value(i), n.neg)
+		if err != nil {
+			return nil, err
+		}
+		out.Ints[i] = v.I
+	}
+	return out, nil
+}
+
+func betweenOne(xv, lov, hiv value.V, neg bool) (value.V, error) {
+	if xv.IsNull() || lov.IsNull() || hiv.IsNull() {
+		return value.NewBool(false), nil
+	}
+	c1, err := value.Compare(lov, xv)
+	if err != nil {
+		return value.Null, err
+	}
+	c2, err := value.Compare(xv, hiv)
+	if err != nil {
+		return value.Null, err
+	}
+	return value.NewBool((c1 <= 0 && c2 <= 0) != neg), nil
+}

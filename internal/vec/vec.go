@@ -1,0 +1,343 @@
+// Package vec implements the columnar batch layer of the Skalla engine:
+// typed column vectors with null bitmaps, a Batch carrying a
+// relation.Schema, conversion shims to and from the row representation,
+// and compiled column-programs that evaluate expr conditions over
+// selections instead of per-row Eval calls.
+//
+// The row engine in internal/gmdj stays the reference implementation; the
+// vectorized kernels here replicate its value semantics exactly (null
+// handling, short-circuit order, integer overflow wrap, float
+// accumulation order), so the two engines are byte-exact on success and
+// agree on error presence. Anything the kernels cannot express (CASE,
+// function calls, mixed-kind columns) reports ErrUnsupported and the
+// caller falls back to rows.
+package vec
+
+//lint:vecshape exported kernels validate batch/selection shape up front
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// ErrUnsupported reports that a relation or expression cannot be handled
+// by the vectorized engine; callers fall back to the row engine.
+var ErrUnsupported = errors.New("vec: unsupported by vectorized engine")
+
+// Bitmap is a fixed-length bitmap; bit i tracks lane i of a column or
+// selection. The zero value is an empty bitmap of length 0.
+type Bitmap struct {
+	n    int
+	bits []uint64
+}
+
+// NewBitmap returns an all-zero bitmap of n lanes.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, bits: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of lanes.
+func (m *Bitmap) Len() int { return m.n }
+
+// Get reports whether bit i is set.
+func (m *Bitmap) Get(i int) bool { return m.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (m *Bitmap) Set(i int) { m.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (m *Bitmap) Count() int {
+	c := 0
+	for _, w := range m.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Col is one typed column vector. Exactly one payload slice is populated,
+// selected by Kind: Ints for KindInt and KindBool (0/1), Floats for
+// KindFloat, Codes+Dict for dictionary-encoded KindString. Nulls, when
+// non-nil, marks NULL lanes (their payload entries are zero values).
+type Col struct {
+	Kind   value.Kind
+	Ints   []int64
+	Floats []float64
+	Codes  []int32
+	Dict   []string
+	Nulls  *Bitmap
+	// rev maps dictionary strings back to their codes. FromRelation
+	// builds it; hand-assembled columns may leave it nil, in which case
+	// DictCode falls back to a scan.
+	rev map[string]int32
+}
+
+// DictCode returns the dictionary code of s, or false when s does not
+// occur in the column.
+func (c *Col) DictCode(s string) (int32, bool) {
+	if c.rev != nil {
+		code, ok := c.rev[s]
+		return code, ok
+	}
+	for i, d := range c.Dict {
+		if d == s {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of lanes in the column.
+func (c *Col) Len() int {
+	switch c.Kind {
+	case value.KindFloat:
+		return len(c.Floats)
+	case value.KindString:
+		return len(c.Codes)
+	default:
+		return len(c.Ints)
+	}
+}
+
+// IsNull reports whether lane i is NULL.
+func (c *Col) IsNull(i int) bool { return c.Nulls != nil && c.Nulls.Get(i) }
+
+// Value boxes lane i back into a value.V. It allocates nothing: string
+// lanes share the dictionary backing.
+func (c *Col) Value(i int) value.V {
+	if c.IsNull(i) {
+		return value.Null
+	}
+	switch c.Kind {
+	case value.KindBool:
+		return value.V{K: value.KindBool, I: c.Ints[i]}
+	case value.KindInt:
+		return value.NewInt(c.Ints[i])
+	case value.KindFloat:
+		return value.NewFloat(c.Floats[i])
+	case value.KindString:
+		return value.NewString(c.Dict[c.Codes[i]])
+	default:
+		return value.Null
+	}
+}
+
+// Batch is a column-major slice of a relation: a schema plus one Col per
+// schema column, all of the same lane count.
+type Batch struct {
+	Schema *relation.Schema
+	Cols   []Col
+	n      int
+
+	bucketMu sync.Mutex
+	// bucketMemo caches equi-key hash buckets per key-column set; the
+	// memoized maps are immutable once stored, so concurrent probes
+	// share them outside the lock.
+	//
+	//lint:guarded-by bucketMu
+	bucketMemo map[string]map[uint64][]int32
+}
+
+// Len returns the number of rows (lanes) in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Check validates the structural invariants of the batch: one column per
+// schema column, every payload and null bitmap of the batch's lane count.
+// Exported kernels call it (or checkSel) before touching payloads, which
+// the vecshape analyzer enforces.
+func (b *Batch) Check() error {
+	if b.Schema == nil {
+		return fmt.Errorf("vec: batch has no schema")
+	}
+	if len(b.Cols) != b.Schema.Len() {
+		return fmt.Errorf("vec: batch has %d columns, schema %s has %d",
+			len(b.Cols), b.Schema, b.Schema.Len())
+	}
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		if got := c.Len(); got != b.n {
+			return fmt.Errorf("vec: column %d (%s) has %d lanes, batch has %d",
+				i, b.Schema.Cols[i].Name, got, b.n)
+		}
+		if c.Nulls != nil && c.Nulls.Len() != b.n {
+			return fmt.Errorf("vec: column %d (%s) null bitmap has %d lanes, batch has %d",
+				i, b.Schema.Cols[i].Name, c.Nulls.Len(), b.n)
+		}
+		if c.Kind != b.Schema.Cols[i].Kind {
+			return fmt.Errorf("vec: column %d is %s, schema %s declares %s",
+				i, c.Kind, b.Schema.Cols[i].Name, b.Schema.Cols[i].Kind)
+		}
+	}
+	return nil
+}
+
+// checkSel validates that every selection entry indexes a batch lane.
+func (b *Batch) checkSel(sel []int32) error {
+	for _, s := range sel {
+		if int(s) < 0 || int(s) >= b.n {
+			return fmt.Errorf("vec: selection lane %d out of range [0,%d)", s, b.n)
+		}
+	}
+	return nil
+}
+
+// FromRelation converts a row relation into a batch. The conversion is
+// strict: every value must be NULL or match its column's declared kind
+// (a column declared KindNull accepts only NULLs). Mixed-kind columns
+// report ErrUnsupported so the caller can fall back to the row engine.
+func FromRelation(r *relation.Relation) (*Batch, error) {
+	n := len(r.Rows)
+	b := &Batch{Schema: r.Schema, Cols: make([]Col, r.Schema.Len()), n: n}
+	for ci, sc := range r.Schema.Cols {
+		col := &b.Cols[ci]
+		col.Kind = sc.Kind
+		var dict map[string]int32
+		switch sc.Kind {
+		case value.KindInt, value.KindBool:
+			col.Ints = make([]int64, n)
+		case value.KindFloat:
+			col.Floats = make([]float64, n)
+		case value.KindString:
+			col.Codes = make([]int32, n)
+			dict = make(map[string]int32)
+		case value.KindNull:
+			col.Ints = make([]int64, n)
+		default:
+			return nil, fmt.Errorf("%w: column %s has kind %s", ErrUnsupported, sc.Name, sc.Kind)
+		}
+		for i, row := range r.Rows {
+			v := row[ci]
+			if v.IsNull() {
+				if col.Nulls == nil {
+					col.Nulls = NewBitmap(n)
+				}
+				col.Nulls.Set(i)
+				continue
+			}
+			if v.K != sc.Kind {
+				return nil, fmt.Errorf("%w: column %s declared %s holds %s value",
+					ErrUnsupported, sc.Name, sc.Kind, v.K)
+			}
+			switch sc.Kind {
+			case value.KindInt, value.KindBool:
+				col.Ints[i] = v.I
+			case value.KindFloat:
+				col.Floats[i] = v.F
+			case value.KindString:
+				code, ok := dict[v.S]
+				if !ok {
+					code = int32(len(col.Dict))
+					col.Dict = append(col.Dict, v.S)
+					dict[v.S] = code
+				}
+				col.Codes[i] = code
+			}
+		}
+		col.rev = dict
+	}
+	return b, nil
+}
+
+// ToRelation converts a batch back into a row relation — the reverse half
+// of the migration shim, used by tests and row-API consumers.
+func ToRelation(b *Batch) (*relation.Relation, error) {
+	if err := b.Check(); err != nil {
+		return nil, err
+	}
+	out := relation.New(b.Schema)
+	out.Rows = make([]relation.Row, b.n)
+	for i := 0; i < b.n; i++ {
+		row := make(relation.Row, len(b.Cols))
+		for ci := range b.Cols {
+			row[ci] = b.Cols[ci].Value(i)
+		}
+		out.Rows[i] = row
+	}
+	return out, nil
+}
+
+// HashLanes computes, for each selected lane, the chained value hash of
+// the key columns — the same chain relation.HashRow produces for the
+// corresponding row, so batch-side buckets and row-side probes agree.
+// dst must have one entry per selection lane.
+func HashLanes(b *Batch, cols []int, sel []int32, dst []uint64) error {
+	if err := b.Check(); err != nil {
+		return err
+	}
+	if err := b.checkSel(sel); err != nil {
+		return err
+	}
+	if len(dst) != len(sel) {
+		return fmt.Errorf("vec: dst has %d entries, selection has %d", len(dst), len(sel))
+	}
+	for _, ci := range cols {
+		if ci < 0 || ci >= len(b.Cols) {
+			return fmt.Errorf("vec: key column %d out of range", ci)
+		}
+	}
+	// Single string key column: hash each dictionary entry once.
+	if len(cols) == 1 && b.Cols[cols[0]].Kind == value.KindString {
+		c := &b.Cols[cols[0]]
+		dictHash := make([]uint64, len(c.Dict))
+		for di, s := range c.Dict {
+			dictHash[di] = value.UpdateHash(value.HashSeed, value.NewString(s))
+		}
+		nullHash := value.UpdateHash(value.HashSeed, value.Null)
+		for i, lane := range sel {
+			if c.IsNull(int(lane)) {
+				dst[i] = nullHash
+			} else {
+				dst[i] = dictHash[c.Codes[lane]]
+			}
+		}
+		return nil
+	}
+	for i, lane := range sel {
+		h := value.HashSeed
+		for _, ci := range cols {
+			h = value.UpdateHash(h, b.Cols[ci].Value(int(lane)))
+		}
+		dst[i] = h
+	}
+	return nil
+}
+
+// Buckets returns the hash buckets of the given key columns over every
+// lane: bucket lanes stay in scan order, which the byte-exact
+// accumulation order of the GMDJ engines depends on. The result is
+// memoized on the batch — the site engine caches batches across rounds,
+// so repeated rounds and chained operators probing the same key skip
+// rehashing — and is never mutated after it is built, so concurrent
+// probes share it safely.
+func (b *Batch) Buckets(cols []int) (map[uint64][]int32, error) {
+	if err := b.Check(); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprint(cols)
+	b.bucketMu.Lock()
+	defer b.bucketMu.Unlock()
+	if m, ok := b.bucketMemo[key]; ok {
+		return m, nil
+	}
+	sel := make([]int32, b.n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	hashes := make([]uint64, b.n)
+	if err := HashLanes(b, cols, sel, hashes); err != nil {
+		return nil, err
+	}
+	m := make(map[uint64][]int32, b.n)
+	for lane, h := range hashes {
+		m[h] = append(m[h], int32(lane))
+	}
+	if b.bucketMemo == nil {
+		b.bucketMemo = make(map[string]map[uint64][]int32)
+	}
+	b.bucketMemo[key] = m
+	return m, nil
+}

@@ -40,6 +40,9 @@ go test -run '^$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/agg
 echo "== fuzz smoke (sql parser) =="
 go test -run '^$' -fuzz FuzzParse -fuzztime 10s ./internal/sql
 
+echo "== fuzz smoke (vec vs row differential) =="
+go test -run '^$' -fuzz FuzzVecVsRow -fuzztime 10s ./internal/gmdj
+
 echo "== examples =="
 for ex in quickstart ipflows tpcr cube multitier sql; do
     echo "-- examples/$ex"

@@ -126,6 +126,10 @@ type ClusterConfig struct {
 	// Limits applies per-request resource limits at every in-process
 	// site engine; oversized results are refused with ErrOverloaded.
 	Limits Limits
+	// RowEngine forces every in-process site onto the row-at-a-time GMDJ
+	// engine instead of the vectorized default (the -row-engine escape
+	// hatch of the daemons).
+	RowEngine bool
 }
 
 // Cluster is a running distributed data warehouse.
@@ -164,6 +168,9 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 		eng := site.NewEngine(id)
 		eng.SetObs(cfg.Obs)
 		eng.SetLimits(cfg.Limits)
+		if cfg.RowEngine {
+			eng.SetEvalEngine(gmdj.EngineRow)
+		}
 		c.ids = append(c.ids, id)
 		c.engines = append(c.engines, eng)
 		if cfg.UseTCP {
