@@ -78,6 +78,8 @@ func main() {
 	serveQueueTimeout := flag.Duration("serve-queue-timeout", 2*time.Second, "max time a queued query waits for a slot before rejection (0 = bounded only by the request)")
 	serveSiteInflight := flag.Int("serve-site-inflight", 4, "per-site connection-pool size and backpressure-window ceiling in -serve mode")
 	serveQueryTimeout := flag.Duration("serve-query-timeout", 0, "per-query execution bound in -serve mode (0 = none)")
+	serveSlowQuery := flag.Duration("serve-slow-query", 0, "emit a slow-query event (and count serve.slow_queries) for served queries at or above this wall time (0 = disabled)")
+	profile := flag.Bool("profile", false, "tag the execution with a query ID so sites return per-request profiles, and print the EXPLAIN ANALYZE report with timings; also adds timings to EXPLAIN ANALYZE SQL statements")
 	rowEngine := flag.Bool("row-engine", false, "run any in-process GMDJ evaluation on the row-at-a-time reference engine instead of the vectorized default (site processes take their own -row-engine flag)")
 	flag.Parse()
 
@@ -121,6 +123,11 @@ func main() {
 		log.Fatalf("skalla-coord: %v", err)
 	}
 	defer cluster.Close()
+	cluster.AnalyzeTiming = *profile
+	if *profile {
+		// One query per CLI invocation: a fixed ID is unambiguous.
+		cluster.Coordinator().QueryID = "cli-000001"
+	}
 
 	if *debugAddr != "" {
 		dbg, err := obs.ServeDebug(*debugAddr, sink)
@@ -169,6 +176,7 @@ func main() {
 			QueueTimeout:  *serveQueueTimeout,
 			SiteInflight:  *serveSiteInflight,
 			QueryTimeout:  *serveQueryTimeout,
+			SlowQuery:     *serveSlowQuery,
 			Opts:          opts,
 		})
 		return
@@ -184,8 +192,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("skalla-coord: %v", err)
 		}
-		rel.SortBy(rel.Schema.Names()[0])
-		fmt.Print(rel.Format(*maxRows))
+		printSQLResult(rel, *maxRows)
 		writeTrace(sink, *tracePath)
 		return
 	}
@@ -223,7 +230,11 @@ func main() {
 		fmt.Printf("%s\n", out)
 		return
 	}
-	fmt.Print(res.Plan.Explain())
+	if *profile {
+		fmt.Print(skalla.RenderAnalyze(res.Plan, res.Stats, true))
+	} else {
+		fmt.Print(res.Plan.Explain())
+	}
 	fmt.Println()
 	res.Relation.SortBy(q.Keys()...)
 	fmt.Print(res.Relation.Format(*maxRows))
@@ -303,12 +314,26 @@ func runREPL(cluster *skalla.Cluster, opts skalla.Options, maxRows int) {
 				fmt.Println("error:", err)
 				break
 			}
-			rel.SortBy(rel.Schema.Names()[0])
-			fmt.Print(rel.Format(maxRows))
+			printSQLResult(rel, maxRows)
 			fmt.Printf("(%d rows, %s)\n", rel.Len(), time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Print("skalla> ")
 	}
+}
+
+// printSQLResult prints one SQL result. Ordinary relations are sorted on
+// the first column so output is stable regardless of map iteration order;
+// EXPLAIN reports are already ordered and must not be alphabetized, so
+// their lines print verbatim.
+func printSQLResult(rel *skalla.Relation, maxRows int) {
+	if rel.Schema.Len() == 1 && rel.Schema.Names()[0] == skalla.PlanCol {
+		for _, row := range rel.Rows {
+			fmt.Println(row[0].String())
+		}
+		return
+	}
+	rel.SortBy(rel.Schema.Names()[0])
+	fmt.Print(rel.Format(maxRows))
 }
 
 // parseReadyURLs parses "site0=127.0.0.1:8001,site1=127.0.0.1:8002"

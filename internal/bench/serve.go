@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tpcr"
 	"repro/internal/transport"
 	"repro/skalla"
@@ -92,6 +93,16 @@ type ServeResult struct {
 	Elapsed   time.Duration
 	P50       time.Duration
 	P99       time.Duration
+	// ProfileP50 / ProfileP99 are the server-side execution-wall
+	// quantiles from the serve.query_ns histogram that the profiling
+	// pipeline feeds. Unlike P50/P99 (measured at the client, queueing
+	// included) they cover execution only, so the gap between the two
+	// pairs is the admission/queue wait.
+	ProfileP50 time.Duration
+	ProfileP99 time.Duration
+	// Profiled counts the queries the coordinator published a profile
+	// tree for (every served query is QueryID-tagged in serve mode).
+	Profiled int
 }
 
 // QPS is the completed-query throughput over the whole run.
@@ -111,21 +122,26 @@ func (r *ServeResult) String() string {
 		r.Completed, r.Rejected, r.Shed, r.Failed)
 	fmt.Fprintf(&b, "  %.1f qps   p50 %v   p99 %v   elapsed %v\n",
 		r.QPS(), r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  profiles: %d queries   exec p50 %v   exec p99 %v\n",
+		r.Profiled, r.ProfileP50.Round(time.Microsecond), r.ProfileP99.Round(time.Microsecond))
 	return b.String()
 }
 
 // Metrics flattens the run for BENCH_results.json under figure "serve".
 func (r *ServeResult) Metrics() Results {
 	return Results{"serve": {
-		"concurrency": float64(r.Config.Concurrency),
-		"queries":     float64(r.Config.Queries),
-		"completed":   float64(r.Completed),
-		"rejected":    float64(r.Rejected),
-		"shed":        float64(r.Shed),
-		"failed":      float64(r.Failed),
-		"qps":         r.QPS(),
-		"p50_ms":      float64(r.P50) / float64(time.Millisecond),
-		"p99_ms":      float64(r.P99) / float64(time.Millisecond),
+		"concurrency":     float64(r.Config.Concurrency),
+		"queries":         float64(r.Config.Queries),
+		"completed":       float64(r.Completed),
+		"rejected":        float64(r.Rejected),
+		"shed":            float64(r.Shed),
+		"failed":          float64(r.Failed),
+		"qps":             r.QPS(),
+		"p50_ms":          float64(r.P50) / float64(time.Millisecond),
+		"p99_ms":          float64(r.P99) / float64(time.Millisecond),
+		"profile.queries": float64(r.Profiled),
+		"profile.p50_ms":  float64(r.ProfileP50) / float64(time.Millisecond),
+		"profile.p99_ms":  float64(r.ProfileP99) / float64(time.Millisecond),
 	}}
 }
 
@@ -151,7 +167,10 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 // admission, shed by the sites, or failed.
 func ServeExperiment(cfg ServeConfig) (*ServeResult, error) {
 	cfg = cfg.defaults()
-	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: cfg.Sites})
+	// The sink collects the serve-mode profiling pipeline's output:
+	// per-query execution-wall histogram and published profile trees.
+	sink := obs.New()
+	cluster, err := skalla.NewLocalCluster(skalla.ClusterConfig{Sites: cfg.Sites, Obs: sink})
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +242,10 @@ func ServeExperiment(cfg ServeConfig) (*ServeResult, error) {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	res.P50 = percentile(latencies, 50)
 	res.P99 = percentile(latencies, 99)
+	h := sink.Metrics.Histogram("serve.query_ns").Snapshot()
+	res.ProfileP50 = time.Duration(h.Quantile(0.50))
+	res.ProfileP99 = time.Duration(h.Quantile(0.99))
+	res.Profiled = int(sink.Metrics.CounterValue("coord.queries_profiled"))
 	if res.Completed == 0 {
 		return res, fmt.Errorf("bench: serve experiment completed no queries (%d rejected, %d shed, %d failed)",
 			res.Rejected, res.Shed, res.Failed)

@@ -72,6 +72,45 @@ type Coordinator struct {
 	// advisory (an event) — the call proceeds, because a draining replica
 	// sheds with CodeDraining and the Reconnector fails over anyway.
 	Health HealthGate
+	// QueryID, when non-empty, tags every round request with this ID so
+	// sites piggy-back per-request profiles on their responses, and makes
+	// Execute assemble them into ExecStats.Profile (also retained in the
+	// coordinator's profile ring — see TakeProfiles — and published to
+	// Obs.Profiles). Empty leaves requests untagged and wire-identical to
+	// the pre-profiling protocol.
+	QueryID string
+
+	profMu sync.Mutex
+	// profiles retains the last profileRingCap assembled query profiles
+	// until TakeProfiles drains them.
+	//
+	//lint:guarded-by profMu
+	profiles []*QueryProfile
+}
+
+// profileRingCap bounds the coordinator's retained query profiles: a
+// serving daemon that never drains them must not grow without bound.
+const profileRingCap = 16
+
+// storeProfile retains an assembled profile, evicting the oldest beyond
+// the cap.
+func (c *Coordinator) storeProfile(p *QueryProfile) {
+	c.profMu.Lock()
+	defer c.profMu.Unlock()
+	c.profiles = append(c.profiles, p)
+	if len(c.profiles) > profileRingCap {
+		c.profiles = c.profiles[len(c.profiles)-profileRingCap:]
+	}
+}
+
+// TakeProfiles drains and returns the retained query profiles, oldest
+// first.
+func (c *Coordinator) TakeProfiles() []*QueryProfile {
+	c.profMu.Lock()
+	defer c.profMu.Unlock()
+	out := c.profiles
+	c.profiles = nil
+	return out
 }
 
 // HealthGate answers whether a site should receive new work. It is the
@@ -207,6 +246,15 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 	start := time.Now()
 	stats := &ExecStats{}
 
+	// A QueryID-tagged execution assembles a profile tree congruent with
+	// stats: rounds join both at the same points, so the tree's totals
+	// equal ExecStats even on error paths.
+	var qp *QueryProfile
+	if c.QueryID != "" {
+		qp = &QueryProfile{QueryID: c.QueryID}
+		stats.Profile = qp
+	}
+
 	var x *relation.Relation
 	q := plan.Query
 
@@ -240,6 +288,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 			for _, rs := range cp.Rounds {
 				rs.Resumed = true
 				stats.Rounds = append(stats.Rounds, rs)
+				qp.appendResumed(rs)
 			}
 			c.Obs.Count("checkpoint.resumed", 1)
 			c.Obs.Event(obs.EventCheckpoint, "",
@@ -266,8 +315,9 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 	// Round 0: compute and synchronize the base-values relation.
 	if plan.BaseRound && done == 0 {
 		rs := RoundStats{Name: "base"}
+		rp := qp.newRound()
 		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:base", obs.TrackCoordinator)
-		results, err := c.fanout(roundCtx, &rs, tagEpoch, 0, func(cl transport.Client) (*transport.Request, error) {
+		results, err := c.fanout(roundCtx, &rs, rp, tagEpoch, 0, func(cl transport.Client) (*transport.Request, error) {
 			return &transport.Request{
 				Op:        transport.OpEvalBase,
 				Detail:    plan.Detail,
@@ -283,7 +333,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		_, sspan := c.Obs.StartSpanTrack(roundCtx, "sync:base", obs.TrackCoordinator)
 		var parts []*relation.Relation
 		for _, r := range results {
-			accountRound(&rs, r)
+			accountRound(&rs, rp, r)
 			parts = append(parts, r.resp.Rel)
 		}
 		x, err = unionDistinct(parts)
@@ -294,6 +344,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		}
 		rs.CoordTime = time.Since(coordStart)
 		stats.Rounds = append(stats.Rounds, rs)
+		qp.finishRound(rp, rs)
 		done = 1
 		saveCkpt()
 	}
@@ -308,6 +359,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 			continue // completed before the interruption; restored from checkpoint
 		}
 		rs := RoundStats{Name: fmt.Sprintf("step %d", si+1)}
+		rp := qp.newRound()
 		roundCtx, rspan := c.Obs.StartSpanTrack(ctx, "round:"+rs.Name, obs.TrackCoordinator)
 
 		// Collect the step's MDs and aggregate specs.
@@ -376,7 +428,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 
 		// Synchronize: merge primitive states into X keyed on K.
 		_, sspan := c.Obs.StartSpanTrack(roundCtx, "sync:"+rs.Name, obs.TrackCoordinator)
-		merged, mergeTime, err := c.synchronize(x, stream, specs, plan, step.FuseBase, &rs)
+		merged, mergeTime, err := c.synchronize(x, stream, specs, plan, step.FuseBase, &rs, rp)
 		sspan.End()
 		rspan.End()
 		if err != nil {
@@ -385,6 +437,7 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 		x = merged
 		rs.CoordTime = prepTime + mergeTime
 		stats.Rounds = append(stats.Rounds, rs)
+		qp.finishRound(rp, rs)
 		done = seq + 1
 		saveCkpt()
 	}
@@ -417,13 +470,14 @@ func (c *Coordinator) run(ctx context.Context, plan *Plan) (*relation.Relation, 
 // recording coverage in rs. In strict mode any site failure aborts (and
 // cancels the siblings); with AllowPartial the survivors' results are
 // returned and the losses recorded, failing only when nothing survived.
-func (c *Coordinator) fanout(ctx context.Context, rs *RoundStats, epoch string, round int, build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
+func (c *Coordinator) fanout(ctx context.Context, rs *RoundStats, rp *RoundProfile, epoch string, round int, build func(cl transport.Client) (*transport.Request, error)) ([]*siteResult, error) {
 	var results []*siteResult
 	var firstErr error
 	for sr := range c.fanoutStream(ctx, epoch, round, build) {
 		if sr.err != nil {
 			firstErr = betterErr(firstErr, sr.err)
 			rs.Lost = append(rs.Lost, LostSite{Site: sr.site, Err: sr.err.Error()})
+			rp.addLost(sr.site, sr.err)
 			continue
 		}
 		rs.Responded = append(rs.Responded, sr.site)
@@ -493,6 +547,7 @@ func (c *Coordinator) fanoutStream(ctx context.Context, epoch string, round int,
 				return
 			}
 			req.Epoch, req.Round = epoch, round
+			req.QueryID = c.QueryID
 			s0, r0, _, t0 := cl.Stats().Snapshot()
 			_, span := c.Obs.StartSpanTrack(roundCtx, "rpc:"+req.Op.String(), obs.SiteTrack(cl.SiteID()))
 			var resp *transport.Response
@@ -601,8 +656,17 @@ func betterErr(cur, next error) error {
 // the per-round time breakdown, and events for lost sites and degraded
 // results.
 func (c *Coordinator) publishExec(stats *ExecStats, execErr error) {
+	if stats == nil {
+		return
+	}
+	if p := stats.Profile; p != nil {
+		p.WallNs = int64(stats.Wall)
+		p.Partial = stats.Partial()
+		c.storeProfile(p)
+		c.publishProfile(p)
+	}
 	o := c.Obs
-	if o == nil || stats == nil {
+	if o == nil {
 		return
 	}
 	o.Count("coord.queries", 1)
@@ -634,9 +698,58 @@ func (c *Coordinator) publishExec(stats *ExecStats, execErr error) {
 	}
 }
 
+// Straggler events fire only when the skew is both large
+// (stragglerEventRatio: slowest site at N× the round median) and material
+// (stragglerEventMinSite: the slowest site's time itself) — microsecond
+// rounds produce huge ratios out of clock noise, not out of skew.
+const (
+	stragglerEventRatio   = 4.0
+	stragglerEventMinSite = 5 * time.Millisecond
+)
+
+// publishProfile publishes a finished query profile's skew telemetry:
+// per-round straggler and row-imbalance histograms (×1000 fixed point),
+// straggler events for rounds one site dominated, the encoded profile
+// into the obs /profiles ring, and a per-query latency histogram.
+func (c *Coordinator) publishProfile(p *QueryProfile) {
+	o := c.Obs
+	if o == nil {
+		return
+	}
+	o.Count("coord.queries_profiled", 1)
+	o.Observe("profile.query_wall_ns", p.WallNs)
+	for i := range p.Rounds {
+		rp := &p.Rounds[i]
+		if rp.Resumed || len(rp.Sites) == 0 {
+			continue
+		}
+		ratio := rp.StragglerRatio()
+		if ratio > 0 {
+			o.Observe("profile.straggler_x1000", int64(ratio*1000))
+		}
+		if imb := rp.RowImbalance(); imb > 0 {
+			o.Observe("profile.row_imbalance_x1000", int64(imb*1000))
+		}
+		if ratio >= stragglerEventRatio && time.Duration(rp.SiteNs) >= stragglerEventMinSite {
+			o.Event(obs.EventStraggler, rp.SlowestSite(),
+				fmt.Sprintf("site dominated round %s at %.1fx the median", rp.Name, ratio),
+				map[string]string{
+					"query_id": p.QueryID, "round": rp.Name,
+					"ratio_x1000": fmt.Sprint(int64(ratio * 1000)),
+				})
+		}
+	}
+	if b, err := p.JSON(); err == nil {
+		o.AddProfile(b)
+	}
+}
+
 // accountRound folds one site's wire and compute statistics into the
-// round's statistics.
-func accountRound(rs *RoundStats, r *siteResult) {
+// round's statistics, and (when the execution is profiled) appends the
+// matching per-site profile entry — one shared accounting point is what
+// guarantees the profile tree and RoundStats can never disagree.
+func accountRound(rs *RoundStats, rp *RoundProfile, r *siteResult) {
+	rp.addSite(r)
 	rs.BytesToSites += r.sentB
 	rs.BytesFromSites += r.recvB
 	rs.GroupsShipped += r.shipped
@@ -662,7 +775,7 @@ func accountRound(rs *RoundStats, r *siteResult) {
 // the coordinator synchronizes early fragments while slower sites are
 // still computing. It returns the new X and the coordinator time spent
 // merging (excluding time blocked waiting on the stream).
-func (c *Coordinator) synchronize(x *relation.Relation, stream <-chan streamItem, specs []agg.Spec, plan *Plan, fused bool, rs *RoundStats) (*relation.Relation, time.Duration, error) {
+func (c *Coordinator) synchronize(x *relation.Relation, stream <-chan streamItem, specs []agg.Spec, plan *Plan, fused bool, rs *RoundStats, rp *RoundProfile) (*relation.Relation, time.Duration, error) {
 	var mergeTime time.Duration
 	var firstErr error
 
@@ -787,10 +900,11 @@ func (c *Coordinator) synchronize(x *relation.Relation, stream <-chan streamItem
 		if sr.err != nil {
 			firstErr = betterErr(firstErr, sr.err)
 			rs.Lost = append(rs.Lost, LostSite{Site: sr.site, Err: sr.err.Error()})
+			rp.addLost(sr.site, sr.err)
 			continue
 		}
 		t0 := time.Now()
-		accountRound(rs, sr.res)
+		accountRound(rs, rp, sr.res)
 		if mergeErr == nil && (c.AllowPartial || firstErr == nil) {
 			if err := mergeFragment(sr.res); err != nil {
 				mergeErr = err

@@ -1,0 +1,431 @@
+package core
+
+//lint:deterministic profile JSON and EXPLAIN ANALYZE must encode identically run to run
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// QueryProfile is the assembled execution profile of one QueryID-tagged
+// query: a per-round × per-site tree built from the coordinator's own
+// exact wire measurements plus the SiteProfile each site piggy-backed on
+// its round response. Every round's totals are copied from the finalized
+// RoundStats at the moment the round is appended to ExecStats, so the
+// tree's per-round rows/bytes/time totals equal ExecStats byte for byte
+// by construction — the profile is a decomposition of the stats, never a
+// second measurement that could drift.
+type QueryProfile struct {
+	// QueryID is the tag the coordinator propagated on the wire.
+	QueryID string
+	// Rounds mirror ExecStats.Rounds one to one, in execution order.
+	Rounds []RoundProfile
+	// WallNs is the end-to-end wall time (ExecStats.Wall).
+	WallNs int64
+	// Partial marks a degraded execution (ExecStats.Partial).
+	Partial bool
+}
+
+// RoundProfile is one synchronization round of the profile tree. The
+// total fields are verbatim copies of the round's RoundStats; Sites
+// decomposes them per site for live rounds and is empty for rounds
+// restored from a checkpoint (their per-site breakdown died with the
+// interrupted coordinator, only the totals were persisted).
+type RoundProfile struct {
+	Name           string
+	Resumed        bool
+	BytesToSites   int64
+	BytesFromSites int64
+	GroupsShipped  int64
+	GroupsReceived int64
+	SiteNs         int64
+	SiteTotalNs    int64
+	CoordNs        int64
+	CommNs         int64
+	// Sites are the per-site contributions, sorted by site ID.
+	Sites []SiteRoundProfile
+}
+
+// SiteRoundProfile is one site's contribution to one round: the
+// coordinator-side exact wire/compute measurements, plus the site-side
+// capture that rode back on the response (nil when the site predates the
+// QueryID protocol or the site was lost).
+type SiteRoundProfile struct {
+	Site string
+	// Lost marks a site that contributed nothing (degraded rounds only);
+	// Err is its failure. A lost site's numeric fields are all zero, so
+	// the live entries alone sum to the round totals.
+	Lost bool
+	Err  string
+	// BytesSent / BytesRecv are this site's exact wire bytes, measured as
+	// transport-stats deltas around the call.
+	BytesSent int64
+	BytesRecv int64
+	// RowsShipped / RowsReturned count base-result rows moved.
+	RowsShipped  int64
+	RowsReturned int64
+	// ComputeNs is the site's self-reported evaluation time; CommNs the
+	// modeled transfer time of its exchange.
+	ComputeNs int64
+	CommNs    int64
+	// Replays is how many times the round request was re-issued before
+	// this result arrived.
+	Replays int
+	// Remote is the site-side profile piggy-backed on the response.
+	Remote *transport.SiteProfile
+}
+
+// roundProfileFromStats copies a finalized round's totals into a profile
+// round — the byte-exactness contract in one place.
+func roundProfileFromStats(rp *RoundProfile, rs RoundStats) {
+	rp.Name = rs.Name
+	rp.Resumed = rs.Resumed
+	rp.BytesToSites = rs.BytesToSites
+	rp.BytesFromSites = rs.BytesFromSites
+	rp.GroupsShipped = rs.GroupsShipped
+	rp.GroupsReceived = rs.GroupsReceived
+	rp.SiteNs = int64(rs.SiteTime)
+	rp.SiteTotalNs = int64(rs.SiteTimeTotal)
+	rp.CoordNs = int64(rs.CoordTime)
+	rp.CommNs = int64(rs.CommTime)
+}
+
+// newRound opens a live round's profile. Safe on a nil receiver (untagged
+// execution): returns nil, and every downstream append is a no-op.
+func (p *QueryProfile) newRound() *RoundProfile {
+	if p == nil {
+		return nil
+	}
+	return &RoundProfile{}
+}
+
+// finishRound seals a live round: totals are copied from the finalized
+// RoundStats, the per-site entries are sorted by site ID for
+// deterministic encoding, and the round joins the tree. Appending here —
+// at exactly the point the round joins ExecStats.Rounds — is what keeps
+// the tree congruent with the stats on both success and error paths.
+func (p *QueryProfile) finishRound(rp *RoundProfile, rs RoundStats) {
+	if p == nil || rp == nil {
+		return
+	}
+	roundProfileFromStats(rp, rs)
+	sort.Slice(rp.Sites, func(i, j int) bool { return rp.Sites[i].Site < rp.Sites[j].Site })
+	p.Rounds = append(p.Rounds, *rp)
+}
+
+// appendResumed records a checkpoint-restored round: totals only, no
+// per-site breakdown.
+func (p *QueryProfile) appendResumed(rs RoundStats) {
+	if p == nil {
+		return
+	}
+	var rp RoundProfile
+	roundProfileFromStats(&rp, rs)
+	p.Rounds = append(p.Rounds, rp)
+}
+
+// addSite folds one site arrival into the round profile; nil-safe.
+func (rp *RoundProfile) addSite(r *siteResult) {
+	if rp == nil {
+		return
+	}
+	sp := SiteRoundProfile{
+		Site:        r.site,
+		BytesSent:   r.sentB,
+		BytesRecv:   r.recvB,
+		RowsShipped: r.shipped,
+		ComputeNs:   r.computeNs,
+		CommNs:      int64(r.comm),
+		Replays:     r.replays,
+		Remote:      r.resp.Profile,
+	}
+	if r.resp.Rel != nil {
+		sp.RowsReturned = int64(r.resp.Rel.Len())
+	}
+	rp.Sites = append(rp.Sites, sp)
+}
+
+// addLost records a site that contributed nothing; nil-safe.
+func (rp *RoundProfile) addLost(site string, err error) {
+	if rp == nil {
+		return
+	}
+	rp.Sites = append(rp.Sites, SiteRoundProfile{Site: site, Lost: true, Err: err.Error()})
+}
+
+// liveSites returns the non-lost entries.
+func (rp *RoundProfile) liveSites() []SiteRoundProfile {
+	var out []SiteRoundProfile
+	for _, s := range rp.Sites {
+		if !s.Lost {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// StragglerRatio measures how much the round's slowest site dominated:
+// max site compute time over the median site compute time across the
+// live sites. 1.0 means a perfectly balanced round; 0 when fewer than
+// two sites answered or the median is zero (sub-resolution rounds carry
+// no straggler signal).
+func (rp *RoundProfile) StragglerRatio() float64 {
+	live := rp.liveSites()
+	if len(live) < 2 {
+		return 0
+	}
+	ns := make([]int64, len(live))
+	for i, s := range live {
+		ns[i] = s.ComputeNs
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var median float64
+	if n := len(ns); n%2 == 1 {
+		median = float64(ns[n/2])
+	} else {
+		median = float64(ns[n/2-1]+ns[n/2]) / 2
+	}
+	if median <= 0 {
+		return 0
+	}
+	return float64(ns[len(ns)-1]) / median
+}
+
+// SlowestSite returns the live site with the largest compute time (ties
+// break to the lexically first ID, keeping the answer deterministic), or
+// "" when no site answered.
+func (rp *RoundProfile) SlowestSite() string {
+	best := ""
+	var bestNs int64 = -1
+	for _, s := range rp.liveSites() {
+		if s.ComputeNs > bestNs || (s.ComputeNs == bestNs && (best == "" || s.Site < best)) {
+			best, bestNs = s.Site, s.ComputeNs
+		}
+	}
+	return best
+}
+
+// RowImbalance measures data skew: the maximum rows returned by any live
+// site over the mean across live sites. 1.0 is a perfectly even spread;
+// 0 when fewer than two sites answered or no rows came back.
+func (rp *RoundProfile) RowImbalance() float64 {
+	live := rp.liveSites()
+	if len(live) < 2 {
+		return 0
+	}
+	var sum, max int64
+	for _, s := range live {
+		sum += s.RowsReturned
+		if s.RowsReturned > max {
+			max = s.RowsReturned
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(live))
+	return float64(max) / mean
+}
+
+// --- deterministic JSON ---------------------------------------------------
+
+// The JSON shapes follow the statsjson conventions: fixed field order,
+// integer nanoseconds, sorted site lists. Only the *_ns timing fields
+// vary between identical runs.
+
+type remoteProfileJSON struct {
+	Outcome  string `json:"outcome"`
+	WallNs   int64  `json:"wall_ns"`
+	RowsIn   int    `json:"rows_in"`
+	RowsOut  int    `json:"rows_out"`
+	BytesIn  int64  `json:"bytes_in_approx"`
+	BytesOut int64  `json:"bytes_out_approx"`
+	Rounds   int    `json:"rounds"`
+	Engine   string `json:"engine,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	VecBatch int64  `json:"vec_batches"`
+	VecRows  int64  `json:"vec_rows"`
+	VecFRows int64  `json:"vec_filter_rows"`
+	VecSel   int64  `json:"vec_selected"`
+}
+
+type siteRoundProfileJSON struct {
+	Site     string             `json:"site"`
+	Lost     bool               `json:"lost,omitempty"`
+	Err      string             `json:"err,omitempty"`
+	Sent     int64              `json:"bytes_to_site"`
+	Recv     int64              `json:"bytes_from_site"`
+	Shipped  int64              `json:"rows_shipped"`
+	Returned int64              `json:"rows_returned"`
+	Compute  int64              `json:"compute_ns"`
+	Comm     int64              `json:"comm_ns"`
+	Replays  int                `json:"replays,omitempty"`
+	Remote   *remoteProfileJSON `json:"remote,omitempty"`
+}
+
+type roundProfileJSON struct {
+	Name           string                 `json:"name"`
+	Resumed        bool                   `json:"resumed,omitempty"`
+	BytesToSites   int64                  `json:"bytes_to_sites"`
+	BytesFromSites int64                  `json:"bytes_from_sites"`
+	GroupsShipped  int64                  `json:"groups_shipped"`
+	GroupsReceived int64                  `json:"groups_received"`
+	SiteNs         int64                  `json:"site_ns"`
+	SiteTotalNs    int64                  `json:"site_total_ns"`
+	CoordNs        int64                  `json:"coord_ns"`
+	CommNs         int64                  `json:"comm_ns"`
+	StragglerX1000 int64                  `json:"straggler_ratio_x1000,omitempty"`
+	ImbalanceX1000 int64                  `json:"row_imbalance_x1000,omitempty"`
+	Sites          []siteRoundProfileJSON `json:"sites,omitempty"`
+}
+
+type queryProfileJSON struct {
+	QueryID string             `json:"query_id"`
+	WallNs  int64              `json:"wall_ns"`
+	Partial bool               `json:"partial,omitempty"`
+	Rounds  []roundProfileJSON `json:"rounds"`
+}
+
+// JSON renders the profile tree deterministically (statsjson
+// conventions). Scripts diffing profiles byte for byte should mask the
+// *_ns fields, which measure real time.
+func (p *QueryProfile) JSON() ([]byte, error) {
+	out := queryProfileJSON{
+		QueryID: p.QueryID,
+		WallNs:  p.WallNs,
+		Partial: p.Partial,
+		Rounds:  make([]roundProfileJSON, 0, len(p.Rounds)),
+	}
+	for i := range p.Rounds {
+		rp := &p.Rounds[i]
+		jr := roundProfileJSON{
+			Name:           rp.Name,
+			Resumed:        rp.Resumed,
+			BytesToSites:   rp.BytesToSites,
+			BytesFromSites: rp.BytesFromSites,
+			GroupsShipped:  rp.GroupsShipped,
+			GroupsReceived: rp.GroupsReceived,
+			SiteNs:         rp.SiteNs,
+			SiteTotalNs:    rp.SiteTotalNs,
+			CoordNs:        rp.CoordNs,
+			CommNs:         rp.CommNs,
+			StragglerX1000: int64(rp.StragglerRatio() * 1000),
+			ImbalanceX1000: int64(rp.RowImbalance() * 1000),
+		}
+		for _, s := range rp.Sites {
+			js := siteRoundProfileJSON{
+				Site: s.Site, Lost: s.Lost, Err: s.Err,
+				Sent: s.BytesSent, Recv: s.BytesRecv,
+				Shipped: s.RowsShipped, Returned: s.RowsReturned,
+				Compute: s.ComputeNs, Comm: s.CommNs, Replays: s.Replays,
+			}
+			if r := s.Remote; r != nil {
+				js.Remote = &remoteProfileJSON{
+					Outcome: r.Outcome, WallNs: r.WallNs,
+					RowsIn: r.RowsIn, RowsOut: r.RowsOut,
+					BytesIn: r.BytesInApprox, BytesOut: r.BytesOutApprox,
+					Rounds: r.Rounds, Engine: r.Engine, Workers: r.Workers,
+					VecBatch: r.VecBatches, VecRows: r.VecRows,
+					VecFRows: r.VecFilterRows, VecSel: r.VecSelected,
+				}
+			}
+			jr.Sites = append(jr.Sites, js)
+		}
+		out.Rounds = append(out.Rounds, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// --- EXPLAIN ANALYZE ------------------------------------------------------
+
+// AnalyzeOptions controls RenderAnalyze.
+type AnalyzeOptions struct {
+	// Timing includes the measured durations (site/coord/comm/wall times
+	// and the straggler ratio). Off by default: the timing-free output is
+	// fully deterministic for a fixed input, which is what golden tests
+	// and diffable tooling need.
+	Timing bool
+}
+
+// RenderAnalyze renders the EXPLAIN ANALYZE report: the optimizer's plan
+// followed by what actually happened — per-round coverage, exact wire
+// bytes, group movement, and (when the execution was QueryID-tagged) the
+// per-site breakdown with each site's self-reported engine, kernel rows,
+// and outcome. Without AnalyzeOptions.Timing the output contains no
+// clock readings and is deterministic across runs of the same query on
+// the same data, up to the exact wire byte counts (responses carry
+// varint-encoded timing fields, so their measured size can shift by a
+// few bytes run to run).
+func RenderAnalyze(plan *Plan, stats *ExecStats, opt AnalyzeOptions) string {
+	var b strings.Builder
+	b.WriteString(plan.Explain())
+	if stats == nil {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "analyze: %d round(s) executed\n", len(stats.Rounds))
+	for i, r := range stats.Rounds {
+		fmt.Fprintf(&b, "  round %s: %d/%d sites, %d B to sites / %d B from sites, %d groups shipped / %d received",
+			r.Name, len(r.Responded), len(r.Responded)+len(r.Lost),
+			r.BytesToSites, r.BytesFromSites, r.GroupsShipped, r.GroupsReceived)
+		if r.Resumed {
+			b.WriteString(" (resumed)")
+		}
+		if opt.Timing {
+			fmt.Fprintf(&b, ", site(max) %s, coord %s, comm %s",
+				r.SiteTime.Round(time.Microsecond),
+				r.CoordTime.Round(time.Microsecond),
+				r.CommTime.Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+		if stats.Profile == nil || i >= len(stats.Profile.Rounds) {
+			continue
+		}
+		rp := &stats.Profile.Rounds[i]
+		for _, s := range rp.Sites {
+			if s.Lost {
+				fmt.Fprintf(&b, "    %s: lost (%s)\n", s.Site, s.Err)
+				continue
+			}
+			fmt.Fprintf(&b, "    %s: shipped %d rows, returned %d rows", s.Site, s.RowsShipped, s.RowsReturned)
+			if s.Replays > 0 {
+				fmt.Fprintf(&b, ", %d replay(s)", s.Replays)
+			}
+			if r := s.Remote; r != nil {
+				if r.Engine != "" {
+					fmt.Fprintf(&b, ", engine %s", r.Engine)
+				}
+				if r.VecRows > 0 {
+					fmt.Fprintf(&b, ", vec rows %d (selected %d)", r.VecRows, r.VecSelected)
+				}
+				fmt.Fprintf(&b, ", outcome %s", r.Outcome)
+			}
+			if opt.Timing {
+				fmt.Fprintf(&b, ", compute %s", time.Duration(s.ComputeNs).Round(time.Microsecond))
+			}
+			b.WriteByte('\n')
+		}
+		if opt.Timing {
+			if ratio := rp.StragglerRatio(); ratio > 0 {
+				fmt.Fprintf(&b, "    straggler ratio %.2fx (slowest %s)\n", ratio, rp.SlowestSite())
+			}
+		}
+		if imb := rp.RowImbalance(); imb > 0 {
+			fmt.Fprintf(&b, "    row imbalance %.2fx\n", imb)
+		}
+	}
+	fmt.Fprintf(&b, "totals: %d bytes moved, %d groups moved", stats.Bytes(), stats.Groups())
+	if opt.Timing {
+		fmt.Fprintf(&b, ", eval %s, wall %s",
+			stats.EvalTime().Round(time.Microsecond), stats.Wall.Round(time.Microsecond))
+	}
+	if stats.Partial() {
+		fmt.Fprintf(&b, " (PARTIAL: lost %s)", strings.Join(stats.LostSites(), ", "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/transport"
+)
+
+// TestProfileByteExact is the tentpole invariant: a QueryID-tagged
+// execution's profile tree must sum to ExecStats byte for byte — round
+// totals are verbatim copies, and the per-site entries decompose them
+// exactly.
+func TestProfileByteExact(t *testing.T) {
+	coord, cat, _ := cluster(t, testRows(200, 8), 4, true)
+	coord.QueryID = "q-exact"
+	_, stats, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stats.Profile
+	if p == nil {
+		t.Fatal("tagged execution produced no profile")
+	}
+	if p.QueryID != "q-exact" {
+		t.Errorf("profile QueryID = %q", p.QueryID)
+	}
+	if p.WallNs != int64(stats.Wall) {
+		t.Errorf("profile wall = %d, stats wall = %d", p.WallNs, int64(stats.Wall))
+	}
+	assertProfileMatchesStats(t, p, stats)
+	if _, err := p.JSON(); err != nil {
+		t.Fatalf("profile JSON: %v", err)
+	}
+
+	// The coordinator retains the profile for TakeProfiles; draining twice
+	// yields it exactly once.
+	got := coord.TakeProfiles()
+	if len(got) != 1 || got[0] != p {
+		t.Errorf("TakeProfiles = %v, want the one profile", got)
+	}
+	if again := coord.TakeProfiles(); len(again) != 0 {
+		t.Errorf("second TakeProfiles = %v, want empty", again)
+	}
+}
+
+// assertProfileMatchesStats checks every round of the tree against
+// ExecStats: totals equal, per-site entries sum to the totals.
+func assertProfileMatchesStats(t *testing.T, p *QueryProfile, stats *ExecStats) {
+	t.Helper()
+	if len(p.Rounds) != len(stats.Rounds) {
+		t.Fatalf("profile rounds = %d, stats rounds = %d", len(p.Rounds), len(stats.Rounds))
+	}
+	for i, rs := range stats.Rounds {
+		rp := &p.Rounds[i]
+		if rp.Name != rs.Name || rp.Resumed != rs.Resumed {
+			t.Errorf("round %d: name/resumed %q/%v != %q/%v", i, rp.Name, rp.Resumed, rs.Name, rs.Resumed)
+		}
+		if rp.BytesToSites != rs.BytesToSites || rp.BytesFromSites != rs.BytesFromSites ||
+			rp.GroupsShipped != rs.GroupsShipped || rp.GroupsReceived != rs.GroupsReceived ||
+			rp.SiteNs != int64(rs.SiteTime) || rp.SiteTotalNs != int64(rs.SiteTimeTotal) ||
+			rp.CoordNs != int64(rs.CoordTime) || rp.CommNs != int64(rs.CommTime) {
+			t.Errorf("round %q totals diverge from stats:\nprofile %+v\nstats   %+v", rs.Name, *rp, rs)
+		}
+		if rs.Resumed {
+			if len(rp.Sites) != 0 {
+				t.Errorf("resumed round %q carries %d site entries", rs.Name, len(rp.Sites))
+			}
+			continue
+		}
+		var sent, recv, shipped, returned, computeSum, computeMax int64
+		live := 0
+		for j, s := range rp.Sites {
+			if j > 0 && rp.Sites[j-1].Site >= s.Site {
+				t.Errorf("round %q: sites not sorted: %q >= %q", rs.Name, rp.Sites[j-1].Site, s.Site)
+			}
+			if s.Lost {
+				if s.BytesSent != 0 || s.BytesRecv != 0 || s.RowsReturned != 0 {
+					t.Errorf("lost site %q carries nonzero numbers: %+v", s.Site, s)
+				}
+				continue
+			}
+			live++
+			sent += s.BytesSent
+			recv += s.BytesRecv
+			shipped += s.RowsShipped
+			returned += s.RowsReturned
+			computeSum += s.ComputeNs
+			if s.ComputeNs > computeMax {
+				computeMax = s.ComputeNs
+			}
+			if s.Remote == nil {
+				t.Errorf("round %q site %q: no piggy-backed site profile", rs.Name, s.Site)
+			} else {
+				if s.Remote.Outcome != transport.OutcomeOK {
+					t.Errorf("round %q site %q outcome = %q", rs.Name, s.Site, s.Remote.Outcome)
+				}
+				if int64(s.Remote.RowsOut) != s.RowsReturned {
+					t.Errorf("round %q site %q: remote rows_out %d != returned %d",
+						rs.Name, s.Site, s.Remote.RowsOut, s.RowsReturned)
+				}
+			}
+		}
+		if live != len(rs.Responded) {
+			t.Errorf("round %q: %d live entries, %d responded", rs.Name, live, len(rs.Responded))
+		}
+		if sent != rs.BytesToSites || recv != rs.BytesFromSites ||
+			shipped != rs.GroupsShipped || returned != rs.GroupsReceived ||
+			computeSum != int64(rs.SiteTimeTotal) || computeMax != int64(rs.SiteTime) {
+			t.Errorf("round %q: site sums (sent %d recv %d shipped %d returned %d computeSum %d computeMax %d) do not decompose stats %+v",
+				rs.Name, sent, recv, shipped, returned, computeSum, computeMax, rs)
+		}
+	}
+}
+
+// TestUntaggedRunHasNoProfile: without a QueryID the execution must not
+// profile — no tree on the stats, nothing retained.
+func TestUntaggedRunHasNoProfile(t *testing.T) {
+	coord, cat, _ := cluster(t, testRows(60, 3), 2, true)
+	_, stats, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Profile != nil {
+		t.Error("untagged execution grew a profile")
+	}
+	if got := coord.TakeProfiles(); len(got) != 0 {
+		t.Errorf("TakeProfiles = %v, want empty", got)
+	}
+}
+
+// TestConcurrentProfilesNoBleed runs tagged queries concurrently through
+// separate coordinators over the SAME site engines and asserts every
+// profile carries its own QueryID and decomposes its own ExecStats —
+// i.e. no cross-query contamination. Run with -race.
+func TestConcurrentProfilesNoBleed(t *testing.T) {
+	rows := testRows(150, 11)
+	const nSites = 3
+	parts := make([]*relation.Relation, nSites)
+	for i := range parts {
+		parts[i] = relation.New(flowSchema())
+	}
+	for _, row := range rows {
+		s := int(row[0].I) % nSites
+		parts[s].Rows = append(parts[s].Rows, row)
+	}
+	var clients []transport.Client
+	ids := make([]string, nSites)
+	for i := 0; i < nSites; i++ {
+		ids[i] = fmt.Sprintf("site%d", i)
+		eng := site.NewEngine(ids[i])
+		eng.Load("flow", parts[i])
+		clients = append(clients, transport.NewLocalClient(ids[i], eng, transport.CostModel{}))
+	}
+	cat := catalog.New(ids...)
+
+	const queries = 8
+	var wg sync.WaitGroup
+	errs := make([]error, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			coord := NewCoordinator(clients...)
+			coord.QueryID = fmt.Sprintf("conc-%03d", q)
+			coord.Epoch = fmt.Sprintf("e%03d", q)
+			_, stats, _, err := coord.Run(context.Background(), example1(), "flow", Egil{Catalog: cat})
+			if err != nil {
+				errs[q] = err
+				return
+			}
+			p := stats.Profile
+			if p == nil {
+				errs[q] = fmt.Errorf("query %d: no profile", q)
+				return
+			}
+			if p.QueryID != coord.QueryID {
+				errs[q] = fmt.Errorf("query %d: profile carries %q", q, p.QueryID)
+				return
+			}
+			for _, rp := range p.Rounds {
+				for _, s := range rp.Sites {
+					if s.Remote == nil {
+						errs[q] = fmt.Errorf("query %d: site %s has no remote profile", q, s.Site)
+						return
+					}
+				}
+			}
+			// Byte-exactness must hold per query even under contention.
+			sub := &testing.T{}
+			assertProfileMatchesStats(sub, p, stats)
+			if sub.Failed() {
+				errs[q] = fmt.Errorf("query %d: profile does not decompose its own stats", q)
+			}
+		}(q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestRenderAnalyzeGolden pins the timing-free report byte for byte on a
+// handcrafted execution, so renderer drift cannot hide behind real runs.
+func TestRenderAnalyzeGolden(t *testing.T) {
+	plan := &Plan{Detail: "flow", Keys: []string{"SourceAS"}, BaseRound: true}
+	stats := &ExecStats{
+		Rounds: []RoundStats{{
+			Name:           "base",
+			Responded:      []string{"site0", "site1"},
+			BytesToSites:   100,
+			BytesFromSites: 300,
+			GroupsReceived: 12,
+		}},
+		Wall: 5 * time.Millisecond,
+		Profile: &QueryProfile{
+			QueryID: "q-golden",
+			Rounds: []RoundProfile{{
+				Name:           "base",
+				BytesToSites:   100,
+				BytesFromSites: 300,
+				GroupsReceived: 12,
+				Sites: []SiteRoundProfile{
+					{Site: "site0", BytesSent: 50, BytesRecv: 200, RowsReturned: 9,
+						Remote: &transport.SiteProfile{Outcome: transport.OutcomeOK, Engine: "vector",
+							RowsOut: 9, VecRows: 40, VecSelected: 30, Rounds: 1}},
+					{Site: "site1", BytesSent: 50, BytesRecv: 100, RowsReturned: 3, Replays: 1,
+						Remote: &transport.SiteProfile{Outcome: transport.OutcomeOK, Engine: "row",
+							RowsOut: 3, Rounds: 1}},
+				},
+			}},
+		},
+	}
+	got := RenderAnalyze(plan, stats, AnalyzeOptions{})
+	want := plan.Explain() +
+		"analyze: 1 round(s) executed\n" +
+		"  round base: 2/2 sites, 100 B to sites / 300 B from sites, 0 groups shipped / 12 received\n" +
+		"    site0: shipped 0 rows, returned 9 rows, engine vector, vec rows 40 (selected 30), outcome ok\n" +
+		"    site1: shipped 0 rows, returned 3 rows, 1 replay(s), engine row, outcome ok\n" +
+		"    row imbalance 1.50x\n" +
+		"totals: 400 bytes moved, 12 groups moved\n"
+	if got != want {
+		t.Errorf("RenderAnalyze =\n%s\nwant\n%s", got, want)
+	}
+	// The same input must render identically on repeat — the determinism
+	// contract behind golden EXPLAIN ANALYZE output.
+	if again := RenderAnalyze(plan, stats, AnalyzeOptions{}); again != got {
+		t.Error("RenderAnalyze is not deterministic for fixed input")
+	}
+	// Timing mode adds clock readings.
+	timed := RenderAnalyze(plan, stats, AnalyzeOptions{Timing: true})
+	if !strings.Contains(timed, "wall 5ms") || !strings.Contains(timed, "site(max)") {
+		t.Errorf("timed report missing durations:\n%s", timed)
+	}
+}

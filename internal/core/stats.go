@@ -56,6 +56,12 @@ type ExecStats struct {
 	Rounds []RoundStats
 	// Wall is the measured end-to-end wall-clock time of Execute.
 	Wall time.Duration
+	// Profile is the assembled per-round × per-site execution profile
+	// when the coordinator tagged this execution with a QueryID; nil
+	// otherwise. It is deliberately excluded from JSON — the profile has
+	// its own deterministic encoding (QueryProfile.JSON), and keeping it
+	// out preserves the byte stability of existing ExecStats consumers.
+	Profile *QueryProfile
 }
 
 // Partial reports whether any round lost a site, i.e. the result is a

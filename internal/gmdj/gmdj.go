@@ -140,8 +140,14 @@ type SubOpts struct {
 	// GOMAXPROCS. The row engine is always single-threaded.
 	Workers int
 	// Obs, when set, receives the vec.batches / vec.rows /
-	// vec.selectivity counters of the vectorized evaluation.
+	// vec.selectivity counters of the vectorized evaluation. These are
+	// process-global totals; use Stats for per-request numbers.
 	Obs *obs.Obs
+	// Stats, when set, accumulates this evaluation's vectorized kernel
+	// statistics into the pointed-to struct — the per-request scope the
+	// query profiler reports, unlike the global Obs counters. The row
+	// engine leaves it untouched.
+	Stats *vec.Stats
 	// DetailBatch optionally supplies a pre-built columnar batch of the
 	// detail relation (it must have been built from exactly this
 	// relation); nil converts on the fly.

@@ -136,6 +136,12 @@ func evalVec(b, r *relation.Relation, md MD, prims, final, touched bool, opts Su
 			opts.Obs.SetGauge("vec.selectivity", total.Selected*1000/total.FilterRows)
 		}
 	}
+	if opts.Stats != nil {
+		opts.Stats.Batches += total.Batches
+		opts.Stats.Rows += total.Rows
+		opts.Stats.FilterRows += total.FilterRows
+		opts.Stats.Selected += total.Selected
+	}
 	if best >= 0 {
 		return nil, states[best].err, true
 	}

@@ -45,6 +45,12 @@ const (
 	// admission boundary instead of letting it pile onto loaded sites
 	// (fields: reason, running, queued).
 	EventAdmission = "admission"
+	// EventSlowQuery: a profiled query's wall time crossed the slow-query
+	// threshold (fields: query_id, wall_ms, threshold_ms).
+	EventSlowQuery = "slow-query"
+	// EventStraggler: one site dominated a round — its compute time was a
+	// multiple of the round's median (fields: query_id, round, ratio_x1000).
+	EventStraggler = "straggler"
 )
 
 // DefaultEventCap bounds the event log of New.
@@ -138,8 +144,20 @@ func (l *EventLog) ByKind(kind string) []Event {
 	return out
 }
 
-// CountKind returns how many retained events have the given kind.
-func (l *EventLog) CountKind(kind string) int { return len(l.ByKind(kind)) }
+// CountKind returns how many retained events have the given kind. It
+// counts under the lock without copying the ring (ByKind would allocate
+// a full event slice just to take its length).
+func (l *EventLog) CountKind(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.buf {
+		if l.buf[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
 
 // Total returns how many events were ever appended (retained or evicted).
 func (l *EventLog) Total() int64 {

@@ -7,15 +7,19 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
 // DebugServer exposes an Obs over HTTP:
 //
-//	/        index (plain text)
-//	/metrics deterministic JSON snapshot of the registry
-//	/events  JSON array of retained events, oldest first (?kind= filters)
-//	/trace   Chrome trace_event JSON of the retained spans
+//	/             index (plain text)
+//	/metrics      deterministic JSON snapshot of the registry
+//	/events       JSON array of retained events, oldest first (?kind= filters)
+//	/trace        Chrome trace_event JSON of the retained spans
+//	/profiles     JSON array of the last-N execution profiles
+//	/debug/pprof/ the standard Go runtime profiler endpoints
 //
 // It is the backing of the -debug-addr flag on skalla-site and
 // skalla-coord.
@@ -43,6 +47,15 @@ func ServeDebug(addr string, o *Obs) (*DebugServer, error) {
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/profiles", s.handleProfiles)
+	// The stdlib pprof handlers normally self-register on
+	// http.DefaultServeMux; the debug mux is private, so register them
+	// explicitly (same paths the pprof tooling expects).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.server = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
 	//lint:ignore goleak Serve returns when Close closes the listener, ending the goroutine
 	go s.server.Serve(l)
@@ -72,7 +85,7 @@ func (s *DebugServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "skalla debug endpoints:\n  /metrics  deterministic JSON metrics snapshot\n  /events   incident log (?kind=%s|%s|%s|...)\n  /trace    Chrome trace_event JSON (load in chrome://tracing or Perfetto)\n  /healthz  liveness (200 while the process serves)\n  /readyz   readiness (503 while draining)\n",
+	fmt.Fprintf(w, "skalla debug endpoints:\n  /metrics      deterministic JSON metrics snapshot\n  /events       incident log (?kind=%s|%s|%s|...)\n  /trace        Chrome trace_event JSON (load in chrome://tracing or Perfetto)\n  /profiles     last-N execution profiles, oldest first\n  /debug/pprof/ Go runtime profiler (CPU, heap, goroutines)\n  /healthz      liveness (200 while the process serves)\n  /readyz       readiness (503 while draining)\n",
 		EventRetry, EventFailover, EventChaos)
 }
 
@@ -100,6 +113,13 @@ func (s *DebugServer) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Refresh the runtime gauges at scrape time so every snapshot carries
+	// a current picture of the Go runtime without a background sampler.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.obs.SetGauge("runtime.goroutines", int64(runtime.NumGoroutine()))
+	s.obs.SetGauge("runtime.heap_bytes", int64(ms.HeapAlloc))
+	s.obs.SetGauge("runtime.gc_count", int64(ms.NumGC))
 	b, err := s.obs.Metrics.EncodeJSON()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -130,6 +150,12 @@ func (s *DebugServer) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if err := enc.Encode(events); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func (s *DebugServer) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.obs.Profiles.EncodeJSON())
+	w.Write([]byte("\n"))
 }
 
 func (s *DebugServer) handleTrace(w http.ResponseWriter, _ *http.Request) {

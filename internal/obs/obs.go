@@ -22,10 +22,13 @@
 // EventLog.Events, and Tracer.WriteChromeTrace.
 package obs
 
-import "context"
+import (
+	"context"
+	"encoding/json"
+)
 
-// Obs bundles the three observability pillars. Components accept a *Obs
-// and publish through its nil-safe helpers.
+// Obs bundles the observability pillars. Components accept a *Obs and
+// publish through its nil-safe helpers.
 type Obs struct {
 	// Metrics is the counter/gauge/histogram registry.
 	Metrics *Registry
@@ -35,16 +38,21 @@ type Obs struct {
 	Events *EventLog
 	// Health is the readiness state behind /healthz and /readyz.
 	Health *Health
+	// Profiles is the bounded last-N execution-profile ring behind
+	// /profiles (per-query profiles on a coordinator, per-request
+	// profiles on a site).
+	Profiles *ProfileLog
 }
 
-// New returns an Obs with a fresh registry, tracer, event log, and a
-// ready health state.
+// New returns an Obs with a fresh registry, tracer, event log, profile
+// ring, and a ready health state.
 func New() *Obs {
 	return &Obs{
-		Metrics: NewRegistry(),
-		Tracer:  NewTracer(),
-		Events:  NewEventLog(DefaultEventCap),
-		Health:  NewHealth(),
+		Metrics:  NewRegistry(),
+		Tracer:   NewTracer(),
+		Events:   NewEventLog(DefaultEventCap),
+		Health:   NewHealth(),
+		Profiles: NewProfileLog(DefaultProfileCap),
 	}
 }
 
@@ -92,6 +100,15 @@ func (o *Obs) SetReady() {
 		return
 	}
 	o.Health.SetReady()
+}
+
+// AddProfile appends one pre-encoded execution profile to the profile
+// ring. Safe on a nil receiver.
+func (o *Obs) AddProfile(p json.RawMessage) {
+	if o == nil || o.Profiles == nil {
+		return
+	}
+	o.Profiles.Add(p)
 }
 
 // Event appends an incident to the event log. Safe on a nil receiver.

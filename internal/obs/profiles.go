@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+)
+
+// DefaultProfileCap bounds the profile ring of New.
+const DefaultProfileCap = 64
+
+// ProfileLog is a bounded ring of the last N execution profiles, each a
+// pre-encoded JSON document. Producers (the coordinator's query profiles,
+// a site engine's per-request profiles) encode deterministically with the
+// statsjson conventions — fixed field order, integer nanoseconds, sorted
+// site lists — before appending, so the ring itself stays type-agnostic:
+// obs never imports core or transport, and /profiles serves both daemons
+// with one implementation.
+type ProfileLog struct {
+	mu sync.Mutex
+	//lint:guarded-by mu
+	buf []json.RawMessage
+	// head is the index of the oldest entry when full.
+	//
+	//lint:guarded-by mu
+	head int
+	//lint:guarded-by mu
+	total int64
+	//lint:guarded-by mu
+	cap int
+}
+
+// NewProfileLog returns a profile ring evicting beyond capacity
+// (minimum 1).
+func NewProfileLog(capacity int) *ProfileLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ProfileLog{cap: capacity}
+}
+
+// Add appends one encoded profile, evicting the oldest when full. The
+// bytes are retained as-is; callers must not mutate them afterwards.
+func (l *ProfileLog) Add(p json.RawMessage) {
+	if l == nil || len(p) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, p)
+		return
+	}
+	l.buf[l.head] = p
+	l.head = (l.head + 1) % l.cap
+}
+
+// Profiles returns the retained profiles, oldest first.
+func (l *ProfileLog) Profiles() []json.RawMessage {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]json.RawMessage, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+// Len returns how many profiles are retained.
+func (l *ProfileLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Total returns how many profiles were ever added (retained or evicted).
+func (l *ProfileLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// EncodeJSON renders the retained profiles as one JSON array, oldest
+// first. Entries keep their producer's deterministic encoding, so the
+// array is byte-identical across runs up to timing fields.
+func (l *ProfileLog) EncodeJSON() []byte {
+	ps := l.Profiles()
+	var b bytes.Buffer
+	b.WriteString("[")
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("\n")
+		}
+		b.Write(bytes.TrimSpace(p))
+	}
+	if len(ps) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]")
+	return b.Bytes()
+}

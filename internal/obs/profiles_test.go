@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestProfileLogNilSafe(t *testing.T) {
+	var l *ProfileLog
+	l.Add(json.RawMessage(`{"a":1}`))
+	if l.Len() != 0 || l.Total() != 0 || l.Profiles() != nil {
+		t.Error("nil ProfileLog is not inert")
+	}
+	var o *Obs
+	o.AddProfile(json.RawMessage(`{"a":1}`))
+}
+
+func TestProfileLogRing(t *testing.T) {
+	l := NewProfileLog(3)
+	l.Add(nil) // empty entries are dropped, not retained
+	for i := 1; i <= 5; i++ {
+		l.Add(json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+	var got []string
+	for _, p := range l.Profiles() {
+		got = append(got, string(p))
+	}
+	want := []string{`{"n":3}`, `{"n":4}`, `{"n":5}`}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("profile[%d] = %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestProfileLogEncodeJSONGolden pins the /profiles payload byte-for-byte:
+// one array, oldest first, one entry per line, each entry exactly the
+// producer's encoding.
+func TestProfileLogEncodeJSONGolden(t *testing.T) {
+	l := NewProfileLog(4)
+	if got := string(l.EncodeJSON()); got != "[]" {
+		t.Errorf("empty ring = %q, want []", got)
+	}
+	l.Add(json.RawMessage(`{"query_id":"q1","outcome":"ok"}`))
+	l.Add(json.RawMessage("{\n  \"query_id\": \"q2\"\n}\n"))
+	want := "[\n{\"query_id\":\"q1\",\"outcome\":\"ok\"},\n{\n  \"query_id\": \"q2\"\n}\n]"
+	if got := string(l.EncodeJSON()); got != want {
+		t.Errorf("EncodeJSON =\n%s\nwant\n%s", got, want)
+	}
+	var v []map[string]any
+	if err := json.Unmarshal(l.EncodeJSON(), &v); err != nil {
+		t.Fatalf("EncodeJSON is not valid JSON: %v", err)
+	}
+	if len(v) != 2 || v[0]["query_id"] != "q1" || v[1]["query_id"] != "q2" {
+		t.Errorf("decoded profiles = %+v", v)
+	}
+}
+
+// TestProfilesEndpoint serves injected profiles over the debug server and
+// checks the pprof handlers and runtime gauges ride along.
+func TestProfilesEndpoint(t *testing.T) {
+	o := New()
+	o.AddProfile(json.RawMessage(`{"query_id":"serve-000001","wall_ns":12}`))
+	o.AddProfile(json.RawMessage(`{"query_id":"serve-000002","wall_ns":34}`))
+
+	srv, err := ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	want := "[\n{\"query_id\":\"serve-000001\",\"wall_ns\":12},\n{\"query_id\":\"serve-000002\",\"wall_ns\":34}\n]\n"
+	if got := string(get("/profiles")); got != want {
+		t.Errorf("/profiles = %q, want %q", got, want)
+	}
+
+	if body := string(get("/debug/pprof/")); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index does not list profiles: %q", body)
+	}
+
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	if snap.Gauges["runtime.goroutines"] <= 0 {
+		t.Errorf("runtime.goroutines gauge = %d, want > 0", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap_bytes"] <= 0 {
+		t.Errorf("runtime.heap_bytes gauge = %d, want > 0", snap.Gauges["runtime.heap_bytes"])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var zero HistogramSnapshot
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+
+	h := NewRegistry().Histogram("q")
+	for _, v := range []int64{10, 20, 30, 40, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0); got != 10 {
+		t.Errorf("Quantile(0) = %d, want min 10", got)
+	}
+	if got := s.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %d, want max 1000", got)
+	}
+	// Power-of-two buckets: the answer is the bucket upper bound clamped
+	// to the observed range, so quantiles are approximate but ordered.
+	p50, p99 := s.Quantile(0.5), s.Quantile(0.99)
+	if p50 < 10 || p50 > 1000 || p99 < p50 {
+		t.Errorf("p50 = %d, p99 = %d: out of range or inverted", p50, p99)
+	}
+	one := NewRegistry().Histogram("one")
+	one.Observe(42)
+	if got := one.Snapshot().Quantile(0.5); got != 42 {
+		t.Errorf("single-sample Quantile = %d, want 42", got)
+	}
+}
+
+// TestCountKind is the regression test for CountKind allocating a full
+// copy of the ring via ByKind just to count.
+func TestCountKind(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 5; i++ {
+		l.Append(EventRetry, "site0", "retrying", nil)
+	}
+	l.Append(EventFailover, "site1", "failing over", nil)
+	if got := l.CountKind(EventRetry); got != 5 {
+		t.Errorf("CountKind(retry) = %d, want 5", got)
+	}
+	if got := l.CountKind("absent"); got != 0 {
+		t.Errorf("CountKind(absent) = %d, want 0", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() { l.CountKind(EventRetry) })
+	if allocs != 0 {
+		t.Errorf("CountKind allocates %.1f per call, want 0", allocs)
+	}
+}

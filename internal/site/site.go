@@ -12,6 +12,7 @@ package site
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -240,14 +241,45 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.
 	o.Count("site.op."+req.Op.String(), 1)
 	ctx, span := o.StartSpanTrack(ctx, req.Op.String(), obs.SiteTrack(e.id))
 	defer span.End()
+
+	// A QueryID-tagged request gets a per-request execution profile
+	// piggy-backed on its response; untagged requests take none (and pay
+	// for none — the response stays wire-identical).
+	var prof *transport.SiteProfile
+	var profStart time.Time
+	if req.QueryID != "" {
+		prof = &transport.SiteProfile{}
+		profStart = time.Now()
+	}
+
 	if resp := e.replayHit(req); resp != nil {
 		o.Count("site.dedup_hits", 1)
 		o.Event(obs.EventReplay, e.id, "served replayed round from cache",
 			map[string]string{"epoch": req.Epoch, "round": strconv.Itoa(req.Round)})
 		span.SetArg("replay", "cache-hit")
-		return resp
+		// The caller's tagging decides whether a profile rides along, and
+		// the cached response is shared — so clone before retagging. Only
+		// the matching case (untagged caller, profile-free cache entry)
+		// hands out the cached response directly.
+		if prof == nil && resp.Profile == nil {
+			return resp
+		}
+		cp := *resp
+		if prof != nil {
+			if resp.Profile != nil {
+				p := *resp.Profile // the original evaluation's numbers
+				prof = &p
+			}
+			prof.Outcome = transport.OutcomeDedup
+			prof.WallNs = time.Since(profStart).Nanoseconds()
+			cp.Profile = prof
+			e.recordProfile(req, prof)
+		} else {
+			cp.Profile = nil
+		}
+		return &cp
 	}
-	resp, err := e.handle(ctx, req)
+	resp, err := e.handle(ctx, req, prof)
 	if err != nil {
 		o.Count("site.errors", 1)
 		if errors.Is(err, transport.ErrOverloaded) {
@@ -256,13 +288,74 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.
 				map[string]string{"op": req.Op.String(), "error": err.Error()})
 		}
 		span.SetArg("error", err.Error())
-		return &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err), Code: transport.ErrCode(err)}
+		resp := &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err), Code: transport.ErrCode(err)}
+		if prof != nil {
+			prof.Outcome = transport.ErrOutcome(err)
+			prof.WallNs = time.Since(profStart).Nanoseconds()
+			resp.Profile = prof
+			e.recordProfile(req, prof)
+		}
+		return resp
 	}
 	if resp.ComputeNs > 0 {
 		o.Observe("site.compute_ns", resp.ComputeNs)
 	}
+	if prof != nil {
+		prof.Outcome = transport.OutcomeOK
+		prof.WallNs = time.Since(profStart).Nanoseconds()
+		resp.Profile = prof
+		e.recordProfile(req, prof)
+	}
 	e.replayStore(req, resp)
 	return resp
+}
+
+// siteProfileJSON is the deterministic shape of one site-side profile
+// entry in the /profiles ring: fixed field order, integer nanoseconds.
+// Only wall_ns varies between identical runs.
+type siteProfileJSON struct {
+	QueryID  string `json:"query_id"`
+	Site     string `json:"site"`
+	Op       string `json:"op"`
+	Epoch    string `json:"epoch,omitempty"`
+	Round    int    `json:"round"`
+	Outcome  string `json:"outcome"`
+	WallNs   int64  `json:"wall_ns"`
+	RowsIn   int    `json:"rows_in"`
+	RowsOut  int    `json:"rows_out"`
+	BytesIn  int64  `json:"bytes_in_approx"`
+	BytesOut int64  `json:"bytes_out_approx"`
+	Rounds   int    `json:"rounds"`
+	Engine   string `json:"engine,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	VecBatch int64  `json:"vec_batches"`
+	VecRows  int64  `json:"vec_rows"`
+	VecFRows int64  `json:"vec_filter_rows"`
+	VecSel   int64  `json:"vec_selected"`
+}
+
+// recordProfile publishes one tagged request's profile into the obs
+// profile ring (the site daemon's /profiles endpoint) and counters.
+func (e *Engine) recordProfile(req *transport.Request, p *transport.SiteProfile) {
+	o := e.getObs()
+	if o == nil {
+		return
+	}
+	o.Count("site.profiled_requests", 1)
+	b, err := json.MarshalIndent(siteProfileJSON{
+		QueryID: req.QueryID, Site: e.id, Op: req.Op.String(),
+		Epoch: req.Epoch, Round: req.Round,
+		Outcome: p.Outcome, WallNs: p.WallNs,
+		RowsIn: p.RowsIn, RowsOut: p.RowsOut,
+		BytesIn: p.BytesInApprox, BytesOut: p.BytesOutApprox,
+		Rounds: p.Rounds, Engine: p.Engine, Workers: p.Workers,
+		VecBatch: p.VecBatches, VecRows: p.VecRows,
+		VecFRows: p.VecFilterRows, VecSel: p.VecSelected,
+	}, "", "  ")
+	if err != nil {
+		return
+	}
+	o.AddProfile(b)
 }
 
 // replayKey returns the dedup key for an epoch-tagged evaluation request,
@@ -441,7 +534,7 @@ func approxRelBytes(r *relation.Relation) int64 {
 	return n
 }
 
-func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+func (e *Engine) handle(ctx context.Context, req *transport.Request, prof *transport.SiteProfile) (*transport.Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -504,10 +597,10 @@ func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport
 		return &transport.Response{RowCount: n}, nil
 
 	case transport.OpEvalBase:
-		return e.evalBase(req)
+		return e.evalBase(req, prof)
 
 	case transport.OpEvalRounds:
-		return e.evalRounds(ctx, req)
+		return e.evalRounds(ctx, req, prof)
 
 	default:
 		return nil, fmt.Errorf("unknown op %d", req.Op)
@@ -515,7 +608,7 @@ func (e *Engine) handle(ctx context.Context, req *transport.Request) (*transport
 }
 
 // evalBase computes the base-values query over the local detail relation.
-func (e *Engine) evalBase(req *transport.Request) (*transport.Response, error) {
+func (e *Engine) evalBase(req *transport.Request, prof *transport.SiteProfile) (*transport.Response, error) {
 	detail, err := e.Relation(req.Detail)
 	if err != nil {
 		return nil, err
@@ -531,6 +624,10 @@ func (e *Engine) evalBase(req *transport.Request) (*transport.Response, error) {
 	}
 	if err := e.checkLimits(b); err != nil {
 		return nil, err
+	}
+	if prof != nil {
+		prof.RowsOut = b.Len()
+		prof.BytesOutApprox = approxRelBytes(b)
 	}
 	return &transport.Response{Rel: b, ComputeNs: time.Since(start).Nanoseconds()}, nil
 }
@@ -552,7 +649,7 @@ func baseDef(req *transport.Request) (gmdj.BaseDef, error) {
 // computed locally first (Proposition 2 fusion). Multiple rounds evaluate
 // as a local chain without intermediate synchronization (Theorem 5 /
 // Corollary 1); later rounds see the finalized aggregates of earlier ones.
-func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*transport.Response, error) {
+func (e *Engine) evalRounds(ctx context.Context, req *transport.Request, prof *transport.SiteProfile) (*transport.Response, error) {
 	if len(req.Rounds) == 0 {
 		return nil, fmt.Errorf("no rounds")
 	}
@@ -588,6 +685,24 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 	workers := runtime.GOMAXPROCS(0)
 	o.SetGauge("site.eval_workers", int64(workers))
 
+	// Per-request kernel statistics for the query profiler: unlike the
+	// global vec.* counters above, these scope to exactly this request.
+	var vecStats *vec.Stats
+	if prof != nil {
+		vecStats = &vec.Stats{}
+		prof.Rounds = len(req.Rounds)
+		prof.Workers = workers
+		eng := engine
+		if eng == gmdj.EngineAuto {
+			eng = gmdj.DefaultEngine()
+		}
+		prof.Engine = eng.String()
+		if req.Base != nil {
+			prof.RowsIn = req.Base.Len()
+			prof.BytesInApprox = approxRelBytes(req.Base)
+		}
+	}
+
 	for ri, spec := range req.Rounds {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("round %d: %w", ri+1, err)
@@ -606,6 +721,7 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 			Engine:      engine,
 			Workers:     workers,
 			Obs:         o,
+			Stats:       vecStats,
 			DetailBatch: e.detailBatch(spec.Detail, detail),
 		})
 		if err != nil {
@@ -653,6 +769,14 @@ func (e *Engine) evalRounds(ctx context.Context, req *transport.Request) (*trans
 		o.Count("site.groups_in", int64(req.Base.Len()))
 	}
 	o.Count("site.groups_out", int64(out.Len()))
+	if prof != nil {
+		prof.RowsOut = out.Len()
+		prof.BytesOutApprox = approxRelBytes(out)
+		prof.VecBatches = vecStats.Batches
+		prof.VecRows = vecStats.Rows
+		prof.VecFilterRows = vecStats.FilterRows
+		prof.VecSelected = vecStats.Selected
+	}
 	return &transport.Response{Rel: out, ComputeNs: time.Since(start).Nanoseconds()}, nil
 }
 

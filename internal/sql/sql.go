@@ -4,6 +4,7 @@
 //
 // Supported statement shape:
 //
+//	[EXPLAIN [ANALYZE]]
 //	SELECT <cols and aggregates>
 //	FROM <relation>
 //	[WHERE <condition over detail columns>]
@@ -32,6 +33,12 @@ import (
 
 // Statement is a parsed and translated SQL query.
 type Statement struct {
+	// Explain marks an EXPLAIN-prefixed statement: the caller should plan
+	// the query and render the plan instead of executing it.
+	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: plan, execute, and render the plan
+	// together with the measured per-round/per-site execution profile.
+	Analyze bool
 	// Detail is the FROM relation.
 	Detail string
 	// GroupCols are the grouping (or cube dimension) columns.
@@ -317,6 +324,11 @@ func splitTopLevel(s string) []string {
 }
 
 func (p *parser) parse() (*Statement, error) {
+	explain, analyze := false, false
+	if p.acceptWord("EXPLAIN") {
+		explain = true
+		analyze = p.acceptWord("ANALYZE")
+	}
 	if err := p.expectWord("SELECT"); err != nil {
 		return nil, err
 	}
@@ -332,7 +344,7 @@ func (p *parser) parse() (*Statement, error) {
 		return nil, fmt.Errorf("sql: expected relation name after FROM, found %q", fromTok.text)
 	}
 
-	st := &Statement{Detail: fromTok.text}
+	st := &Statement{Explain: explain, Analyze: analyze, Detail: fromTok.text}
 
 	if p.acceptWord("WHERE") {
 		raw := p.collectUntilClause()

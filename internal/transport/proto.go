@@ -195,6 +195,14 @@ type Request struct {
 	// coordinator sends a deterministic request per (epoch, round, site),
 	// so sites may answer a repeat from cache instead of recomputing.
 	Round int
+
+	// QueryID, when non-empty, asks the site to profile this request and
+	// piggy-back a SiteProfile on the response; the coordinator assembles
+	// the per-site profiles into a per-query execution profile tree. Like
+	// Epoch/Round, the zero value keeps untagged requests wire-identical
+	// to the pre-profiling encoding (gob omits zero-valued fields), so
+	// profiling is strictly opt-in per query.
+	QueryID string
 }
 
 // Response is the single wire response envelope. Every field must survive
@@ -217,6 +225,77 @@ type Response struct {
 	// reported so the harness can break down evaluation time like the
 	// paper's Fig. 5.
 	ComputeNs int64
+	// Profile is the site's per-request execution profile, attached only
+	// when the request carried a QueryID (nil otherwise, which gob omits,
+	// keeping untagged exchanges wire-identical).
+	Profile *SiteProfile
+}
+
+// SiteProfile is one site's per-request execution profile, piggy-backed
+// on the response of a QueryID-tagged request. It scopes to exactly this
+// request what the obs registry only reports process-globally (vec.*
+// kernel counters, compute histograms), so concurrent queries never bleed
+// into each other's numbers. Byte counts are cheap payload estimates
+// (the coordinator measures exact wire bytes on its side of the link).
+type SiteProfile struct {
+	// WallNs is the site-side wall time handling the request, including
+	// parse and limit checks (ComputeNs covers only evaluation).
+	WallNs int64
+	// RowsIn counts base-structure rows received with the request;
+	// RowsOut counts result rows returned.
+	RowsIn  int
+	RowsOut int
+	// BytesInApprox / BytesOutApprox estimate the base and result
+	// relation payload sizes (8 bytes per scalar plus string lengths) —
+	// an estimate, not exact wire bytes.
+	BytesInApprox  int64
+	BytesOutApprox int64
+	// Rounds is how many GMDJ rounds were evaluated locally (chained
+	// local evaluation runs several per request).
+	Rounds int
+	// Engine names the configured evaluation engine ("vector" or
+	// "row"). The vector engine may still fall back to rows for
+	// relations outside the kernels' reach; zero VecBatches with
+	// non-zero RowsOut signals that.
+	Engine string
+	// Workers is the evaluation parallelism used for this request.
+	Workers int
+	// VecBatches / VecRows / VecFilterRows / VecSelected are the
+	// vectorized kernel statistics of this request alone.
+	VecBatches    int64
+	VecRows       int64
+	VecFilterRows int64
+	VecSelected   int64
+	// Outcome classifies how the request ended: "ok", "dedup" (answered
+	// from the replay cache), "overloaded", "draining", or "error".
+	Outcome string
+}
+
+// SiteProfile.Outcome values.
+const (
+	// OutcomeOK: the request evaluated normally.
+	OutcomeOK = "ok"
+	// OutcomeDedup: the response was served from the replay-dedup cache;
+	// the profile numbers describe the original evaluation.
+	OutcomeDedup = "dedup"
+	// OutcomeOverloaded / OutcomeDraining: the site shed the request.
+	OutcomeOverloaded = "overloaded"
+	OutcomeDraining   = "draining"
+	// OutcomeError: the request failed with a plain site-side error.
+	OutcomeError = "error"
+)
+
+// ErrOutcome classifies an error chain into a profile outcome, mirroring
+// ErrCode's sentinel mapping.
+func ErrOutcome(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return OutcomeOverloaded
+	case errors.Is(err, ErrDraining):
+		return OutcomeDraining
+	default:
+		return OutcomeError
+	}
 }
 
 // Error converts a Response error field back into a Go error. Classified

@@ -78,6 +78,138 @@ func TestResponseGobRoundTrip(t *testing.T) {
 	}
 }
 
+// legacyRequest mirrors the Request field set before the QueryID
+// profiling tag existed; legacyResponse mirrors Response before the
+// Profile payload. Gob matches struct fields by name (unknown fields are
+// skipped, missing ones stay zero), so these stand in for a site or
+// coordinator running the previous protocol version.
+type legacyRequest struct {
+	Op        Op
+	Rel       string
+	Data      *relation.Relation
+	Gen       *GenSpec
+	BaseCols  []string
+	BaseWhere string
+	Detail    string
+	Base      *relation.Relation
+	Rounds    []RoundSpec
+	KeepFinal bool
+	Keys      []string
+	Epoch     string
+	Round     int
+}
+
+type legacyResponse struct {
+	Err       string
+	Code      int
+	Rel       *relation.Relation
+	RowCount  int
+	ComputeNs int64
+}
+
+// TestUntaggedWireCompat verifies the compatibility rule of the QueryID
+// field: untagged requests interoperate with the previous protocol
+// version in both directions (gob omits zero-valued fields from the
+// value encoding, so an untagged request ships no profiling bytes), and
+// a response without a profile decodes cleanly on either side.
+func TestUntaggedWireCompat(t *testing.T) {
+	req := &Request{
+		Op: OpEvalRounds, Detail: "flow",
+		BaseCols: []string{"SourceAS"}, BaseWhere: "F.NumBytes > 0",
+		Rounds: []RoundSpec{{Detail: "flow", Aggs: [][]string{{"count(*) AS c"}},
+			Thetas: []string{"F.SourceAS = B.SourceAS"}}},
+		Epoch: "e1", Round: 2,
+	}
+
+	// New coordinator → old site: the untagged request decodes into the
+	// legacy field set with nothing lost and nothing extra.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	untaggedLen := buf.Len()
+	var oldSite legacyRequest
+	if err := gob.NewDecoder(&buf).Decode(&oldSite); err != nil {
+		t.Fatalf("legacy decode of untagged request: %v", err)
+	}
+	if oldSite.Op != req.Op || oldSite.Detail != req.Detail || oldSite.Epoch != "e1" ||
+		oldSite.Round != 2 || !reflect.DeepEqual(oldSite.Rounds, req.Rounds) {
+		t.Errorf("legacy site saw different request: %+v", oldSite)
+	}
+
+	// Old coordinator → new site: a legacy request decodes with an empty
+	// QueryID, i.e. profiling stays off.
+	buf.Reset()
+	old := &legacyRequest{Op: OpEvalBase, Detail: "flow", BaseCols: []string{"SourceAS"}, Epoch: "e2"}
+	if err := gob.NewEncoder(&buf).Encode(old); err != nil {
+		t.Fatalf("encode legacy: %v", err)
+	}
+	var newSite Request
+	if err := gob.NewDecoder(&buf).Decode(&newSite); err != nil {
+		t.Fatalf("decode legacy request: %v", err)
+	}
+	if newSite.QueryID != "" || newSite.Epoch != "e2" || newSite.Op != OpEvalBase {
+		t.Errorf("legacy request decoded wrong: %+v", newSite)
+	}
+
+	// Tagging is the only thing that costs bytes: the same request with a
+	// QueryID encodes strictly longer, so untagged executions pay nothing.
+	buf.Reset()
+	tagged := *req
+	tagged.QueryID = "q1"
+	if err := gob.NewEncoder(&buf).Encode(&tagged); err != nil {
+		t.Fatalf("encode tagged: %v", err)
+	}
+	if buf.Len() <= untaggedLen {
+		t.Errorf("tagged request (%d bytes) not longer than untagged (%d)", buf.Len(), untaggedLen)
+	}
+
+	// Response side: a profile-free response decodes into the legacy
+	// shape, and a legacy response decodes with a nil Profile.
+	buf.Reset()
+	resp := &Response{Rel: sampleRelation(3), RowCount: 3, ComputeNs: 99}
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatalf("encode response: %v", err)
+	}
+	var oldCoord legacyResponse
+	if err := gob.NewDecoder(&buf).Decode(&oldCoord); err != nil {
+		t.Fatalf("legacy decode of response: %v", err)
+	}
+	if oldCoord.ComputeNs != 99 || oldCoord.Rel.Len() != 3 {
+		t.Errorf("legacy coordinator saw different response: %+v", oldCoord)
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&legacyResponse{RowCount: 7}); err != nil {
+		t.Fatalf("encode legacy response: %v", err)
+	}
+	var newCoord Response
+	if err := gob.NewDecoder(&buf).Decode(&newCoord); err != nil {
+		t.Fatalf("decode legacy response: %v", err)
+	}
+	if newCoord.Profile != nil || newCoord.RowCount != 7 {
+		t.Errorf("legacy response decoded wrong: %+v", newCoord)
+	}
+}
+
+// TestSiteProfileGobRoundTrip: a tagged exchange carries the profile
+// payload intact.
+func TestSiteProfileGobRoundTrip(t *testing.T) {
+	resp := &Response{
+		Rel: sampleRelation(2), ComputeNs: 50,
+		Profile: &SiteProfile{
+			WallNs: 60, RowsIn: 10, RowsOut: 2,
+			BytesInApprox: 160, BytesOutApprox: 32,
+			Rounds: 2, Engine: "vec", Workers: 4,
+			VecBatches: 3, VecRows: 3000, VecFilterRows: 1000, VecSelected: 400,
+			Outcome: OutcomeOK,
+		},
+	}
+	back := gobRoundTrip(t, resp)
+	if !reflect.DeepEqual(back.Profile, resp.Profile) {
+		t.Errorf("profile lost on the wire: %+v", back.Profile)
+	}
+}
+
 // TestValueGobProperty: arbitrary values survive the wire exactly.
 func TestValueGobProperty(t *testing.T) {
 	f := func(kind uint8, i int64, fl float64, s string) bool {

@@ -5,6 +5,7 @@
 //
 //	jsoncheck out.json
 //	jsoncheck -url http://127.0.0.1:9101/metrics -require counters
+//	jsoncheck -url http://127.0.0.1:9101/debug/pprof/ -raw
 //	skalla-coord ... -stats-json | jsoncheck -require rounds -
 package main
 
@@ -22,6 +23,7 @@ import (
 func main() {
 	url := flag.String("url", "", "fetch the JSON from this HTTP URL instead of a file")
 	require := flag.String("require", "", "comma-separated list of dotted paths that must exist (e.g. counters,rounds.0.name)")
+	raw := flag.Bool("raw", false, "only require a non-empty 200 response; skip JSON parsing (for non-JSON debug endpoints like /debug/pprof/)")
 	flag.Parse()
 
 	data, src, err := input(*url, flag.Arg(0))
@@ -30,6 +32,10 @@ func main() {
 	}
 	if len(data) == 0 {
 		fatal("%s: empty response", src)
+	}
+	if *raw {
+		fmt.Printf("jsoncheck ok (raw): %s (%d bytes)\n", src, len(data))
+		return
 	}
 	var v any
 	if err := json.Unmarshal(data, &v); err != nil {

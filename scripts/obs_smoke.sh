@@ -42,14 +42,16 @@ for i in $(seq 1 50); do
     sleep 0.1
 done
 
-echo "== run query (stats JSON + trace) =="
+echo "== run query (stats JSON + trace, profiled) =="
+# -profile tags the execution with a query ID, so each site records a
+# per-request profile and serves it on /profiles below.
 "$WORK/skalla-coord" \
     -sites "$S1,$S2" \
     -generate tpcr -rows 4000 -customers 200 \
     -base CustName \
     -md "count(*) AS cnt1, avg(F.Quantity) AS avg1 ; F.CustName = B.CustName" \
     -md "count(*) AS cnt2 ; F.CustName = B.CustName AND F.Quantity >= B.avg1" \
-    -stats-json -trace "$WORK/trace.json" \
+    -profile -stats-json -trace "$WORK/trace.json" \
     >"$WORK/stats.json" 2>"$WORK/coord.log"
 
 echo "== validate coordinator artifacts =="
@@ -63,5 +65,15 @@ echo "== validate site debug endpoints =="
 "$WORK/jsoncheck" -url "http://$D2/metrics" -require counters,counters.site.rounds_served
 "$WORK/jsoncheck" -url "http://$D1/events"
 "$WORK/jsoncheck" -url "http://$D1/trace" -require traceEvents
+
+echo "== validate per-request profiles =="
+# The query above was QueryID-tagged, so both sites must have recorded
+# at least one per-request profile.
+"$WORK/jsoncheck" -url "http://$D1/profiles" -require 0.query_id,0.outcome,0.wall_ns
+"$WORK/jsoncheck" -url "http://$D2/profiles" -require 0.query_id,0.outcome,0.wall_ns
+
+echo "== validate pprof and runtime gauges =="
+"$WORK/jsoncheck" -url "http://$D1/debug/pprof/" -raw
+"$WORK/jsoncheck" -url "http://$D1/metrics" -require gauges,gauges.runtime.goroutines,gauges.runtime.heap_bytes
 
 echo "observability smoke passed"

@@ -1,0 +1,107 @@
+package skalla
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// planText extracts the rendered report from an EXPLAIN result relation.
+func planText(t *testing.T, rel *Relation) string {
+	t.Helper()
+	if rel.Schema.Len() != 1 || rel.Schema.Names()[0] != PlanCol {
+		t.Fatalf("EXPLAIN schema = %s, want single %q column", rel.Schema, PlanCol)
+	}
+	var lines []string
+	for _, row := range rel.Rows {
+		lines = append(lines, row[0].S)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainSQL(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	rel, err := cluster.SQL("EXPLAIN SELECT Region, count(*) AS n FROM sales GROUP BY Region", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := planText(t, rel)
+	if !strings.HasPrefix(out, "plan:") {
+		t.Errorf("EXPLAIN output does not start with the plan:\n%s", out)
+	}
+	if strings.Contains(out, "analyze:") {
+		t.Errorf("plain EXPLAIN executed the query:\n%s", out)
+	}
+}
+
+// wireBytes masks the measured wire byte counts: responses carry varint
+// timing fields (ComputeNs, profile WallNs), so the exact byte totals can
+// shift by the varint width between otherwise identical runs. Everything
+// else in the timing-free report is deterministic and compared verbatim.
+var wireBytes = regexp.MustCompile(`\d+ (B to sites|B from sites|bytes moved)`)
+
+func maskWireBytes(s string) string { return wireBytes.ReplaceAllString(s, "# $1") }
+
+// TestExplainAnalyzeGolden pins the timing-free EXPLAIN ANALYZE report on
+// a fixed dataset: the report must be identical across repeated
+// executions (up to masked wire byte counts), and its analyze section
+// must carry the per-site breakdown with the sites' self-reported
+// outcomes.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	const stmt = "EXPLAIN ANALYZE SELECT Region, count(*) AS n, sum(Sales) AS total FROM sales GROUP BY Region"
+	first, err := cluster.SQL(stmt, AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := planText(t, first)
+	for _, want := range []string{
+		"plan:",
+		"analyze:",
+		"round step 1:",
+		"site0: shipped",
+		"site1: shipped",
+		"outcome ok",
+		"totals:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+	// Timing off (the default): no clock readings anywhere.
+	for _, banned := range []string{"wall", "compute", "site(max)"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("timing-free report leaks %q:\n%s", banned, out)
+		}
+	}
+	masked := maskWireBytes(out)
+	for i := 0; i < 3; i++ {
+		again, err := cluster.SQL(stmt, AllOptimizations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rerun := maskWireBytes(planText(t, again)); rerun != masked {
+			t.Fatalf("EXPLAIN ANALYZE not deterministic:\nfirst:\n%s\nrerun:\n%s", masked, rerun)
+		}
+	}
+}
+
+func TestExplainAnalyzeTiming(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	cluster.AnalyzeTiming = true
+	rel, err := cluster.SQL("EXPLAIN ANALYZE SELECT Region, count(*) AS n FROM sales GROUP BY Region", AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := planText(t, rel)
+	if !strings.Contains(out, "site(max)") || !strings.Contains(out, "wall") {
+		t.Errorf("AnalyzeTiming report missing durations:\n%s", out)
+	}
+}
+
+func TestExplainCubeRejected(t *testing.T) {
+	cluster, _ := cubeCluster(t)
+	if _, err := cluster.SQL("EXPLAIN SELECT Region, count(*) AS n FROM sales CUBE BY Region", AllOptimizations); err == nil {
+		t.Error("EXPLAIN over CUBE BY did not error")
+	}
+}

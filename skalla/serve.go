@@ -47,6 +47,9 @@ type ServeConfig struct {
 	SiteInflight int
 	// QueryTimeout bounds each query's whole execution (0 = none).
 	QueryTimeout time.Duration
+	// SlowQuery, when positive, emits an obs slow-query event (and counts
+	// "serve.slow_queries") for every query whose wall time reaches it.
+	SlowQuery time.Duration
 	// Opts selects the distributed optimizations (default all).
 	Opts Options
 }
@@ -158,16 +161,32 @@ func (s *QueryService) Query(ctx context.Context, query string) (*Relation, erro
 	coord.Replays = base.Replays
 	coord.Health = base.Health
 	coord.Epoch = s.sched.NextEpoch("serve")
+	// The unique serve epoch doubles as the query ID: every served query
+	// is profiled, its profile tree published to the shared obs sink
+	// (/profiles on the coordinator daemon) by the coordinator itself.
+	coord.QueryID = coord.Epoch
 
-	view := &Cluster{ids: s.cluster.ids, clients: clients, coord: coord, cat: s.cluster.cat, obs: s.cluster.obs}
+	view := &Cluster{AnalyzeTiming: s.cluster.AnalyzeTiming, ids: s.cluster.ids, clients: clients, coord: coord, cat: s.cluster.cat, obs: s.cluster.obs}
 	start := time.Now()
 	rel, err := view.SQLContext(ctx, query, s.cfg.Opts)
-	s.obs.Observe("serve.query_ns", time.Since(start).Nanoseconds())
+	wall := time.Since(start)
+	s.obs.Observe("serve.query_ns", wall.Nanoseconds())
+	if s.cfg.SlowQuery > 0 && wall >= s.cfg.SlowQuery {
+		s.obs.Count("serve.slow_queries", 1)
+		s.obs.Event(obs.EventSlowQuery, "", "query exceeded the slow-query threshold",
+			map[string]string{
+				"query_id":     coord.QueryID,
+				"wall_ms":      fmt.Sprint(wall.Milliseconds()),
+				"threshold_ms": fmt.Sprint(s.cfg.SlowQuery.Milliseconds()),
+			})
+	}
 	if err != nil {
 		s.obs.Count("serve.queries_failed", 1)
 		return nil, err
 	}
-	if len(st.OrderBy) == 0 {
+	// Explain output is a pre-ordered report, never sorted; everything
+	// else without an ORDER BY is sorted for deterministic result bytes.
+	if len(st.OrderBy) == 0 && !st.Explain {
 		if err := rel.SortBy(rel.Schema.Names()...); err != nil {
 			return nil, err
 		}

@@ -134,6 +134,12 @@ type ClusterConfig struct {
 
 // Cluster is a running distributed data warehouse.
 type Cluster struct {
+	// AnalyzeTiming makes EXPLAIN ANALYZE include measured durations
+	// (site/coord/comm times, straggler ratios, wall time). Off by
+	// default so the report is deterministic for a fixed input — the
+	// -profile flag of skalla-coord turns it on.
+	AnalyzeTiming bool
+
 	ids     []string
 	clients []transport.Client
 	coord   *core.Coordinator
@@ -391,11 +397,12 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 		return nil, fmt.Errorf("skalla: subset of %d from %d sites", n, len(c.clients))
 	}
 	sub := &Cluster{
-		ids:     c.ids[:n],
-		clients: c.clients[:n],
-		engines: c.engines[:n],
-		cat:     c.cat,
-		obs:     c.obs,
+		AnalyzeTiming: c.AnalyzeTiming,
+		ids:           c.ids[:n],
+		clients:       c.clients[:n],
+		engines:       c.engines[:n],
+		cat:           c.cat,
+		obs:           c.obs,
 	}
 	if len(c.dialers) >= n {
 		sub.dialers = c.dialers[:n]
@@ -522,7 +529,7 @@ func (c *Cluster) Session() (*Cluster, error) {
 	if len(c.leafClients) > 0 {
 		return nil, fmt.Errorf("skalla: sessions over multi-tier clusters are not supported")
 	}
-	s := &Cluster{ids: c.ids, engines: c.engines, cat: c.cat, obs: c.obs}
+	s := &Cluster{AnalyzeTiming: c.AnalyzeTiming, ids: c.ids, engines: c.engines, cat: c.cat, obs: c.obs}
 	for i, eng := range c.engines {
 		lc := transport.NewLocalClient(c.ids[i], eng, CostModel{})
 		lc.SetObs(c.obs)

@@ -31,6 +31,9 @@ func (c *Cluster) SQLContext(ctx context.Context, query string, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
+	if st.Explain {
+		return c.sqlExplain(ctx, st, opts)
+	}
 
 	var rel *Relation
 	switch {
