@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, ablation, tree, serve, vec, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, ablation, tree, serve, vec, tail, or all")
 	sites := flag.Int("sites", 8, "number of warehouse sites")
 	rows := flag.Int("rows", 48000, "total TPCR rows")
 	customers := flag.Int("customers", 4000, "high-cardinality group count (paper: 100000)")
@@ -38,7 +38,38 @@ func main() {
 	queries := flag.Int("queries", 64, "serve experiment: total queries to issue")
 	vecMinSpeedup := flag.Float64("vec-min-speedup", 0,
 		"vec experiment: fail unless the best kernel-level vec/row speedup reaches this factor (0 disables the guard)")
+	tailQueries := flag.Int("tail-queries", 40, "tail experiment: executions per variant")
+	tailP := flag.Float64("tail-p", 0.12, "tail experiment: per-call straggler probability")
+	tailDelay := flag.Duration("tail-delay", 50*time.Millisecond, "tail experiment: injected straggler latency")
+	hedgeDelay := flag.Duration("hedge-delay", 5*time.Millisecond, "tail experiment: fixed hedge trigger delay")
+	tailMinSpeedup := flag.Float64("tail-min-speedup", 0,
+		"tail experiment: fail unless hedging improves p99 latency by this factor (0 disables the guard)")
 	flag.Parse()
+
+	// The tail experiment builds its own chaos-injected cluster pair; it
+	// does not need the TPCR harness below.
+	if *experiment == "tail" {
+		r, err := bench.TailExperiment(bench.TailConfig{
+			Sites: *sites, Rows: *rows, Seed: *seed,
+			Queries: *tailQueries, TailP: *tailP, TailDelay: *tailDelay,
+			HedgeDelay: *hedgeDelay,
+		})
+		if err != nil {
+			log.Fatalf("skalla-bench: %v", err)
+		}
+		fmt.Print(r)
+		if *jsonPath != "" {
+			if err := r.Metrics().WriteFile(*jsonPath); err != nil {
+				log.Fatalf("skalla-bench: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
+		if *tailMinSpeedup > 0 && r.P99Speedup() < *tailMinSpeedup {
+			log.Fatalf("skalla-bench: tail regression: hedged p99 speedup %.2fx below required %.2fx",
+				r.P99Speedup(), *tailMinSpeedup)
+		}
+		return
+	}
 
 	// The serve experiment drives its own small cluster through the
 	// concurrent query service; it does not need the TPCR harness below.

@@ -79,6 +79,13 @@ func main() {
 	serveSiteInflight := flag.Int("serve-site-inflight", 4, "per-site connection-pool size and backpressure-window ceiling in -serve mode")
 	serveQueryTimeout := flag.Duration("serve-query-timeout", 0, "per-query execution bound in -serve mode (0 = none)")
 	serveSlowQuery := flag.Duration("serve-slow-query", 0, "emit a slow-query event (and count serve.slow_queries) for served queries at or above this wall time (0 = disabled)")
+	hedge := flag.Bool("hedge", false, "hedge straggling round requests against the next replica of sites with | replica addresses: first success wins, the loser is cancelled")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed hedge trigger delay; 0 adapts per site from an EWMA of recent call latency")
+	retryBudget := flag.Float64("retry-budget", 0, "retry tokens earned per primary call, shared across all sites; hedges and transport retries each spend one token (0 = default 0.1)")
+	retryBudgetBurst := flag.Int("retry-budget-burst", 0, "retry token-bucket cap (0 = default 10)")
+	breakerFailures := flag.Int("breaker-failures", 0, "in -serve mode, open a site's circuit breaker after this many consecutive failures or sheds so calls fail fast until a post-cooldown probe succeeds (0 = breakers disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "how long an open circuit breaker refuses calls before letting one probe through")
+	propagateDeadline := flag.Bool("propagate-deadline", false, "stamp round requests with the remaining -timeout budget so sites shed already-doomed work instead of evaluating it")
 	profile := flag.Bool("profile", false, "tag the execution with a query ID so sites return per-request profiles, and print the EXPLAIN ANALYZE report with timings; also adds timings to EXPLAIN ANALYZE SQL statements")
 	rowEngine := flag.Bool("row-engine", false, "run any in-process GMDJ evaluation on the row-at-a-time reference engine instead of the vectorized default (site processes take their own -row-engine flag)")
 	flag.Parse()
@@ -110,14 +117,19 @@ func main() {
 	}
 
 	cluster, err := skalla.ConnectWith(skalla.ConnectConfig{
-		Sites:        strings.Split(*sites, ","),
-		Attempts:     *retries,
-		CallTimeout:  *timeout,
-		AllowPartial: *allowPartial,
-		Obs:          sink,
-		Checkpoints:  ckpts,
-		Replays:      *replays,
-		ReadyURLs:    ready,
+		Sites:             strings.Split(*sites, ","),
+		Attempts:          *retries,
+		CallTimeout:       *timeout,
+		AllowPartial:      *allowPartial,
+		Obs:               sink,
+		Checkpoints:       ckpts,
+		Replays:           *replays,
+		ReadyURLs:         ready,
+		Hedge:             *hedge,
+		HedgeDelay:        *hedgeDelay,
+		RetryBudget:       *retryBudget,
+		RetryBudgetBurst:  *retryBudgetBurst,
+		PropagateDeadline: *propagateDeadline,
 	})
 	if err != nil {
 		log.Fatalf("skalla-coord: %v", err)
@@ -171,13 +183,15 @@ func main() {
 
 	if *serveAddr != "" {
 		runServe(cluster, sink, *serveAddr, skalla.ServeConfig{
-			MaxConcurrent: *serveConcurrency,
-			QueueDepth:    *serveQueue,
-			QueueTimeout:  *serveQueueTimeout,
-			SiteInflight:  *serveSiteInflight,
-			QueryTimeout:  *serveQueryTimeout,
-			SlowQuery:     *serveSlowQuery,
-			Opts:          opts,
+			MaxConcurrent:   *serveConcurrency,
+			QueueDepth:      *serveQueue,
+			QueueTimeout:    *serveQueueTimeout,
+			SiteInflight:    *serveSiteInflight,
+			QueryTimeout:    *serveQueryTimeout,
+			SlowQuery:       *serveSlowQuery,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+			Opts:            opts,
 		})
 		return
 	}

@@ -1,0 +1,270 @@
+package bench
+
+// This file is the tail-tolerance experiment behind `skalla-bench
+// -experiment tail`: the same query repeated over a cluster whose site
+// transports are chaos-injected with seeded heavy-tail latency, once
+// without and once with hedging against a clean replica. Hedging must
+// cut the p99 round latency without changing a single result byte —
+// duplicated round evaluation is idempotent — and every hedge must fit
+// inside the shared retry budget.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/site"
+	"repro/internal/tpcr"
+	"repro/internal/transport"
+)
+
+// TailConfig parameterizes the tail-tolerance experiment.
+type TailConfig struct {
+	// Sites, Rows, Customers, Seed shape the TPCR dataset (defaults:
+	// 4 sites, 8000 rows, 400 customers, seed 1).
+	Sites     int
+	Rows      int
+	Customers int
+	Seed      int64
+	// Queries is how many times the experiment query is executed per
+	// variant (default 40); latency percentiles come from these runs.
+	Queries int
+	// TailP is the per-call probability that a site call straggles
+	// (default 0.12); TailDelay is the injected straggler latency
+	// (default 50ms). Both variants replay the identical seeded fault
+	// sequence, so hedged and unhedged runs face the same stragglers.
+	TailP     float64
+	TailDelay time.Duration
+	// HedgeDelay is the fixed hedge trigger (default 5ms): a primary
+	// call that has not answered after this long races the replica.
+	HedgeDelay time.Duration
+	// BudgetRatio / BudgetBurst bound speculative sends: hedges spend
+	// retry tokens earned at BudgetRatio per primary call, capped at
+	// BudgetBurst (defaults 0.5 / 20).
+	BudgetRatio float64
+	BudgetBurst int
+}
+
+func (c TailConfig) defaults() TailConfig {
+	if c.Sites == 0 {
+		c.Sites = 4
+	}
+	if c.Rows == 0 {
+		c.Rows = 8000
+	}
+	if c.Customers == 0 {
+		c.Customers = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Queries == 0 {
+		c.Queries = 40
+	}
+	if c.TailP == 0 {
+		c.TailP = 0.12
+	}
+	if c.TailDelay == 0 {
+		c.TailDelay = 50 * time.Millisecond
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 5 * time.Millisecond
+	}
+	if c.BudgetRatio == 0 {
+		c.BudgetRatio = 0.5
+	}
+	if c.BudgetBurst == 0 {
+		c.BudgetBurst = 20
+	}
+	return c
+}
+
+// TailResult summarizes the two variants of one run.
+type TailResult struct {
+	Config TailConfig
+	// UnhedgedP50/P99 and HedgedP50/P99 are per-query wall-latency
+	// quantiles over Config.Queries executions of each variant.
+	UnhedgedP50 time.Duration
+	UnhedgedP99 time.Duration
+	HedgedP50   time.Duration
+	HedgedP99   time.Duration
+	// Hedges / HedgeWins count speculative launches and the ones whose
+	// duplicate answered first; BudgetDenied counts hedge attempts the
+	// retry budget refused.
+	Hedges       int64
+	HedgeWins    int64
+	BudgetDenied int64
+}
+
+// P99Speedup is the headline number: how many times faster the p99
+// query latency is with hedging on.
+func (r *TailResult) P99Speedup() float64 {
+	if r.HedgedP99 <= 0 {
+		return 0
+	}
+	return float64(r.UnhedgedP99) / float64(r.HedgedP99)
+}
+
+// String renders the run the way the figure tables do.
+func (r *TailResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tail tolerance (hedged replica requests): %d sites, %d queries, straggler p=%.2f delay=%s, hedge after %s\n",
+		r.Config.Sites, r.Config.Queries, r.Config.TailP, r.Config.TailDelay, r.Config.HedgeDelay)
+	t := &table{
+		title:  "tail latency",
+		header: []string{"variant", "p50", "p99"},
+	}
+	t.add("hedging off", r.UnhedgedP50.Round(time.Microsecond).String(), r.UnhedgedP99.Round(time.Microsecond).String())
+	t.add("hedging on", r.HedgedP50.Round(time.Microsecond).String(), r.HedgedP99.Round(time.Microsecond).String())
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "p99 speedup %.2fx; %d hedges (%d won the race, %d denied by the retry budget); results byte-identical\n",
+		r.P99Speedup(), r.Hedges, r.HedgeWins, r.BudgetDenied)
+	return b.String()
+}
+
+// Metrics flattens the run into the benchmark artifact.
+func (r *TailResult) Metrics() Results {
+	return Results{"tail": {
+		"queries":         float64(r.Config.Queries),
+		"unhedged_p50_ms": msF(r.UnhedgedP50),
+		"unhedged_p99_ms": msF(r.UnhedgedP99),
+		"hedged_p50_ms":   msF(r.HedgedP50),
+		"hedged_p99_ms":   msF(r.HedgedP99),
+		"p99_speedup":     r.P99Speedup(),
+		"hedges":          float64(r.Hedges),
+		"hedge_wins":      float64(r.HedgeWins),
+		"budget_denied":   float64(r.BudgetDenied),
+	}}
+}
+
+// tailSite is one logical site's loaded engine: the chaos-injected
+// primary transport and a clean replica both answer from it, matching a
+// replicated deployment where only one replica is slow.
+type tailSite struct {
+	id  string
+	eng *site.Engine
+}
+
+// tailCluster builds the shared dataset once: one engine per logical
+// site holding its TPCR partition, plus the partitioning catalog.
+func tailCluster(cfg TailConfig) ([]tailSite, *catalog.Catalog, error) {
+	tc := tpcr.Config{Rows: cfg.Rows, Customers: cfg.Customers, Seed: cfg.Seed}
+	sites := make([]tailSite, cfg.Sites)
+	ids := make([]string, cfg.Sites)
+	for i := range sites {
+		id := fmt.Sprintf("site%d", i)
+		part, err := tpcr.GeneratePartition(tc, i, cfg.Sites)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: tail partition %d: %w", i, err)
+		}
+		eng := site.NewEngine(id)
+		eng.Load("tpcr", part)
+		sites[i] = tailSite{id: id, eng: eng}
+		ids[i] = id
+	}
+	cat := catalog.New(ids...)
+	if err := tpcr.FillCatalog(cat, ids, tc); err != nil {
+		return nil, nil, fmt.Errorf("bench: tail catalog: %w", err)
+	}
+	return sites, cat, nil
+}
+
+// stragglingClient wraps one site in seeded heavy-tail chaos. Seeding by
+// site index makes the fault sequence identical across variants.
+func stragglingClient(cfg TailConfig, s tailSite, idx int) *transport.Chaos {
+	ch := transport.NewChaos(transport.NewLocalClient(s.id, s.eng, transport.CostModel{}), cfg.Seed+int64(idx))
+	ch.SetTailLatency(cfg.Seed+int64(idx), cfg.TailP, cfg.TailDelay)
+	return ch
+}
+
+// tailMeasure executes the experiment query cfg.Queries times over the
+// given clients and returns the sorted per-query wall latencies plus the
+// final relation (identical across iterations for a fixed dataset).
+func tailMeasure(cfg TailConfig, clients []transport.Client, cat *catalog.Catalog) ([]time.Duration, *relation.Relation, error) {
+	coord := core.NewCoordinator(clients...)
+	q := GroupReductionQuery(HighCard)
+	ctx := context.Background()
+	rel, _, plan, err := coord.Run(ctx, q, "tpcr", core.Egil{Catalog: cat, Options: core.DefaultOptions})
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: tail plan: %w", err)
+	}
+	base := sortedRows(rel)
+	latencies := make([]time.Duration, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		start := time.Now()
+		r, _, err := coord.Execute(ctx, plan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: tail query %d: %w", i, err)
+		}
+		latencies = append(latencies, time.Since(start))
+		if d := rowsDiff(base, sortedRows(r)); d != "" {
+			return nil, nil, fmt.Errorf("bench: tail query %d diverged from baseline: %s", i, d)
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, rel, nil
+}
+
+// TailExperiment runs the workload twice over identical data and
+// identical seeded stragglers — hedging off, then hedging on against a
+// clean replica of each site — and reports the latency quantiles, the
+// hedge/budget accounting, and an error if any result byte differs.
+func TailExperiment(cfg TailConfig) (*TailResult, error) {
+	cfg = cfg.defaults()
+	sites, cat, err := tailCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Variant 1: hedging off. Every call rides out the injected tail.
+	unhedged := make([]transport.Client, len(sites))
+	for i, s := range sites {
+		unhedged[i] = stragglingClient(cfg, s, i)
+	}
+	baseLat, baseRel, err := tailMeasure(cfg, unhedged, cat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Variant 2: hedging on. The primary replays the same seeded fault
+	// sequence; a clean replica of the same partition answers hedges.
+	budget := transport.NewRetryBudget(cfg.BudgetRatio, cfg.BudgetBurst)
+	hedgers := make([]*transport.Hedger, len(sites))
+	hedged := make([]transport.Client, len(sites))
+	for i, s := range sites {
+		replica := transport.NewLocalClient(s.id, s.eng, transport.CostModel{})
+		hedgers[i] = transport.NewHedger(s.id, []transport.Client{stragglingClient(cfg, s, i), replica},
+			transport.HedgeConfig{Delay: cfg.HedgeDelay, Budget: budget})
+		hedged[i] = hedgers[i]
+	}
+	hedgedLat, hedgedRel, err := tailMeasure(cfg, hedged, cat)
+	for _, h := range hedgers {
+		h.Close() // waits out any losing hedge goroutines
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d := rowsDiff(sortedRows(baseRel), sortedRows(hedgedRel)); d != "" {
+		return nil, fmt.Errorf("bench: hedged results diverge from unhedged baseline: %s", d)
+	}
+
+	res := &TailResult{
+		Config:      cfg,
+		UnhedgedP50: percentile(baseLat, 50),
+		UnhedgedP99: percentile(baseLat, 99),
+		HedgedP50:   percentile(hedgedLat, 50),
+		HedgedP99:   percentile(hedgedLat, 99),
+	}
+	for _, h := range hedgers {
+		hs, ws := h.HedgeCounts()
+		res.Hedges += hs
+		res.HedgeWins += ws
+	}
+	_, res.BudgetDenied = budget.Counts()
+	return res, nil
+}

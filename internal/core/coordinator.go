@@ -79,6 +79,12 @@ type Coordinator struct {
 	// Obs.Profiles). Empty leaves requests untagged and wire-identical to
 	// the pre-profiling protocol.
 	QueryID string
+	// PropagateDeadline stamps every round request with the remaining
+	// per-call budget (Request.DeadlineNs, derived from CallTimeout / the
+	// execution context) so sites shed already-doomed work instead of
+	// computing answers nobody will read. Off by default: untagged
+	// requests stay byte-identical to the pre-deadline wire encoding.
+	PropagateDeadline bool
 
 	profMu sync.Mutex
 	// profiles retains the last profileRingCap assembled query profiles
@@ -213,6 +219,7 @@ type siteResult struct {
 	shipped   int64
 	computeNs int64
 	replays   int // round requests re-issued before this result arrived
+	hedges    int // duplicate replica sends launched before this result arrived
 }
 
 // Execute runs the plan under ctx and returns the final base-result
@@ -549,11 +556,33 @@ func (c *Coordinator) fanoutStream(ctx context.Context, epoch string, round int,
 			req.Epoch, req.Round = epoch, round
 			req.QueryID = c.QueryID
 			s0, r0, _, t0 := cl.Stats().Snapshot()
+			// A hedging client exposes its duplicate-send counters; the
+			// delta across this call links the hedges to this round in
+			// the profile tree, mirroring the replay linkage.
+			hc, hasHC := cl.(interface{ HedgeCounts() (int64, int64) })
+			var hedges0 int64
+			if hasHC {
+				hedges0, _ = hc.HedgeCounts()
+			}
 			_, span := c.Obs.StartSpanTrack(roundCtx, "rpc:"+req.Op.String(), obs.SiteTrack(cl.SiteID()))
 			var resp *transport.Response
 			replays := 0
 			for {
 				callCtx, done := c.callContext(roundCtx)
+				if c.PropagateDeadline {
+					// Stamp the remaining budget at send time: each
+					// replay attempt recomputes it, so a late replay
+					// carries its true (smaller) budget. -1 expresses
+					// "already expired" (zero would mean "no deadline"
+					// on the wire).
+					if dl, ok := callCtx.Deadline(); ok {
+						if rem := time.Until(dl); rem > 0 {
+							req.DeadlineNs = rem.Nanoseconds()
+						} else {
+							req.DeadlineNs = -1
+						}
+					}
+				}
 				resp, err = cl.Call(callCtx, req)
 				done()
 				if err == nil || resp != nil {
@@ -588,12 +617,21 @@ func (c *Coordinator) fanoutStream(ctx context.Context, epoch string, round int,
 			if replays > 0 {
 				span.SetArg("replays", fmt.Sprint(replays))
 			}
+			hedges := 0
+			if hasHC {
+				h1, _ := hc.HedgeCounts()
+				hedges = int(h1 - hedges0)
+			}
+			if hedges > 0 {
+				span.SetArg("hedges", fmt.Sprint(hedges))
+			}
 			span.End()
 			res := &siteResult{
 				site: cl.SiteID(), resp: resp,
 				sentB: s1 - s0, recvB: r1 - r0, comm: t1 - t0,
 				computeNs: resp.ComputeNs,
 				replays:   replays,
+				hedges:    hedges,
 			}
 			if req.Base != nil {
 				res.shipped = int64(req.Base.Len())
@@ -766,6 +804,9 @@ func accountRound(rs *RoundStats, rp *RoundProfile, r *siteResult) {
 	}
 	if r.replays > 0 {
 		rs.Replayed = append(rs.Replayed, r.site)
+	}
+	if r.hedges > 0 {
+		rs.Hedged = append(rs.Hedged, r.site)
 	}
 }
 

@@ -76,6 +76,9 @@ type SiteRoundProfile struct {
 	// Replays is how many times the round request was re-issued before
 	// this result arrived.
 	Replays int
+	// Hedges is how many duplicate replica sends (hedges or failovers)
+	// were launched for the round request before this result arrived.
+	Hedges int
 	// Remote is the site-side profile piggy-backed on the response.
 	Remote *transport.SiteProfile
 }
@@ -142,6 +145,7 @@ func (rp *RoundProfile) addSite(r *siteResult) {
 		ComputeNs:   r.computeNs,
 		CommNs:      int64(r.comm),
 		Replays:     r.replays,
+		Hedges:      r.hedges,
 		Remote:      r.resp.Profile,
 	}
 	if r.resp.Rel != nil {
@@ -265,6 +269,7 @@ type siteRoundProfileJSON struct {
 	Compute  int64              `json:"compute_ns"`
 	Comm     int64              `json:"comm_ns"`
 	Replays  int                `json:"replays,omitempty"`
+	Hedges   int                `json:"hedges,omitempty"`
 	Remote   *remoteProfileJSON `json:"remote,omitempty"`
 }
 
@@ -322,7 +327,8 @@ func (p *QueryProfile) JSON() ([]byte, error) {
 				Site: s.Site, Lost: s.Lost, Err: s.Err,
 				Sent: s.BytesSent, Recv: s.BytesRecv,
 				Shipped: s.RowsShipped, Returned: s.RowsReturned,
-				Compute: s.ComputeNs, Comm: s.CommNs, Replays: s.Replays,
+				Compute: s.ComputeNs, Comm: s.CommNs,
+				Replays: s.Replays, Hedges: s.Hedges,
 			}
 			if r := s.Remote; r != nil {
 				js.Remote = &remoteProfileJSON{
@@ -394,6 +400,9 @@ func RenderAnalyze(plan *Plan, stats *ExecStats, opt AnalyzeOptions) string {
 			fmt.Fprintf(&b, "    %s: shipped %d rows, returned %d rows", s.Site, s.RowsShipped, s.RowsReturned)
 			if s.Replays > 0 {
 				fmt.Fprintf(&b, ", %d replay(s)", s.Replays)
+			}
+			if s.Hedges > 0 {
+				fmt.Fprintf(&b, ", %d hedge(s)", s.Hedges)
 			}
 			if r := s.Remote; r != nil {
 				if r.Engine != "" {

@@ -6,6 +6,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,14 @@ type SchedulerConfig struct {
 	// SiteMaxInflight is the per-site concurrency window ceiling for
 	// WrapClients gates. Values < 1 are treated as 1.
 	SiteMaxInflight int
+	// BreakerFailures enables per-site circuit breakers in WrapClients:
+	// after this many consecutive failures or sheds the site's breaker
+	// opens and calls fail fast with transport.ErrBreakerOpen until a
+	// post-cooldown probe succeeds. 0 disables breakers.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// letting one probe through (default 1s when breakers are enabled).
+	BreakerCooldown time.Duration
 	// Obs, when set, receives admission counters ("sched.admitted",
 	// "sched.rejected", "sched.queue_timeouts", "sched.completed"),
 	// the "sched.running"/"sched.queued" gauges, backpressure counters
@@ -78,6 +87,8 @@ type Scheduler struct {
 	queued int
 	//lint:guarded-by mu
 	gates map[string]*SiteGate
+	//lint:guarded-by mu
+	breakers map[string]*transport.Breaker
 }
 
 // NewScheduler returns a scheduler for cfg.
@@ -92,9 +103,10 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 		cfg.SiteMaxInflight = 1
 	}
 	return &Scheduler{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		gates: map[string]*SiteGate{},
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		gates:    map[string]*SiteGate{},
+		breakers: map[string]*transport.Breaker{},
 	}
 }
 
@@ -199,15 +211,71 @@ func (s *Scheduler) gate(site string) *SiteGate {
 	return g
 }
 
+// breaker returns (lazily creating) the circuit breaker for one site, or
+// nil when breakers are disabled. Like gates, breakers are shared across
+// executions: consecutive failures from any query trip the same breaker.
+func (s *Scheduler) breaker(site string) *transport.Breaker {
+	if s.cfg.BreakerFailures <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[site]
+	if !ok {
+		b = transport.NewBreaker(site, s.cfg.BreakerFailures, s.cfg.BreakerCooldown)
+		b.SetObs(s.cfg.Obs)
+		s.breakers[site] = b
+	}
+	return b
+}
+
+// BreakerState reports one site's breaker position and whether a breaker
+// exists for it (false when breakers are disabled or the site has never
+// been wrapped).
+func (s *Scheduler) BreakerState(site string) (transport.BreakerState, bool) {
+	s.mu.Lock()
+	b, ok := s.breakers[site]
+	s.mu.Unlock()
+	if !ok {
+		return transport.BreakerClosed, false
+	}
+	return b.State(), true
+}
+
+// OpenBreakers lists the sites whose breaker is currently refusing calls
+// (open and still cooling down), sorted for deterministic output.
+func (s *Scheduler) OpenBreakers() []string {
+	s.mu.Lock()
+	breakers := make(map[string]*transport.Breaker, len(s.breakers))
+	for site, b := range s.breakers {
+		breakers[site] = b
+	}
+	s.mu.Unlock()
+	var out []string
+	for site, b := range breakers {
+		if b.State() == transport.BreakerOpen {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // WrapClients wraps each client with its site's shared backpressure gate:
 // calls through the wrapped clients respect the site's current
 // concurrency window, and shed responses (CodeOverloaded/CodeDraining)
 // shrink it. Clients belonging to the same SiteID — across concurrent
-// executions — share one gate.
+// executions — share one gate. With BreakerFailures set, the site's
+// shared circuit breaker wraps outermost, so an open breaker fails fast
+// before the call consumes gate window or queues at the site.
 func (s *Scheduler) WrapClients(clients []transport.Client) []transport.Client {
 	out := make([]transport.Client, len(clients))
 	for i, cl := range clients {
-		out[i] = &gatedClient{Client: cl, gate: s.gate(cl.SiteID())}
+		var wrapped transport.Client = &gatedClient{Client: cl, gate: s.gate(cl.SiteID())}
+		if b := s.breaker(cl.SiteID()); b != nil {
+			wrapped = transport.NewBreakerClient(wrapped, b)
+		}
+		out[i] = wrapped
 	}
 	return out
 }

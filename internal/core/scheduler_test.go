@@ -289,3 +289,58 @@ func TestSiteGateAIMDStress(t *testing.T) {
 	}
 	g.Release(false)
 }
+
+// TestWrapClientsBreakerFailsFast: with per-site breakers enabled, a run
+// of sheds on one site opens its breaker, every execution's wrapped view
+// of that site is refused locally with the typed error, and the open
+// breaker is visible through the scheduler's state accessors — while
+// other sites stay unaffected.
+func TestWrapClientsBreakerFailsFast(t *testing.T) {
+	o := obs.New()
+	s := NewScheduler(SchedulerConfig{MaxConcurrent: 4, SiteMaxInflight: 8, Obs: o,
+		BreakerFailures: 2, BreakerCooldown: time.Hour})
+	ctx := context.Background()
+
+	a := s.WrapClients([]transport.Client{&shedClient{id: "s0"}, &shedClient{id: "s1"}})
+	for i := 0; i < 2; i++ {
+		resp, err := a[0].Call(ctx, &transport.Request{Op: transport.OpDrop})
+		if err != nil || !resp.Shed() {
+			t.Fatalf("shed call %d: %v / %+v", i, err, resp)
+		}
+	}
+	if st, ok := s.BreakerState("s0"); !ok || st != transport.BreakerOpen {
+		t.Fatalf("breaker state = %v/%v, want open", st, ok)
+	}
+	if open := s.OpenBreakers(); len(open) != 1 || open[0] != "s0" {
+		t.Fatalf("OpenBreakers() = %v, want [s0]", open)
+	}
+
+	// A second execution shares the breaker: its call is refused before
+	// reaching the site.
+	b := s.WrapClients([]transport.Client{&shedClient{id: "s0"}})
+	if _, err := b[0].Call(ctx, &transport.Request{Op: transport.OpPing}); !errors.Is(err, transport.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	// The healthy site keeps serving.
+	if _, err := a[1].Call(ctx, &transport.Request{Op: transport.OpPing}); err != nil {
+		t.Fatalf("healthy site refused: %v", err)
+	}
+	if _, ok := s.BreakerState("s1"); !ok {
+		t.Error("healthy site has no breaker state")
+	}
+
+	// Breakers default off: a zero BreakerFailures scheduler never trips.
+	off := NewScheduler(SchedulerConfig{MaxConcurrent: 4, SiteMaxInflight: 8})
+	c := off.WrapClients([]transport.Client{&shedClient{id: "s0"}})
+	for i := 0; i < 5; i++ {
+		if _, err := c[0].Call(ctx, &transport.Request{Op: transport.OpDrop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := off.BreakerState("s0"); ok {
+		t.Error("breaker state reported with breakers disabled")
+	}
+	if open := off.OpenBreakers(); len(open) != 0 {
+		t.Errorf("OpenBreakers() = %v, want none with breakers disabled", open)
+	}
+}

@@ -49,6 +49,9 @@ type RoundStats struct {
 	// Replayed lists the sites whose round request had to be re-issued
 	// (after a transport failure) before their fragment arrived.
 	Replayed []string
+	// Hedged lists the sites whose round request was duplicated to a
+	// replica (hedged or failed over) before their fragment arrived.
+	Hedged []string
 }
 
 // ExecStats aggregates a full plan execution.
@@ -110,6 +113,22 @@ func (s *ExecStats) ReplayedSites() []string {
 	var out []string
 	for _, r := range s.Rounds {
 		for _, site := range r.Replayed {
+			if !seen[site] {
+				seen[site] = true
+				out = append(out, site)
+			}
+		}
+	}
+	return out
+}
+
+// HedgedSites returns the distinct sites whose round request was
+// duplicated to a replica in any round, in first-hedge order.
+func (s *ExecStats) HedgedSites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range s.Rounds {
+		for _, site := range r.Hedged {
 			if !seen[site] {
 				seen[site] = true
 				out = append(out, site)

@@ -26,6 +26,7 @@ type roundStatsJSON struct {
 	CommNs         int64          `json:"comm_ns"`
 	Resumed        bool           `json:"resumed,omitempty"`
 	Replayed       []string       `json:"replayed,omitempty"`
+	Hedged         []string       `json:"hedged,omitempty"`
 }
 
 type lostSiteJSON struct {
@@ -87,12 +88,14 @@ func roundToJSON(r RoundStats) roundStatsJSON {
 		CommNs:         int64(r.CommTime),
 		Resumed:        r.Resumed,
 		Replayed:       append([]string(nil), r.Replayed...),
+		Hedged:         append([]string(nil), r.Hedged...),
 	}
 	if jr.Responded == nil {
 		jr.Responded = []string{}
 	}
 	sort.Strings(jr.Responded)
 	sort.Strings(jr.Replayed)
+	sort.Strings(jr.Hedged)
 	for _, l := range r.Lost {
 		jr.Lost = append(jr.Lost, lostSiteJSON{Site: l.Site, Err: l.Err})
 	}
@@ -116,6 +119,7 @@ func roundFromJSON(jr roundStatsJSON) RoundStats {
 		CommTime:       time.Duration(jr.CommNs),
 		Resumed:        jr.Resumed,
 		Replayed:       append([]string(nil), jr.Replayed...),
+		Hedged:         append([]string(nil), jr.Hedged...),
 	}
 	for _, l := range jr.Lost {
 		r.Lost = append(r.Lost, LostSite{Site: l.Site, Err: l.Err})

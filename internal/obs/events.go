@@ -51,6 +51,14 @@ const (
 	// EventStraggler: one site dominated a round — its compute time was a
 	// multiple of the round's median (fields: query_id, round, ratio_x1000).
 	EventStraggler = "straggler"
+	// EventHedge: a round request exceeded the hedge threshold (or its
+	// primary failed) and a duplicate was launched on the next replica
+	// (fields: op, reason, round).
+	EventHedge = "hedge"
+	// EventBreaker: a site's circuit breaker changed state — opened on
+	// consecutive failures, half-opened for a probe, or closed again
+	// (fields: state, threshold).
+	EventBreaker = "breaker"
 )
 
 // DefaultEventCap bounds the event log of New.

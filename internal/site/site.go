@@ -252,6 +252,31 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.
 		profStart = time.Now()
 	}
 
+	// Deadline propagation (PROTOCOL.md, "Tail tolerance"): the request
+	// carries the coordinator's remaining call budget. Already expired
+	// (negative) means nobody will read the answer — shed it with the
+	// typed expiry before touching the cache or evaluating anything; a
+	// positive budget bounds the local evaluation so chained rounds stop
+	// the moment they become doomed mid-request.
+	if req.DeadlineNs < 0 {
+		o.Count("site.deadline_sheds", 1)
+		span.SetArg("deadline", "expired-on-arrival")
+		err := fmt.Errorf("propagated deadline already expired: %w", transport.ErrExpired)
+		resp := &transport.Response{Err: fmt.Sprintf("%s: %v", req.Op, err), Code: transport.ErrCode(err)}
+		if prof != nil {
+			prof.Outcome = transport.OutcomeExpired
+			prof.WallNs = time.Since(profStart).Nanoseconds()
+			resp.Profile = prof
+			e.recordProfile(req, prof)
+		}
+		return resp
+	}
+	if req.DeadlineNs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineNs))
+		defer cancel()
+	}
+
 	if resp := e.replayHit(req); resp != nil {
 		o.Count("site.dedup_hits", 1)
 		o.Event(obs.EventReplay, e.id, "served replayed round from cache",
@@ -281,6 +306,13 @@ func (e *Engine) Handle(ctx context.Context, req *transport.Request) *transport.
 	}
 	resp, err := e.handle(ctx, req, prof)
 	if err != nil {
+		if req.DeadlineNs > 0 && errors.Is(err, context.DeadlineExceeded) {
+			// The propagated budget ran out mid-evaluation: classify as
+			// the typed expiry so the coordinator sees CodeExpired (a
+			// doomed-work shed), not a generic site error.
+			o.Count("site.deadline_sheds", 1)
+			err = fmt.Errorf("propagated deadline expired during evaluation: %w", transport.ErrExpired)
+		}
 		o.Count("site.errors", 1)
 		if errors.Is(err, transport.ErrOverloaded) {
 			o.Count("site.overloads", 1)

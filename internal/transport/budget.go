@@ -1,0 +1,122 @@
+package transport
+
+//lint:wrap-errors budget refusals must stay inspectable with errors.Is
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrBudgetExhausted is returned (wrapped) when a retry or hedge was
+// suppressed because the shared retry budget had no tokens left. It marks
+// the cluster as sick enough that speculative extra work would only deepen
+// the overload — callers should surface the primary failure, not spin.
+var ErrBudgetExhausted = errors.New("transport: retry budget exhausted")
+
+// RetryBudget is a token bucket shared by everything that issues
+// speculative or repeated traffic against the sites — Reconnector retries
+// and Hedger hedges. Primary requests earn Ratio tokens each (capped at
+// Burst); every retry or hedge spends one. When the bucket is empty the
+// speculative send is suppressed, so a sick cluster degrades to at most
+// (1+Ratio)× its primary traffic instead of melting down in a retry
+// storm.
+//
+// A nil *RetryBudget is valid and unlimited: Earn is a no-op and Take
+// always grants, so wiring stays unconditional.
+type RetryBudget struct {
+	ratio float64
+	burst float64
+
+	mu sync.Mutex
+	//lint:guarded-by mu
+	tokens float64
+	//lint:guarded-by mu
+	earned int64
+	//lint:guarded-by mu
+	taken int64
+	//lint:guarded-by mu
+	denied int64
+	//lint:guarded-by mu
+	obs *obs.Obs
+}
+
+// NewRetryBudget returns a budget earning ratio tokens per primary
+// request, holding at most burst tokens. The bucket starts full so cold
+// starts (first request straight into a straggler) can still hedge.
+// ratio ≤ 0 defaults to 0.1 (10% speculative overhead); burst ≤ 0
+// defaults to 10.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{ratio: ratio, burst: float64(burst), tokens: float64(burst)}
+}
+
+// SetObs publishes budget denials as the "transport.budget_denied"
+// counter.
+func (b *RetryBudget) SetObs(o *obs.Obs) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.obs = o
+	b.mu.Unlock()
+}
+
+// Earn credits the budget for one primary request. Nil-safe.
+func (b *RetryBudget) Earn() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.earned++
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Take spends one token for a retry or hedge, reporting whether the
+// speculative send is within budget. Nil-safe (always true).
+func (b *RetryBudget) Take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		b.obs.Count("transport.budget_denied", 1)
+		return false
+	}
+	b.tokens--
+	b.taken++
+	return true
+}
+
+// Tokens returns the current token balance.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Counts returns how many speculative sends the budget granted and
+// denied over its lifetime.
+func (b *RetryBudget) Counts() (taken, denied int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.taken, b.denied
+}

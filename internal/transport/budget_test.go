@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	o := obs.New()
+	b := NewRetryBudget(0.5, 2)
+	b.SetObs(o)
+
+	// The bucket starts full: two speculative sends are granted.
+	if !b.Take() || !b.Take() {
+		t.Fatal("full budget denied a take")
+	}
+	if b.Take() {
+		t.Fatal("empty budget granted a take")
+	}
+	// Two primary calls earn 2×0.5 = 1 token back.
+	b.Earn()
+	b.Earn()
+	if !b.Take() {
+		t.Fatal("earned token not spendable")
+	}
+	if b.Take() {
+		t.Fatal("budget granted beyond its earnings")
+	}
+	taken, denied := b.Counts()
+	if taken != 3 || denied != 2 {
+		t.Errorf("counts = %d/%d, want taken=3 denied=2", taken, denied)
+	}
+	if got := o.Metrics.CounterValue("transport.budget_denied"); got != 2 {
+		t.Errorf("budget_denied = %d, want 2", got)
+	}
+
+	// Earnings cap at the burst: a long healthy streak cannot bank an
+	// unbounded retry storm.
+	for i := 0; i < 100; i++ {
+		b.Earn()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Errorf("tokens after long streak = %v, want burst cap 2", got)
+	}
+}
+
+func TestRetryBudgetNilIsUnlimited(t *testing.T) {
+	var b *RetryBudget
+	b.Earn() // must not panic
+	for i := 0; i < 100; i++ {
+		if !b.Take() {
+			t.Fatal("nil budget denied a take")
+		}
+	}
+	if taken, denied := b.Counts(); taken != 0 || denied != 0 {
+		t.Errorf("nil budget counts = %d/%d, want 0/0", taken, denied)
+	}
+}
+
+// TestReconnectorBudgetExhaustion: under sustained chaos, the shared
+// budget stops the retry loop early with a typed error instead of letting
+// it burn every configured attempt.
+func TestReconnectorBudgetExhaustion(t *testing.T) {
+	chaos := NewChaos(NewLocalClient("s0", newEchoHandler(), CostModel{}), 1)
+	chaos.FailNext(OpPing, 100)
+	rc := NewReconnector("s0", func() (Client, error) { return chaos, nil }, 10, 0)
+	budget := NewRetryBudget(0.001, 1) // one banked retry, near-zero refill
+	rc.SetBudget(budget)
+
+	_, err := rc.Call(context.Background(), &Request{Op: OpPing})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// The injected fault is still inspectable behind the budget error.
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want the underlying injected fault wrapped", err)
+	}
+	// Attempt 1 (free) + the single banked retry = 2 calls, not 10.
+	if got := chaos.Calls(); got != 2 {
+		t.Errorf("calls = %d, want 2 (budget must cut the retry loop)", got)
+	}
+	if _, denied := budget.Counts(); denied != 1 {
+		t.Errorf("denied = %d, want 1", denied)
+	}
+
+	// Healthy traffic refills the budget and retries resume.
+	replenish := NewRetryBudget(1, 5)
+	chaos2 := NewChaos(NewLocalClient("s1", newEchoHandler(), CostModel{}), 1)
+	chaos2.FailNext(OpPing, 2)
+	rc2 := NewReconnector("s1", func() (Client, error) { return chaos2, nil }, 5, 0)
+	rc2.SetBudget(replenish)
+	if _, err := rc2.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("budgeted retries failed despite tokens: %v", err)
+	}
+}

@@ -82,6 +82,16 @@ type Chaos struct {
 	errRate float64
 	//lint:guarded-by mu
 	delayMax time.Duration
+	// Tail-latency mode (SetTailLatency): its own rng keeps the straggler
+	// sequence independent of the errRate/delayMax draws, so enabling one
+	// mode never perturbs the other's seeded sequence.
+	//
+	//lint:guarded-by mu
+	tailRng *rand.Rand
+	//lint:guarded-by mu
+	tailP float64
+	//lint:guarded-by mu
+	tailDelay time.Duration
 	//lint:guarded-by mu
 	calls int
 	//lint:guarded-by mu
@@ -165,6 +175,28 @@ func (c *Chaos) SetRandom(errRate float64, delayMax time.Duration) {
 	c.mu.Unlock()
 }
 
+// SetTailLatency enables a seeded heavy-tail latency mode: each call is
+// delayed by delay with probability p, drawn from a dedicated rng seeded
+// at seed — the deterministic straggler distribution the tail-tolerance
+// tests and `-experiment tail` inject. It composes with (and is checked
+// after) scripted faults and before the SetRandom draws; p ≤ 0 disables
+// the mode.
+func (c *Chaos) SetTailLatency(seed int64, p float64, delay time.Duration) {
+	c.mu.Lock()
+	c.tailRng = rand.New(rand.NewSource(seed))
+	c.tailP = p
+	c.tailDelay = delay
+	c.mu.Unlock()
+}
+
+// DelayN queues n one-shot delays of d for op — a scripted straggler
+// burst ("the next three round calls are slow").
+func (c *Chaos) DelayN(op Op, n int, d time.Duration) {
+	for i := 0; i < n; i++ {
+		c.Inject(op, Fault{Delay: d})
+	}
+}
+
 // SetObs publishes every injected fault as an obs event (kind
 // obs.EventChaos) and per-mode counters ("chaos.injected",
 // "chaos.injected.err", ...), so chaos attribution is never lost behind
@@ -239,11 +271,15 @@ func (c *Chaos) next(op Op) (Fault, bool) {
 	}
 	var f Fault
 	var hit bool
+	if c.tailP > 0 && c.tailRng.Float64() < c.tailP {
+		f.Delay = c.tailDelay
+		hit = true
+	}
 	if c.errRate > 0 && c.rng.Float64() < c.errRate {
 		f.Err = ErrInjected
 		hit = true
 	}
-	if c.delayMax > 0 {
+	if c.delayMax > 0 && f.Delay == 0 {
 		f.Delay = time.Duration(c.rng.Int63n(int64(c.delayMax)))
 		hit = hit || f.Delay > 0
 	}

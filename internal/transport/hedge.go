@@ -1,0 +1,360 @@
+package transport
+
+//lint:wrap-errors hedging failures must stay inspectable with errors.Is
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrHedgeLost is the cancellation cause attached to the context of a
+// hedged attempt that lost the race: its result is no longer wanted
+// because the other replica already answered. Wrappers below the hedger
+// (Reconnector, pool leases) use context.Cause to tell this apart from a
+// real caller cancellation — a lost hedge is planned waste accounted
+// under hedge counters, never a site failure and never retry waste.
+var ErrHedgeLost = errors.New("transport: hedged request lost the race")
+
+// HedgeConfig tunes a Hedger.
+type HedgeConfig struct {
+	// Delay, when positive, is a fixed hedge threshold: a request
+	// outstanding that long launches the hedge. It overrides the
+	// adaptive threshold entirely.
+	Delay time.Duration
+	// Multiplier scales the adaptive threshold: hedge when the request
+	// has been outstanding Multiplier × EWMA(recent latency). Default 3.
+	Multiplier float64
+	// Floor / Ceiling clamp the adaptive threshold (defaults 1ms /
+	// 100ms). Until the first completed call seeds the EWMA, the
+	// threshold is Ceiling.
+	Floor   time.Duration
+	Ceiling time.Duration
+	// Budget, when non-nil, caps hedges: every primary call earns into
+	// it and every hedge (including shed failovers) must Take from it.
+	Budget *RetryBudget
+}
+
+func (c HedgeConfig) defaults() HedgeConfig {
+	if c.Multiplier <= 0 {
+		c.Multiplier = 3
+	}
+	if c.Floor <= 0 {
+		c.Floor = time.Millisecond
+	}
+	if c.Ceiling <= 0 {
+		c.Ceiling = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Hedger is a tail-tolerant Client over an ordered set of replica
+// clients: the primary (first) replica gets every request, and when a
+// round request is outstanding longer than the hedge threshold — fixed
+// Delay, or adaptively Multiplier × EWMA of recent latency clamped to
+// [Floor, Ceiling] — a duplicate is launched on the next replica and the
+// first success wins, the loser cancelled with cause ErrHedgeLost.
+// Duplicating a round is safe by construction: rounds are pure functions
+// of the request over immutable site data, and epoch-tagged executions
+// additionally dedup replays site-side via the (epoch, round) cache (see
+// PROTOCOL.md, "Tail tolerance").
+//
+// Only the idempotent evaluation ops (OpEvalBase, OpEvalRounds) are
+// hedged; every other op goes to the primary alone. A primary that fails
+// or sheds before the threshold fires fails over to the secondary
+// immediately, charged to the same budget, so the Hedger subsumes the
+// replica-failover role in hedged wiring.
+//
+// Wire statistics fold only the winning attempt's traffic into Stats(),
+// keeping the coordinator's per-round byte accounting exact and
+// deterministic; the loser's partial traffic is counted under the
+// "transport.hedge_wasted_bytes" counter instead.
+type Hedger struct {
+	id       string
+	replicas []Client
+	cfg      HedgeConfig
+
+	hedges int64 // atomic: duplicate/failover sends launched
+	wins   int64 // atomic: hedged sends whose answer was used
+
+	mu sync.Mutex
+	// ewmaNs is the exponentially weighted moving average of successful
+	// call latency, the base of the adaptive threshold (0 = no sample).
+	//
+	//lint:guarded-by mu
+	ewmaNs float64
+	//lint:guarded-by mu
+	obs *obs.Obs
+
+	stats WireStats
+	// wg tracks attempt and loser-drain goroutines so Close can prove
+	// none leak (goleak).
+	wg sync.WaitGroup
+}
+
+// NewHedger returns a hedging client over replicas in preference order.
+// With fewer than two replicas it degrades to a transparent wrapper.
+func NewHedger(id string, replicas []Client, cfg HedgeConfig) *Hedger {
+	if len(replicas) == 0 {
+		panic("transport: hedger needs at least one replica")
+	}
+	return &Hedger{id: id, replicas: replicas, cfg: cfg.defaults()}
+}
+
+// SetObs publishes hedge launches as obs events (kind obs.EventHedge) and
+// the "transport.hedges" / "transport.hedge_wins" /
+// "transport.hedge_wasted_bytes" counters, and propagates the sink to
+// replicas that support SetObs.
+func (h *Hedger) SetObs(o *obs.Obs) {
+	h.mu.Lock()
+	h.obs = o
+	h.mu.Unlock()
+	for _, cl := range h.replicas {
+		if oc, ok := cl.(interface{ SetObs(*obs.Obs) }); ok {
+			oc.SetObs(o)
+		}
+	}
+}
+
+func (h *Hedger) getObs() *obs.Obs {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.obs
+}
+
+// SiteID implements Client.
+func (h *Hedger) SiteID() string { return h.id }
+
+// Stats implements Client: only winning attempts' traffic, so round byte
+// accounting stays exact.
+func (h *Hedger) Stats() *WireStats { return &h.stats }
+
+// HedgeCounts returns how many hedged sends were launched and how many
+// of their answers won the race.
+func (h *Hedger) HedgeCounts() (hedges, wins int64) {
+	return atomic.LoadInt64(&h.hedges), atomic.LoadInt64(&h.wins)
+}
+
+// Close implements Client: it closes every replica and waits for all
+// attempt goroutines (including cancelled losers) to drain.
+func (h *Hedger) Close() error {
+	var firstErr error
+	for _, cl := range h.replicas {
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	h.wg.Wait()
+	return firstErr
+}
+
+// threshold returns the current hedge-launch delay.
+func (h *Hedger) threshold() time.Duration {
+	if h.cfg.Delay > 0 {
+		return h.cfg.Delay
+	}
+	h.mu.Lock()
+	ewma := h.ewmaNs
+	h.mu.Unlock()
+	if ewma <= 0 {
+		return h.cfg.Ceiling
+	}
+	d := time.Duration(h.cfg.Multiplier * ewma)
+	if d < h.cfg.Floor {
+		d = h.cfg.Floor
+	}
+	if d > h.cfg.Ceiling {
+		d = h.cfg.Ceiling
+	}
+	return d
+}
+
+// observe feeds one successful call's latency into the EWMA (α = 0.2).
+func (h *Hedger) observe(d time.Duration) {
+	h.mu.Lock()
+	if h.ewmaNs == 0 {
+		h.ewmaNs = float64(d.Nanoseconds())
+	} else {
+		h.ewmaNs = 0.2*float64(d.Nanoseconds()) + 0.8*h.ewmaNs
+	}
+	h.mu.Unlock()
+}
+
+// addDelta folds a winning attempt's traffic into the aggregate.
+func (h *Hedger) addDelta(sent, recv int64, comm time.Duration) {
+	h.stats.mu.Lock()
+	h.stats.bytesSent += sent
+	h.stats.bytesReceived += recv
+	if sent > 0 {
+		h.stats.messages++
+	}
+	h.stats.commTime += comm
+	h.stats.mu.Unlock()
+}
+
+// hedgeable reports whether op may be duplicated across replicas.
+func hedgeable(op Op) bool { return op == OpEvalBase || op == OpEvalRounds }
+
+// hedgeAttempt is one replica attempt's outcome plus its wire delta.
+type hedgeAttempt struct {
+	idx        int
+	resp       *Response
+	err        error
+	sent, recv int64
+	comm       time.Duration
+}
+
+// Call implements Client with hedged duplicate requests.
+func (h *Hedger) Call(ctx context.Context, req *Request) (*Response, error) {
+	h.cfg.Budget.Earn()
+	if len(h.replicas) < 2 || !hedgeable(req.Op) {
+		return h.callDirect(ctx, req)
+	}
+	start := time.Now()
+
+	results := make(chan hedgeAttempt, len(h.replicas))
+	cancels := make([]context.CancelCauseFunc, len(h.replicas))
+	launched := 0
+	launch := func() {
+		idx := launched
+		launched++
+		cl := h.replicas[idx]
+		cctx, cancel := context.WithCancelCause(ctx)
+		cancels[idx] = cancel
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			s0, r0, _, t0 := cl.Stats().Snapshot()
+			resp, err := cl.Call(cctx, req)
+			s1, r1, _, t1 := cl.Stats().Snapshot()
+			results <- hedgeAttempt{idx: idx, resp: resp, err: err,
+				sent: s1 - s0, recv: r1 - r0, comm: t1 - t0}
+		}()
+	}
+	// hedge launches the duplicate if the budget allows, reporting
+	// whether it did.
+	hedge := func(reason string) bool {
+		if launched >= len(h.replicas) || !h.cfg.Budget.Take() {
+			return false
+		}
+		atomic.AddInt64(&h.hedges, 1)
+		o := h.getObs()
+		o.Count("transport.hedges", 1)
+		o.Event(obs.EventHedge, h.id, "hedging "+req.Op.String()+" to next replica: "+reason,
+			map[string]string{
+				"op":     req.Op.String(),
+				"reason": reason,
+				"round":  strconv.Itoa(req.Round),
+			})
+		launch()
+		return true
+	}
+	// finish settles the race: the decisive attempt's traffic folds into
+	// the aggregate, every other in-flight attempt is cancelled with
+	// cause ErrHedgeLost, and a drain goroutine accounts the losers'
+	// partial traffic as hedge waste.
+	finish := func(a hedgeAttempt, consumed int) {
+		for i := 0; i < launched; i++ {
+			if i != a.idx {
+				cancels[i](ErrHedgeLost)
+			}
+		}
+		if a.err == nil {
+			h.addDelta(a.sent, a.recv, a.comm)
+		}
+		if remaining := launched - consumed; remaining > 0 {
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				for i := 0; i < remaining; i++ {
+					lost := <-results
+					if wasted := lost.sent + lost.recv; wasted > 0 {
+						h.getObs().Count("transport.hedge_wasted_bytes", wasted)
+					}
+				}
+			}()
+		}
+	}
+
+	launch()
+	timer := time.NewTimer(h.threshold())
+	defer timer.Stop()
+
+	consumed := 0
+	var firstFailure *hedgeAttempt
+	for {
+		select {
+		case <-timer.C:
+			hedge("threshold exceeded")
+		case a := <-results:
+			consumed++
+			decisive := a.err == nil && !a.resp.Shed()
+			if !decisive && ctx.Err() == nil && launched < len(h.replicas) {
+				// The attempt failed or was shed before the threshold
+				// fired: fail over to the next replica immediately, on
+				// the same budget.
+				reason := "attempt failed"
+				if a.err == nil {
+					reason = "replica shed the call"
+				}
+				if hedge(reason) {
+					if firstFailure == nil {
+						firstFailure = &a
+					}
+					continue
+				}
+			}
+			if !decisive && consumed < launched {
+				// The other attempt is still in flight and may yet
+				// succeed; remember this failure and keep waiting.
+				if firstFailure == nil {
+					firstFailure = &a
+				}
+				continue
+			}
+			// The race is settled: a success, or the last outstanding
+			// attempt failing with no failover left.
+			if !decisive && firstFailure != nil && a.err != nil && firstFailure.err == nil {
+				// Prefer a typed shed response over a transport error.
+				a = *firstFailure
+			}
+			finish(a, consumed)
+			if a.err != nil {
+				return nil, fmt.Errorf("transport: %s: %w", h.id, a.err)
+			}
+			if a.idx > 0 {
+				atomic.AddInt64(&h.wins, 1)
+				h.getObs().Count("transport.hedge_wins", 1)
+			}
+			if a.resp.Error() == nil {
+				h.observe(time.Since(start))
+			}
+			return a.resp, nil
+		}
+	}
+}
+
+// callDirect forwards to the primary replica alone, folding its traffic
+// into the aggregate.
+func (h *Hedger) callDirect(ctx context.Context, req *Request) (*Response, error) {
+	start := time.Now()
+	cl := h.replicas[0]
+	s0, r0, _, t0 := cl.Stats().Snapshot()
+	resp, err := cl.Call(ctx, req)
+	s1, r1, _, t1 := cl.Stats().Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	h.addDelta(s1-s0, r1-r0, t1-t0)
+	if hedgeable(req.Op) && resp.Error() == nil {
+		// Passthrough successes still seed the adaptive threshold.
+		h.observe(time.Since(start))
+	}
+	return resp, nil
+}

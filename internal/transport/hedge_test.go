@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testutil"
+)
+
+// replicaStub is a controllable replica for hedging tests: an optional
+// delay (cancellable through the context), then a scripted outcome.
+type replicaStub struct {
+	id    string
+	delay time.Duration
+	// fail / shed script the outcome; default is a success.
+	fail  bool
+	shed  bool
+	calls int64 // atomic
+	stats WireStats
+}
+
+func (r *replicaStub) SiteID() string    { return r.id }
+func (r *replicaStub) Stats() *WireStats { return &r.stats }
+func (r *replicaStub) Close() error      { return nil }
+func (r *replicaStub) Calls() int64      { return atomic.LoadInt64(&r.calls) }
+
+func (r *replicaStub) Call(ctx context.Context, req *Request) (*Response, error) {
+	atomic.AddInt64(&r.calls, 1)
+	r.stats.AddSent(10, CostModel{})
+	if r.delay > 0 {
+		if err := sleepCtx(ctx, r.delay); err != nil {
+			return nil, err
+		}
+	}
+	if r.fail {
+		return nil, errors.New("connection reset")
+	}
+	r.stats.AddReceived(20, CostModel{})
+	if r.shed {
+		return &Response{Err: "overloaded", Code: CodeOverloaded}, nil
+	}
+	return &Response{RowCount: 1}, nil
+}
+
+func TestHedgerWinsRaceAgainstStraggler(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	o := obs.New()
+	primary := &replicaStub{id: "s0", delay: 30 * time.Second}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: 5 * time.Millisecond})
+	h.SetObs(o)
+
+	resp, err := h.Call(context.Background(), &Request{Op: OpEvalRounds})
+	if err != nil || resp.RowCount != 1 {
+		t.Fatalf("hedged call: %v / %+v", err, resp)
+	}
+	if hedges, wins := h.HedgeCounts(); hedges != 1 || wins != 1 {
+		t.Errorf("hedges/wins = %d/%d, want 1/1", hedges, wins)
+	}
+	if got := secondary.Calls(); got != 1 {
+		t.Errorf("secondary calls = %d, want 1", got)
+	}
+	// Only the winner's traffic is in Stats(): the coordinator's round
+	// byte accounting must stay deterministic under hedging.
+	sent, recv, msgs, _ := h.Stats().Snapshot()
+	if sent != 10 || recv != 20 || msgs != 1 {
+		t.Errorf("stats = sent %d recv %d msgs %d, want winner-only 10/20/1", sent, recv, msgs)
+	}
+	if got := o.Metrics.CounterValue("transport.hedges"); got != 1 {
+		t.Errorf("transport.hedges = %d, want 1", got)
+	}
+	if got := o.Events.CountKind(obs.EventHedge); got != 1 {
+		t.Errorf("hedge events = %d, want 1", got)
+	}
+
+	// Close cancels the losing attempt (cause ErrHedgeLost), waits it
+	// out, and its partial traffic lands under hedge waste — the
+	// goroutine-leak check above proves nothing lingers.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Metrics.CounterValue("transport.hedge_wasted_bytes"); got != 10 {
+		t.Errorf("hedge_wasted_bytes = %d, want the loser's 10 sent bytes", got)
+	}
+}
+
+func TestHedgerFastPrimaryNeverHedges(t *testing.T) {
+	primary := &replicaStub{id: "s0"}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: time.Second})
+	defer h.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := h.Call(context.Background(), &Request{Op: OpEvalRounds}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hedges, _ := h.HedgeCounts(); hedges != 0 {
+		t.Errorf("hedges = %d, want 0 for a fast primary", hedges)
+	}
+	if got := secondary.Calls(); got != 0 {
+		t.Errorf("secondary calls = %d, want 0", got)
+	}
+}
+
+func TestHedgerImmediateFailover(t *testing.T) {
+	// The primary fails fast — long before the hedge threshold. The
+	// hedger must not sit out the timer: it fails over immediately.
+	primary := &replicaStub{id: "s0", fail: true}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: 10 * time.Second})
+	defer h.Close()
+
+	start := time.Now()
+	resp, err := h.Call(context.Background(), &Request{Op: OpEvalRounds})
+	if err != nil || resp.RowCount != 1 {
+		t.Fatalf("failover call: %v / %+v", err, resp)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failover waited for the hedge timer (%s)", elapsed)
+	}
+	if hedges, wins := h.HedgeCounts(); hedges != 1 || wins != 1 {
+		t.Errorf("hedges/wins = %d/%d, want 1/1", hedges, wins)
+	}
+}
+
+func TestHedgerShedFailover(t *testing.T) {
+	// A typed shed is not decisive either: the hedger tries the next
+	// replica, and only if everyone sheds does the shed surface.
+	primary := &replicaStub{id: "s0", shed: true}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: 10 * time.Second})
+	defer h.Close()
+
+	resp, err := h.Call(context.Background(), &Request{Op: OpEvalRounds})
+	if err != nil || resp.Shed() {
+		t.Fatalf("shed failover: %v / %+v", err, resp)
+	}
+
+	both := NewHedger("s1", []Client{&replicaStub{id: "s1", shed: true}, &replicaStub{id: "s1", shed: true}},
+		HedgeConfig{Delay: 10 * time.Second})
+	defer both.Close()
+	resp, err = both.Call(context.Background(), &Request{Op: OpEvalRounds})
+	if err != nil {
+		t.Fatalf("all-shed call errored at the transport level: %v", err)
+	}
+	if !resp.Shed() {
+		t.Fatalf("all-shed call did not surface the shed: %+v", resp)
+	}
+}
+
+func TestHedgerRespectsBudget(t *testing.T) {
+	budget := NewRetryBudget(0.001, 1)
+	if !budget.Take() {
+		t.Fatal("draining the budget")
+	}
+	primary := &replicaStub{id: "s0", delay: 50 * time.Millisecond}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: time.Millisecond, Budget: budget})
+	defer h.Close()
+
+	resp, err := h.Call(context.Background(), &Request{Op: OpEvalRounds})
+	if err != nil || resp.RowCount != 1 {
+		t.Fatalf("call: %v / %+v", err, resp)
+	}
+	if hedges, _ := h.HedgeCounts(); hedges != 0 {
+		t.Errorf("hedges = %d, want 0 with an exhausted budget", hedges)
+	}
+	if got := secondary.Calls(); got != 0 {
+		t.Errorf("secondary calls = %d, want 0 (budget denied the hedge)", got)
+	}
+	if _, denied := budget.Counts(); denied == 0 {
+		t.Error("no denial recorded for the suppressed hedge")
+	}
+}
+
+func TestHedgerOnlyEvalOpsHedge(t *testing.T) {
+	// Non-idempotent ops (loads, generates, pings) never hedge, no
+	// matter how slow the primary is.
+	primary := &replicaStub{id: "s0", delay: 20 * time.Millisecond}
+	secondary := &replicaStub{id: "s0"}
+	h := NewHedger("s0", []Client{primary, secondary}, HedgeConfig{Delay: time.Millisecond})
+	defer h.Close()
+
+	if _, err := h.Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if hedges, _ := h.HedgeCounts(); hedges != 0 {
+		t.Errorf("hedges = %d, want 0 for OpPing", hedges)
+	}
+	if got := secondary.Calls(); got != 0 {
+		t.Errorf("secondary calls = %d, want 0", got)
+	}
+}
+
+func TestHedgerAdaptiveThreshold(t *testing.T) {
+	h := NewHedger("s0", []Client{&replicaStub{id: "s0"}}, HedgeConfig{
+		Multiplier: 3, Floor: 2 * time.Millisecond, Ceiling: 50 * time.Millisecond,
+	})
+	defer h.Close()
+
+	// No sample yet: the threshold sits at the ceiling so cold starts
+	// never hedge on noise.
+	if got := h.threshold(); got != 50*time.Millisecond {
+		t.Errorf("cold threshold = %s, want ceiling 50ms", got)
+	}
+	h.observe(4 * time.Millisecond)
+	if got := h.threshold(); got != 12*time.Millisecond {
+		t.Errorf("threshold = %s, want 3×4ms", got)
+	}
+	// A run of microsecond calls drags the EWMA under the floor…
+	for i := 0; i < 100; i++ {
+		h.observe(10 * time.Microsecond)
+	}
+	if got := h.threshold(); got != 2*time.Millisecond {
+		t.Errorf("threshold = %s, want floor 2ms", got)
+	}
+	// …and a run of slow calls pins it at the ceiling.
+	for i := 0; i < 100; i++ {
+		h.observe(time.Second)
+	}
+	if got := h.threshold(); got != 50*time.Millisecond {
+		t.Errorf("threshold = %s, want ceiling 50ms", got)
+	}
+}
+
+// TestPoolHedgeDiscardAccounting: a pooled connection abandoned because
+// its hedged call lost the race is discarded under the dedicated
+// hedge-discard counter, not the generic discard counter — hedge churn
+// is planned speculative waste, not connection failure.
+func TestPoolHedgeDiscardAccounting(t *testing.T) {
+	h := newGateHandler()
+	o := obs.New()
+	p := NewPool("s0", 2, localDial(h))
+	p.SetObs(o)
+	defer p.Close()
+	defer close(h.release)
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Lease().Call(ctx, &Request{Op: OpDrop})
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for h.peakInflight() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel(ErrHedgeLost)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("lost hedge err = %v, want context.Canceled", err)
+	}
+	if got := o.Metrics.CounterValue("transport.pool.hedge_discards"); got != 1 {
+		t.Errorf("hedge_discards = %d, want 1", got)
+	}
+	if got := o.Metrics.CounterValue("transport.pool.discards"); got != 0 {
+		t.Errorf("discards = %d, want 0 (hedge losers are not connection churn)", got)
+	}
+	// The pool stays serviceable after the discard.
+	if _, err := p.Lease().Call(context.Background(), &Request{Op: OpPing}); err != nil {
+		t.Fatalf("pool unusable after hedge discard: %v", err)
+	}
+}

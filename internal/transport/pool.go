@@ -4,6 +4,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -144,14 +145,24 @@ func (p *Pool) put(cl Client) {
 // discard drops a connection whose last exchange failed: its stream may
 // be desynced (or its context-cancelled deadline poke left it broken), so
 // the next borrower gets a fresh dial instead.
-func (p *Pool) discard(cl Client) {
+func (p *Pool) discard(cl Client) { p.discardAs(cl, "transport.pool.discards") }
+
+// hedgeDiscard drops a connection whose exchange was abandoned because
+// its hedge lost the race. The teardown is identical to discard — the
+// cancelled stream is desynced — but the count lands under a dedicated
+// counter: a lost hedge is planned speculative waste, and folding it
+// into generic discards would make healthy hedging look like connection
+// churn.
+func (p *Pool) hedgeDiscard(cl Client) { p.discardAs(cl, "transport.pool.hedge_discards") }
+
+func (p *Pool) discardAs(cl Client, counter string) {
 	cl.Close()
 	p.mu.Lock()
 	p.dialed--
 	p.mu.Unlock()
 	<-p.slots
 	o := p.getObs()
-	o.Count("transport.pool.discards", 1)
+	o.Count(counter, 1)
 	o.SetGauge("transport.pool.in_use", int64(len(p.slots)))
 }
 
@@ -215,11 +226,22 @@ func (l *Lease) Call(ctx context.Context, req *Request) (*Response, error) {
 	s0, r0, _, t0 := cl.Stats().Snapshot()
 	resp, err := cl.Call(ctx, req)
 	s1, r1, _, t1 := cl.Stats().Snapshot()
-	l.addDelta(s1-s0, r1-r0, t1-t0)
 	if err != nil {
+		if errors.Is(context.Cause(ctx), ErrHedgeLost) {
+			// The exchange was abandoned because its hedge lost the
+			// race: the partial traffic is the hedger's speculative
+			// waste (it counts the bytes under hedge_wasted_bytes), so
+			// folding the delta into the lease would double-count it
+			// into the execution's round bytes; the torn connection is
+			// a hedge discard, not generic churn.
+			l.pool.hedgeDiscard(cl)
+			return nil, err
+		}
+		l.addDelta(s1-s0, r1-r0, t1-t0)
 		l.pool.discard(cl)
 		return nil, err
 	}
+	l.addDelta(s1-s0, r1-r0, t1-t0)
 	l.pool.put(cl)
 	return resp, nil
 }

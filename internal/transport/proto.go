@@ -32,6 +32,11 @@ var (
 	// ErrDraining: the site is shutting down gracefully and no longer
 	// accepts new requests (in-flight requests still complete).
 	ErrDraining = errors.New("transport: site draining")
+	// ErrExpired: the request's propagated deadline (Request.DeadlineNs)
+	// had already passed when the site looked at it, or ran out during
+	// evaluation — the coordinator will never read the answer, so the
+	// site shed the doomed work instead of computing it.
+	ErrExpired = errors.New("transport: request deadline expired")
 )
 
 // Response.Code values classifying site-side errors on the wire.
@@ -43,6 +48,12 @@ const (
 	CodeOverloaded = 1
 	// CodeDraining maps to ErrDraining.
 	CodeDraining = 2
+	// CodeExpired maps to ErrExpired: the request's propagated deadline
+	// passed before (or while) the site evaluated it. Unlike overload and
+	// drain this is not a load-shedding refusal — the caller's own budget
+	// ran out — so Shed() deliberately excludes it: an expired request
+	// must not halve AIMD windows or trigger replica failover.
+	CodeExpired = 3
 )
 
 // ErrCode classifies an error chain into a wire code, the inverse of
@@ -53,6 +64,8 @@ func ErrCode(err error) int {
 		return CodeOverloaded
 	case errors.Is(err, ErrDraining):
 		return CodeDraining
+	case errors.Is(err, ErrExpired):
+		return CodeExpired
 	default:
 		return CodeOK
 	}
@@ -203,6 +216,14 @@ type Request struct {
 	// to the pre-profiling encoding (gob omits zero-valued fields), so
 	// profiling is strictly opt-in per query.
 	QueryID string
+
+	// DeadlineNs is the coordinator's remaining per-call budget in
+	// nanoseconds at send time, propagated so the site can shed work whose
+	// answer nobody will read: a negative value means "already expired —
+	// do not evaluate" and a positive value bounds the site-side
+	// evaluation. Zero means "no deadline", which gob omits, keeping
+	// untagged requests byte-identical to the pre-deadline encoding.
+	DeadlineNs int64
 }
 
 // Response is the single wire response envelope. Every field must survive
@@ -281,6 +302,9 @@ const (
 	// OutcomeOverloaded / OutcomeDraining: the site shed the request.
 	OutcomeOverloaded = "overloaded"
 	OutcomeDraining   = "draining"
+	// OutcomeExpired: the request's propagated deadline passed before or
+	// during evaluation and the site shed the doomed work.
+	OutcomeExpired = "expired"
 	// OutcomeError: the request failed with a plain site-side error.
 	OutcomeError = "error"
 )
@@ -293,6 +317,8 @@ func ErrOutcome(err error) string {
 		return OutcomeOverloaded
 	case errors.Is(err, ErrDraining):
 		return OutcomeDraining
+	case errors.Is(err, ErrExpired):
+		return OutcomeExpired
 	default:
 		return OutcomeError
 	}
@@ -310,6 +336,12 @@ func (r *Response) Error() error {
 		return fmt.Errorf("site error: %s: %w", r.Err, ErrOverloaded)
 	case CodeDraining:
 		return fmt.Errorf("site error: %s: %w", r.Err, ErrDraining)
+	case CodeExpired:
+		// Wrap both the protocol sentinel and the context sentinel: the
+		// expiry is the caller's own deadline coming home, so callers
+		// mapping context.DeadlineExceeded (e.g. HTTP 504) classify it
+		// without knowing about the wire code.
+		return fmt.Errorf("site error: %s: %w (%w)", r.Err, ErrExpired, context.DeadlineExceeded)
 	default:
 		return fmt.Errorf("site error: %s", r.Err)
 	}

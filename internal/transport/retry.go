@@ -61,6 +61,8 @@ type Reconnector struct {
 	stats WireStats
 	//lint:guarded-by mu
 	obs *obs.Obs
+	//lint:guarded-by mu
+	budget *RetryBudget
 }
 
 // NewReconnector returns a client for a single-endpoint site that dials
@@ -139,6 +141,20 @@ func (r *Reconnector) SetObs(o *obs.Obs) {
 	r.mu.Unlock()
 }
 
+// SetBudget attaches a shared retry budget: every Call earns into it and
+// every same-endpoint retry must take a token first. An exhausted budget
+// fails the call with an error wrapping ErrBudgetExhausted (and the last
+// transport error) instead of retrying, so a sick cluster's retry volume
+// stays bounded by the budget's ratio of primary traffic. Replica
+// failovers are not charged — the next endpoint is an independent,
+// presumed-healthy site, and charging failovers would let one dead
+// replica starve the budget for everyone.
+func (r *Reconnector) SetBudget(b *RetryBudget) {
+	r.mu.Lock()
+	r.budget = b
+	r.mu.Unlock()
+}
+
 // SiteID implements Client.
 func (r *Reconnector) SiteID() string { return r.id }
 
@@ -175,6 +191,7 @@ func (r *Reconnector) Close() error {
 func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.budget.Earn()
 	var lastErr error
 	shedHops := 0           // replicas that shed this call in a row
 	justFailedOver := false // skip the loop-top transition after a shed failover
@@ -198,6 +215,9 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 						"to":   strconv.Itoa(r.ep),
 					})
 			} else {
+				if !r.budget.Take() {
+					return nil, fmt.Errorf("transport: %s: %w: %w", r.id, ErrBudgetExhausted, lastErr)
+				}
 				r.obs.Count("transport.retries", 1)
 				r.obs.Event(obs.EventRetry, r.id, "retrying after transport failure",
 					map[string]string{
@@ -271,8 +291,11 @@ func (r *Reconnector) Call(ctx context.Context, req *Request) (*Response, error)
 		// A failed attempt's partial traffic is retry waste, not part of
 		// the logical exchange: folding it into the aggregate would make
 		// the coordinator double-count round bytes once a retry succeeds.
-		// It stays visible as a dedicated counter instead.
-		if wasted := (s1 - s0) + (r1 - r0); wasted > 0 {
+		// It stays visible as a dedicated counter instead — except when
+		// the failure is a hedge losing its race: the Hedger accounts
+		// that traffic under transport.hedge_wasted_bytes, and counting
+		// it here too would double-book the same bytes as retry waste.
+		if wasted := (s1 - s0) + (r1 - r0); wasted > 0 && !errors.Is(context.Cause(ctx), ErrHedgeLost) {
 			r.obs.Count("transport.retry_wasted_bytes", wasted)
 		}
 		lastErr = err

@@ -50,6 +50,14 @@ type ServeConfig struct {
 	// SlowQuery, when positive, emits an obs slow-query event (and counts
 	// "serve.slow_queries") for every query whose wall time reaches it.
 	SlowQuery time.Duration
+	// BreakerFailures enables per-site circuit breakers: after this many
+	// consecutive failures or sheds a site's calls fail fast until a
+	// post-cooldown probe succeeds. Open breakers surface in /readyz.
+	// 0 disables breakers.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker refuses calls before
+	// letting a probe through (default 1s when breakers are enabled).
+	BreakerCooldown time.Duration
 	// Opts selects the distributed optimizations (default all).
 	Opts Options
 }
@@ -92,6 +100,8 @@ func NewQueryService(c *Cluster, cfg ServeConfig) (*QueryService, error) {
 		QueueDepth:      cfg.QueueDepth,
 		QueueTimeout:    cfg.QueueTimeout,
 		SiteMaxInflight: cfg.SiteInflight,
+		BreakerFailures: cfg.BreakerFailures,
+		BreakerCooldown: cfg.BreakerCooldown,
 		Obs:             c.obs,
 	})
 	for i, id := range c.ids {
@@ -160,6 +170,7 @@ func (s *QueryService) Query(ctx context.Context, query string) (*Relation, erro
 	coord.Checkpoints = base.Checkpoints
 	coord.Replays = base.Replays
 	coord.Health = base.Health
+	coord.PropagateDeadline = base.PropagateDeadline
 	coord.Epoch = s.sched.NextEpoch("serve")
 	// The unique serve epoch doubles as the query ID: every served query
 	// is profiled, its profile tree published to the shared obs sink
@@ -222,7 +233,16 @@ func (s *QueryService) CheckReady() (bool, string) {
 	reachable := 0
 	var firstDown string
 	for i, err := range errs {
+		// An open circuit breaker counts as down even when the probe
+		// connection answers: queries to the site are failing fast, so
+		// advertising readiness would route traffic into rejections.
 		if err == nil {
+			if st, ok := s.sched.BreakerState(s.cluster.ids[i]); ok && st == transport.BreakerOpen {
+				if firstDown == "" {
+					firstDown = fmt.Sprintf("site %s circuit breaker open", s.cluster.ids[i])
+				}
+				continue
+			}
 			reachable++
 		} else if firstDown == "" {
 			firstDown = fmt.Sprintf("site %s unreachable: %v", s.cluster.ids[i], err)
@@ -349,7 +369,8 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrAdmission):
 		kind, code = "admission", http.StatusTooManyRequests
-	case errors.Is(err, transport.ErrOverloaded), errors.Is(err, transport.ErrDraining):
+	case errors.Is(err, transport.ErrOverloaded), errors.Is(err, transport.ErrDraining),
+		errors.Is(err, transport.ErrBreakerOpen), errors.Is(err, transport.ErrBudgetExhausted):
 		kind, code = "shed", http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		kind, code = "timeout", http.StatusGatewayTimeout

@@ -130,6 +130,11 @@ type ClusterConfig struct {
 	// engine instead of the vectorized default (the -row-engine escape
 	// hatch of the daemons).
 	RowEngine bool
+	// PropagateDeadline stamps every round request with the remaining
+	// per-call budget so sites shed already-doomed work (an expired
+	// deadline is refused before evaluation) instead of computing
+	// results the coordinator will discard.
+	PropagateDeadline bool
 }
 
 // Cluster is a running distributed data warehouse.
@@ -220,6 +225,7 @@ func NewLocalCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.coord.Obs = cfg.Obs
 	c.coord.Checkpoints = cfg.Checkpoints
 	c.coord.Replays = cfg.Replays
+	c.coord.PropagateDeadline = cfg.PropagateDeadline
 	c.cat = catalog.New(c.ids...)
 	return c, nil
 }
@@ -268,6 +274,29 @@ type ConnectConfig struct {
 	// readiness before fanning a round out to it and — in AllowPartial
 	// mode — skips draining sites without burning a call.
 	ReadyURLs map[string]string
+	// Hedge enables tail-latency hedging for sites with two or more
+	// replica addresses: when a round call to the current replica
+	// exceeds an adaptive latency threshold, a duplicate request races
+	// against the next replica and the first success wins while the
+	// loser is cancelled. Duplicated evaluation is safe — rounds are
+	// pure functions of the request over immutable partitions, and
+	// tagged executions dedup on (epoch, round) — see PROTOCOL.md.
+	Hedge bool
+	// HedgeDelay pins the hedge trigger to a fixed delay instead of the
+	// adaptive per-site EWMA threshold (0 = adaptive).
+	HedgeDelay time.Duration
+	// RetryBudget caps hedges and transport retries to a fraction of
+	// primary traffic: each primary call earns this many retry tokens
+	// (default 0.1 — one retry or hedge per ten calls). The budget is
+	// shared across all sites of the cluster.
+	RetryBudget float64
+	// RetryBudgetBurst is the retry token-bucket cap (default 10).
+	RetryBudgetBurst int
+	// PropagateDeadline stamps every round request with the remaining
+	// per-call budget so sites shed already-doomed work (an expired
+	// deadline is refused before evaluation) instead of computing
+	// results the coordinator will discard.
+	PropagateDeadline bool
 }
 
 // Connect builds a cluster over already-running remote site servers (one
@@ -295,6 +324,12 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 		cfg.Backoff = 100 * time.Millisecond
 	}
 	c := &Cluster{obs: cfg.Obs}
+	// One retry budget is shared by every site's transport: hedges and
+	// reconnect retries anywhere in the cluster draw from (and refill)
+	// the same token bucket, so aggregate speculative traffic stays a
+	// bounded fraction of primary traffic.
+	budget := transport.NewRetryBudget(cfg.RetryBudget, cfg.RetryBudgetBurst)
+	budget.SetObs(cfg.Obs)
 	for i, entry := range cfg.Sites {
 		id := fmt.Sprintf("site%d", i)
 		addrs := strings.Split(entry, "|")
@@ -305,8 +340,7 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 				return nil, fmt.Errorf("skalla: empty address in site entry %q", entry)
 			}
 		}
-		cl := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
-		cl.SetObs(cfg.Obs)
+		cl := siteClient(id, addrs, cfg, budget)
 		// Validate reachability eagerly so misconfigured addresses fail
 		// at connect time, not at first query — unless partial results
 		// are allowed, in which case a down site is tolerable now and
@@ -326,9 +360,7 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 		c.clients = append(c.clients, cl)
 		c.engines = append(c.engines, nil)
 		c.dialers = append(c.dialers, func() (transport.Client, error) {
-			dc := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
-			dc.SetObs(cfg.Obs)
-			return dc, nil
+			return siteClient(id, addrs, cfg, budget), nil
 		})
 	}
 	c.coord = core.NewCoordinator(c.clients...)
@@ -337,11 +369,43 @@ func ConnectWith(cfg ConnectConfig) (*Cluster, error) {
 	c.coord.Obs = cfg.Obs
 	c.coord.Checkpoints = cfg.Checkpoints
 	c.coord.Replays = cfg.Replays
+	c.coord.PropagateDeadline = cfg.PropagateDeadline
 	if len(cfg.ReadyURLs) > 0 {
 		c.coord.Health = transport.NewHTTPHealth(cfg.ReadyURLs)
 	}
 	c.cat = catalog.New(c.ids...)
 	return c, nil
+}
+
+// siteClient builds the transport client for one logical site. Without
+// hedging, every replica address goes into one Reconnector that retries
+// and fails over sequentially; its reconnect retries draw on the shared
+// budget. With hedging and at least two replicas, each replica gets its
+// own single-endpoint Reconnector and a Hedger races them: when the
+// current replica exceeds the hedge threshold (or sheds, or fails) the
+// next replica is tried concurrently rather than sequentially, and the
+// first success wins. The budget then lives at the Hedger, which charges
+// every speculative launch; the inner per-endpoint retries stay bounded
+// by Attempts.
+func siteClient(id string, addrs []string, cfg ConnectConfig, budget *transport.RetryBudget) transport.Client {
+	if !cfg.Hedge || len(addrs) < 2 {
+		rc := transport.NewReplicaTCP(id, addrs, cfg.Cost, cfg.Attempts, cfg.Backoff)
+		rc.SetObs(cfg.Obs)
+		rc.SetBudget(budget)
+		return rc
+	}
+	replicas := make([]transport.Client, len(addrs))
+	for i, a := range addrs {
+		rc := transport.NewReplicaTCP(id, []string{a}, cfg.Cost, cfg.Attempts, cfg.Backoff)
+		rc.SetObs(cfg.Obs)
+		replicas[i] = rc
+	}
+	h := transport.NewHedger(id, replicas, transport.HedgeConfig{
+		Delay:  cfg.HedgeDelay,
+		Budget: budget,
+	})
+	h.SetObs(cfg.Obs)
+	return h
 }
 
 // Close releases all connections and stops owned servers.
@@ -414,6 +478,7 @@ func (c *Cluster) Subset(n int) (*Cluster, error) {
 	sub.coord.Checkpoints = c.coord.Checkpoints
 	sub.coord.Replays = c.coord.Replays
 	sub.coord.Health = c.coord.Health
+	sub.coord.PropagateDeadline = c.coord.PropagateDeadline
 	return sub, nil
 }
 
@@ -542,5 +607,6 @@ func (c *Cluster) Session() (*Cluster, error) {
 	s.coord.Checkpoints = c.coord.Checkpoints
 	s.coord.Replays = c.coord.Replays
 	s.coord.Health = c.coord.Health
+	s.coord.PropagateDeadline = c.coord.PropagateDeadline
 	return s, nil
 }
